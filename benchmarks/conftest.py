@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's evaluation artifacts
+(tables 1-2, figures 5-6) or one of the reproduction's own experiments
+(ablation, simulator validation, energy, DP scaling). pytest-benchmark
+times the harness while the assertions pin the qualitative shapes.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pim.config import PimConfig
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): maps a benchmark to a paper artifact"
+    )
+
+
+@pytest.fixture(scope="session")
+def machine() -> PimConfig:
+    """The evaluation machine (Section 4.1 defaults, N = 1000)."""
+    return PimConfig(iterations=1000)
+
+
+@pytest.fixture(scope="session")
+def quick_machine() -> PimConfig:
+    """Shorter runs for per-call micro benchmarks."""
+    return PimConfig(iterations=200)

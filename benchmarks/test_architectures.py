@@ -1,0 +1,32 @@
+"""Benchmark A4: cross-architecture generality (paper Section 5).
+
+Runs the unchanged pipeline on four PIM design points and asserts the
+comparative shapes: Para-CONV wins everywhere, and the margin tracks the
+architecture's off-PE penalty.
+"""
+
+import pytest
+
+from repro.eval.architectures import (
+    average_improvement_by_architecture,
+    render_architectures,
+    run_architectures,
+)
+
+
+@pytest.mark.paper_artifact("architectures")
+def test_cross_architecture_study(benchmark, capsys):
+    rows = benchmark.pedantic(
+        run_architectures, kwargs={"num_pes": 32}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(render_architectures(rows))
+
+    for row in rows:
+        assert row.improvement_percent > 0
+    averages = average_improvement_by_architecture(rows)
+    assert averages["edge_pim"] > averages["neurocube"]
+    assert averages["eyeriss_like"] > averages["rram_pim"]
+    # the win is substantial on every design point
+    assert min(averages.values()) > 35.0

@@ -1,0 +1,27 @@
+"""Benchmark A3: data-movement energy extension (the paper's future work).
+
+Prices per-iteration intermediate-result traffic under the machine's
+cache/eDRAM energy ratio for Para-CONV, the no-cache floor and SPARTA.
+"""
+
+import pytest
+
+from repro.eval.energy import render_energy, run_energy
+
+
+@pytest.mark.paper_artifact("energy")
+def test_energy_accounting(benchmark, machine, capsys):
+    rows = benchmark.pedantic(
+        run_energy, kwargs={"base_config": machine, "pes": 32},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_energy(rows))
+
+    for row in rows:
+        # caching can only remove off-chip traffic
+        assert row.paraconv_pj <= row.all_edram_pj
+        assert row.saving_vs_no_cache >= 0.0
+    # at least some benchmarks see a real saving
+    assert any(row.saving_vs_no_cache > 0.01 for row in rows)

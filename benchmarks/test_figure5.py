@@ -1,0 +1,38 @@
+"""Benchmark F5: regenerate Figure 5 (per-iteration execution time).
+
+The paper normalizes each benchmark's steady-state iteration time by the
+baseline's on 64 PEs and shows it decreasing significantly with more
+processing engines.
+"""
+
+import pytest
+
+from repro.eval.figure5 import render_figure5, run_figure5
+
+
+@pytest.mark.paper_artifact("figure5")
+def test_figure5_full(benchmark, machine, capsys):
+    rows = benchmark.pedantic(
+        run_figure5, args=(machine,), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(render_figure5(rows))
+
+    for row in rows:
+        # iteration time decreases monotonically with more PEs
+        assert (
+            row.iteration_time[64]
+            <= row.iteration_time[32]
+            <= row.iteration_time[16]
+        ), f"{row.benchmark}: iteration time must fall with PE count"
+        # and Para-CONV at 64 PEs beats the 64-PE baseline
+        assert row.normalized(64) < 1.0
+
+    # aggregate factor: 16 -> 64 PEs buys a substantial reduction
+    ratios = [
+        row.iteration_time[16] / row.iteration_time[64]
+        for row in rows
+        if row.iteration_time[64] > 0
+    ]
+    assert sum(ratios) / len(ratios) > 2.0

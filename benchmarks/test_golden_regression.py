@@ -1,0 +1,62 @@
+"""Golden-artifact regression: today's results vs the committed baseline.
+
+`benchmarks/golden/` holds JSON artifacts of the shipped Table 1 / Table 2
+results (the numbers EXPERIMENTS.md quotes). This benchmark re-runs the
+experiments and diffs them against the golden files: any drift means a
+model change silently altered the reproduction's published record.
+
+Regenerate the golden files intentionally with::
+
+    python -c "from benchmarks.test_golden_regression import regenerate; regenerate()"
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.artifacts import diff_artifacts, load_artifact, save_artifact
+from repro.eval.table1 import run_table1
+from repro.eval.table2 import run_table2
+from repro.pim.config import PimConfig
+
+GOLDEN = Path(__file__).parent / "golden"
+CONFIG = PimConfig()
+
+
+def regenerate() -> None:
+    """Overwrite the golden artifacts with freshly measured results."""
+    GOLDEN.mkdir(exist_ok=True)
+    save_artifact("table1", run_table1(CONFIG), CONFIG, GOLDEN / "table1.json")
+    save_artifact("table2", run_table2(CONFIG), CONFIG, GOLDEN / "table2.json")
+
+
+def _fresh_artifact(experiment, runner, tmp_path):
+    path = tmp_path / f"{experiment}.json"
+    save_artifact(experiment, runner(CONFIG), CONFIG, path)
+    return load_artifact(path)
+
+
+@pytest.mark.paper_artifact("regression")
+def test_table1_matches_golden(benchmark, tmp_path):
+    golden = load_artifact(GOLDEN / "table1.json")
+    fresh = benchmark.pedantic(
+        _fresh_artifact, args=("table1", run_table1, tmp_path),
+        rounds=1, iterations=1,
+    )
+    drift = diff_artifacts(golden, fresh, tolerance=0.0)
+    assert drift == [], "Table 1 drifted from the published record:\n" + "\n".join(
+        drift[:20]
+    )
+
+
+@pytest.mark.paper_artifact("regression")
+def test_table2_matches_golden(benchmark, tmp_path):
+    golden = load_artifact(GOLDEN / "table2.json")
+    fresh = benchmark.pedantic(
+        _fresh_artifact, args=("table2", run_table2, tmp_path),
+        rounds=1, iterations=1,
+    )
+    drift = diff_artifacts(golden, fresh, tolerance=0.0)
+    assert drift == [], "Table 2 drifted from the published record:\n" + "\n".join(
+        drift[:20]
+    )

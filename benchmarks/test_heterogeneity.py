@@ -1,0 +1,33 @@
+"""Benchmark A7: big.LITTLE heterogeneous array (SPARTA's home turf).
+
+Both schemes become speed-aware (HEFT dispatch for SPARTA, EFT compaction
+for Para-CONV) on a half-fast/half-slow array at full-array mapping.
+Asserted shape: Para-CONV still wins, and the margin narrows as the speed
+gap widens (heterogeneity is where the baseline's placement intelligence
+finally earns something).
+"""
+
+import pytest
+
+from repro.eval.heterogeneity import render_heterogeneity, run_heterogeneity
+
+
+@pytest.mark.paper_artifact("heterogeneity")
+def test_big_little_study(benchmark, machine, capsys):
+    rows = benchmark.pedantic(
+        run_heterogeneity, kwargs={"base_config": machine, "pes": 16},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_heterogeneity(rows))
+
+    for row in rows:
+        assert row.improvement_percent > 0
+    by_speed = {}
+    for row in rows:
+        by_speed.setdefault(row.little_speed, []).append(
+            row.improvement_percent
+        )
+    averages = {k: sum(v) / len(v) for k, v in by_speed.items()}
+    assert averages[min(averages)] <= averages[max(averages)]

@@ -1,0 +1,28 @@
+"""Benchmark A6: frame-latency vs throughput trade-off (extension).
+
+Quantifies what the paper leaves unreported: retiming pipelines each frame
+over R_max + 1 rounds, so per-frame latency grows even as throughput
+roughly doubles. Downstream adopters of Para-CONV need both numbers.
+"""
+
+import pytest
+
+from repro.eval.latency import render_latency, run_latency
+
+
+@pytest.mark.paper_artifact("latency")
+def test_latency_throughput_tradeoff(benchmark, machine, capsys):
+    rows = benchmark.pedantic(
+        run_latency, kwargs={"base_config": machine, "pes": 32},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_latency(rows))
+
+    for row in rows:
+        # the headline improvement is real on the throughput axis...
+        assert row.throughput_ratio > 1.5
+    # ...but retiming is not free: most workloads pay per-frame latency
+    paying = sum(1 for row in rows if row.latency_ratio > 1.0)
+    assert paying >= len(rows) // 2

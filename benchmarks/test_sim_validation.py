@@ -1,0 +1,31 @@
+"""Benchmark A2: discrete-event execution vs the analytic model.
+
+Executes Para-CONV schedules on the stateful machine model and asserts
+the analytic schedule lengths the tables report are achieved on the
+simulated hardware (slowdown 1.0, bounded lateness).
+"""
+
+import pytest
+
+from repro.eval.validation import render_validation, run_validation
+
+
+@pytest.mark.paper_artifact("validation")
+def test_simulation_validates_analytic_model(benchmark, machine, capsys):
+    rows = benchmark.pedantic(
+        run_validation,
+        kwargs={"base_config": machine, "pes": 32, "iterations": 20},
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_validation(rows))
+
+    for row in rows:
+        assert row.slowdown == pytest.approx(1.0, abs=0.05), (
+            f"{row.benchmark}: simulated machine diverged from the model"
+        )
+        # lateness never cascades into a different steady state
+        assert row.max_lateness <= row.analytic * 0.05 + 20
+        assert 0.0 < row.pe_utilization <= 1.0

@@ -1,0 +1,58 @@
+"""Benchmark: sensitivity sweeps (machine-parameter robustness).
+
+Checks the comparison's conclusions hold across the paper's stated
+parameter envelopes: vault latency 2-10x and the 100-300 KB cache band.
+"""
+
+import pytest
+
+from repro.eval.sweep import (
+    render_sweep,
+    sweep_cache_capacity,
+    sweep_edram_factor,
+    sweep_graph_scale,
+)
+from repro.pim.config import PimConfig
+
+
+def test_edram_factor_sweep(benchmark, quick_machine, capsys):
+    points = benchmark.pedantic(
+        sweep_edram_factor,
+        kwargs={"graph_name": "shortest-path", "config": quick_machine},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_sweep(points, "eDRAM factor", "Sensitivity: vault latency"))
+    # Para-CONV wins across the paper's whole 2-10x envelope
+    for point in points:
+        assert point.improvement_percent > 0
+
+
+def test_cache_capacity_sweep(benchmark, quick_machine, capsys):
+    points = benchmark.pedantic(
+        sweep_cache_capacity,
+        kwargs={"graph_name": "shortest-path", "config": quick_machine},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_sweep(points, "bytes/PE", "Sensitivity: cache capacity"))
+    # more cache never slows Para-CONV down (the operating point may
+    # change, so the cached census itself is not monotone)
+    times = [p.paraconv_time for p in points]
+    assert times == sorted(times, reverse=True)
+    assert all(p.num_cached > 0 for p in points if p.knob > 0)
+
+
+def test_graph_scale_sweep(benchmark, quick_machine, capsys):
+    points = benchmark.pedantic(
+        sweep_graph_scale,
+        kwargs={"sizes": (50, 100, 200, 400, 800), "config": quick_machine},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render_sweep(points, "|V|", "Scalability: synthetic graphs"))
+    for point in points:
+        assert point.improvement_percent > 0

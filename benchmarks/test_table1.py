@@ -1,0 +1,61 @@
+"""Benchmark T1: regenerate Table 1 (total execution time + IMP%).
+
+Prints the same rows the paper reports -- SPARTA vs Para-CONV at 16/32/64
+PEs for all twelve benchmarks -- and asserts the headline shape: Para-CONV
+wins everywhere with an average reduction near the paper's 53.42%.
+"""
+
+import pytest
+
+from repro.eval.table1 import (
+    average_improvement,
+    overall_average_improvement,
+    render_table1,
+    run_table1,
+)
+from repro.eval.paper_data import PAPER_TABLE1_AVERAGE_IMP
+
+
+@pytest.mark.paper_artifact("table1")
+def test_table1_full(benchmark, machine, capsys):
+    rows = benchmark.pedantic(
+        run_table1, args=(machine,), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(render_table1(rows))
+        overall = overall_average_improvement(rows)
+        print(f"Overall average reduction: {overall:.2f}% (paper: 53.42%)")
+
+    # Shape assertions: who wins, by roughly what factor.
+    for row in rows:
+        for cell in row.cells.values():
+            assert cell.improvement_percent > 0, (
+                f"{row.benchmark}@{cell.pes}: Para-CONV must win"
+            )
+    overall = overall_average_improvement(rows)
+    assert 40.0 <= overall <= 70.0  # paper: 53.42
+    for pes, paper_avg in PAPER_TABLE1_AVERAGE_IMP.items():
+        measured = average_improvement(rows, pes)
+        assert abs(measured - paper_avg) < 20.0, (
+            f"average IMP at {pes} PEs drifted: {measured:.1f} vs {paper_avg}"
+        )
+
+
+@pytest.mark.paper_artifact("table1")
+def test_table1_scaling_shape(benchmark, machine):
+    """Both schemes accelerate with more PEs (the paper's sweep shape)."""
+    rows = benchmark.pedantic(
+        run_table1,
+        kwargs={
+            "base_config": machine,
+            "benchmarks": ["character-1", "shortest-path", "protein"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert row.cells[64].paraconv_time < row.cells[16].paraconv_time
+        assert row.cells[64].sparta_time < row.cells[16].sparta_time
+        # roughly linear scaling: 4x PEs buys at least 2x
+        assert row.cells[16].paraconv_time / row.cells[64].paraconv_time > 2.0

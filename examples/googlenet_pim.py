@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Map a real GoogLeNet onto the PIM array.
+
+The paper's benchmarks derive from GoogLeNet ConvNet [16]. This example
+builds the actual Inception-v1 network layer by layer, partitions it by
+functionality (convolution / pooling) into a periodic task graph, and runs
+the full Para-CONV pipeline at each of the paper's PE counts.
+
+Usage::
+
+    python examples/googlenet_pim.py [--full]
+
+``--full`` uses all nine inception modules (slower); the default uses a
+three-module prefix.
+"""
+
+import sys
+
+from repro import ParaConv, PimConfig, SpartaScheduler
+from repro.cnn.googlenet import build_googlenet, googlenet_prefix
+from repro.cnn.partition import PartitionConfig, partition_network
+from repro.graph.analysis import graph_statistics
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    network = build_googlenet() if full else googlenet_prefix(3)
+    print(f"Network: {network.name}, {len(network)} layers, "
+          f"{network.total_macs() / 1e6:.0f} MMACs, "
+          f"conv share {network.conv_mac_fraction() * 100:.1f}% "
+          f"(paper: ~90% of CNN operations are convolutions)\n")
+
+    graph = partition_network(network, PartitionConfig())
+    stats = graph_statistics(graph)
+    print(f"Partitioned task graph: {stats.num_vertices} operations, "
+          f"{stats.num_edges} intermediate results, depth {stats.depth}, "
+          f"peak intra-iteration parallelism {stats.max_parallelism}\n")
+
+    print(f"{'PEs':>4}  {'Para-CONV':>10}  {'SPARTA':>10}  {'IMP%':>6}  "
+          f"{'p':>5}  {'R_max':>5}  {'cached':>6}")
+    for pes in (16, 32, 64):
+        config = PimConfig(num_pes=pes, iterations=1000)
+        para = ParaConv(config).run(graph)
+        sparta = SpartaScheduler(config).run(graph)
+        imp = (
+            (sparta.total_time() - para.total_time())
+            / sparta.total_time() * 100
+        )
+        print(f"{pes:>4}  {para.total_time():>10}  {sparta.total_time():>10}  "
+              f"{imp:>6.2f}  {para.period:>5}  {para.max_retiming:>5}  "
+              f"{para.num_cached:>6}")
+
+    print("\nExpected shape: both schemes accelerate with the PE count and "
+          "Para-CONV stays roughly 2x ahead (the paper's Table 1).")
+
+
+if __name__ == "__main__":
+    main()

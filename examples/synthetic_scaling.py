@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Scalability study on synthetic task graphs (over 500 convolutions).
+
+The paper evaluates synthetic graphs with more than 500 convolutions; this
+example generates a size sweep well past that, runs Para-CONV and SPARTA
+on each, and reports how the improvement, the retiming depth and the
+prologue overhead behave as applications grow.
+
+Usage::
+
+    python examples/synthetic_scaling.py [pes]
+"""
+
+import sys
+
+from repro import ParaConv, PimConfig, SpartaScheduler
+from repro.graph.generators import SyntheticGraphGenerator
+
+
+def main() -> None:
+    pes = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    config = PimConfig(num_pes=pes, iterations=1000)
+    generator = SyntheticGraphGenerator()
+
+    print(f"Machine: {config.describe()}\n")
+    print(f"{'|V|':>5} {'|E|':>6} {'Para-CONV':>10} {'SPARTA':>10} "
+          f"{'IMP%':>6} {'R_max':>5} {'prologue%':>9}")
+
+    for size in (64, 128, 256, 512, 768, 1024):
+        edges = int(size * 2.6)
+        graph = generator.generate(size, edges, seed=11, name=f"synth-{size}")
+        para = ParaConv(config).run(graph)
+        sparta = SpartaScheduler(config).run(graph)
+        imp = (
+            (sparta.total_time() - para.total_time())
+            / sparta.total_time() * 100
+        )
+        prologue_share = para.prologue_time / para.total_time() * 100
+        print(f"{size:>5} {edges:>6} {para.total_time():>10} "
+              f"{sparta.total_time():>10} {imp:>6.2f} "
+              f"{para.max_retiming:>5} {prologue_share:>8.2f}%")
+
+    print("\nExpected shapes: the improvement stays near the paper's ~53% "
+          "as graphs grow, larger applications retime deeper, and the "
+          "prologue overhead remains negligible.")
+
+
+if __name__ == "__main__":
+    main()

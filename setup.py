@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (offline environments without wheel).
+
+All project metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` on toolchains lacking the
+``wheel`` package (PEP 517 editable builds require bdist_wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Para-CONV: parallelism for convolutional connections in PIM architecture.
+
+This package reproduces the system described in "Exploiting Parallelism for
+Convolutional Connections in Processing-In-Memory Architecture" (DAC 2017).
+It provides:
+
+* :mod:`repro.graph` -- the periodic task-graph application model,
+* :mod:`repro.cnn` -- a CNN layer algebra and graph partitioner,
+* :mod:`repro.pim` -- a Neurocube-style 3D PIM machine model,
+* :mod:`repro.sim` -- a discrete-event simulator for periodic schedules,
+* :mod:`repro.core` -- retiming, the dynamic-programming data allocator,
+  schedulers, the Para-CONV pipeline and the SPARTA baseline,
+* :mod:`repro.eval` -- the experiment harness regenerating every table and
+  figure of the paper's evaluation section.
+
+Quickstart::
+
+    from repro import ParaConv, PimConfig, synthetic_benchmark
+
+    graph = synthetic_benchmark("flower")
+    result = ParaConv(PimConfig(num_pes=32)).run(graph)
+    print(result.summary())
+"""
+
+from repro.graph.taskgraph import (
+    IntermediateResult,
+    Operation,
+    OperationKind,
+    TaskGraph,
+)
+from repro.graph.generators import synthetic_benchmark, SyntheticGraphGenerator
+from repro.pim.config import PimConfig
+from repro.core.paraconv import ParaConv, ParaConvResult
+from repro.core.baseline import SpartaScheduler
+from repro.cnn.workloads import load_workload, WORKLOADS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IntermediateResult",
+    "Operation",
+    "OperationKind",
+    "ParaConv",
+    "ParaConvResult",
+    "PimConfig",
+    "SpartaScheduler",
+    "SyntheticGraphGenerator",
+    "TaskGraph",
+    "WORKLOADS",
+    "load_workload",
+    "synthetic_benchmark",
+    "__version__",
+]

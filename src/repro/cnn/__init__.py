@@ -1,0 +1,49 @@
+"""CNN application model (paper Section 2.2) and workload registry.
+
+A CNN is a stack of convolutional, pooling and fully-connected layers;
+convolutions dominate (about 90% of operations). This package provides a
+small layer algebra with shape/work inference, a GoogLeNet (Inception v1)
+builder -- the network the paper's benchmarks derive from -- and the
+partitioner that lowers a network into the periodic task-graph form that
+Para-CONV schedules.
+"""
+
+from repro.cnn.layers import (
+    AvgPool2D,
+    Concat,
+    Conv2D,
+    Flatten,
+    FullyConnected,
+    InputLayer,
+    Layer,
+    LayerError,
+    LocalResponseNorm,
+    MaxPool2D,
+    TensorShape,
+)
+from repro.cnn.network import Network, NetworkError
+from repro.cnn.googlenet import build_googlenet, inception_module
+from repro.cnn.partition import PartitionConfig, partition_network
+from repro.cnn.workloads import WORKLOADS, load_workload
+
+__all__ = [
+    "AvgPool2D",
+    "Concat",
+    "Conv2D",
+    "Flatten",
+    "FullyConnected",
+    "InputLayer",
+    "Layer",
+    "LayerError",
+    "LocalResponseNorm",
+    "MaxPool2D",
+    "Network",
+    "NetworkError",
+    "PartitionConfig",
+    "TensorShape",
+    "WORKLOADS",
+    "build_googlenet",
+    "inception_module",
+    "load_workload",
+    "partition_network",
+]

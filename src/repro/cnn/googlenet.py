@@ -1,0 +1,124 @@
+"""GoogLeNet (Inception v1) builder -- the paper's benchmark source [16].
+
+The structure follows Szegedy et al., "Going deeper with convolutions"
+(CVPR'15), Table 1: a 224x224x3 input, the conv/pool stem, nine inception
+modules (3a-3b, 4a-4e, 5a-5b) separated by max-pooling, global average
+pooling and a 1000-way classifier. Auxiliary classifiers are omitted (they
+are training-only).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cnn.layers import (
+    AvgPool2D,
+    Concat,
+    Conv2D,
+    Flatten,
+    FullyConnected,
+    InputLayer,
+    LocalResponseNorm,
+    MaxPool2D,
+    TensorShape,
+)
+from repro.cnn.network import Network
+
+#: (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj) filter counts per
+#: inception module, from Szegedy et al. Table 1.
+INCEPTION_PARAMS: dict = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def inception_module(
+    net: Network,
+    tag: str,
+    source: str,
+    params: Tuple[int, int, int, int, int, int],
+) -> str:
+    """Append one inception module; returns the concat layer's name.
+
+    Four parallel branches over the same input -- 1x1, 1x1->3x3, 1x1->5x5
+    and 3x3 maxpool -> 1x1 projection -- concatenated channel-wise. This
+    branch-and-merge shape is exactly the "deterministic convolutional
+    connection" structure Para-CONV exploits.
+    """
+    n1, n3r, n3, n5r, n5, proj = params
+    b1 = net.add(f"inc{tag}/1x1", Conv2D(n1, 1), [source])
+    r3 = net.add(f"inc{tag}/3x3_reduce", Conv2D(n3r, 1), [source])
+    b3 = net.add(f"inc{tag}/3x3", Conv2D(n3, 3, padding=1), [r3])
+    r5 = net.add(f"inc{tag}/5x5_reduce", Conv2D(n5r, 1), [source])
+    b5 = net.add(f"inc{tag}/5x5", Conv2D(n5, 5, padding=2), [r5])
+    pool = net.add(
+        f"inc{tag}/pool", MaxPool2D(3, stride=1, padding=1), [source]
+    )
+    bp = net.add(f"inc{tag}/pool_proj", Conv2D(proj, 1), [pool])
+    return net.add(f"inc{tag}/concat", Concat(), [b1, b3, b5, bp])
+
+
+def build_googlenet(input_size: int = 224) -> Network:
+    """Construct the full inference-time GoogLeNet."""
+    net = Network(name="googlenet")
+    x = net.add("input", InputLayer(TensorShape(3, input_size, input_size)))
+    x = net.add("conv1/7x7_s2", Conv2D(64, 7, stride=2, padding=3), [x])
+    x = net.add("pool1/3x3_s2", MaxPool2D(3, stride=2, padding=1), [x])
+    x = net.add("pool1/norm1", LocalResponseNorm(), [x])
+    x = net.add("conv2/3x3_reduce", Conv2D(64, 1), [x])
+    x = net.add("conv2/3x3", Conv2D(192, 3, padding=1), [x])
+    x = net.add("conv2/norm2", LocalResponseNorm(), [x])
+    x = net.add("pool2/3x3_s2", MaxPool2D(3, stride=2, padding=1), [x])
+
+    x = inception_module(net, "3a", x, INCEPTION_PARAMS["3a"])
+    x = inception_module(net, "3b", x, INCEPTION_PARAMS["3b"])
+    x = net.add("pool3/3x3_s2", MaxPool2D(3, stride=2, padding=1), [x])
+
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        x = inception_module(net, tag, x, INCEPTION_PARAMS[tag])
+    x = net.add("pool4/3x3_s2", MaxPool2D(3, stride=2, padding=1), [x])
+
+    for tag in ("5a", "5b"):
+        x = inception_module(net, tag, x, INCEPTION_PARAMS[tag])
+    x = net.add("pool5/7x7_s1", AvgPool2D(7), [x])
+    x = net.add("flatten", Flatten(), [x])
+    net.add("loss3/classifier", FullyConnected(1000), [x])
+    return net
+
+
+def googlenet_prefix(num_inception: int) -> Network:
+    """A truncated GoogLeNet keeping the stem plus the first modules.
+
+    Small prefixes give CNN-derived task graphs of controllable size for
+    experiments and examples (the paper's small benchmarks are exactly
+    sub-application graphs of this flavor).
+    """
+    if not 0 <= num_inception <= len(INCEPTION_PARAMS):
+        raise ValueError(
+            f"num_inception must be in [0, {len(INCEPTION_PARAMS)}]"
+        )
+    net = Network(name=f"googlenet-prefix-{num_inception}")
+    x = net.add("input", InputLayer(TensorShape(3, 224, 224)))
+    x = net.add("conv1/7x7_s2", Conv2D(64, 7, stride=2, padding=3), [x])
+    x = net.add("pool1/3x3_s2", MaxPool2D(3, stride=2, padding=1), [x])
+    x = net.add("conv2/3x3_reduce", Conv2D(64, 1), [x])
+    x = net.add("conv2/3x3", Conv2D(192, 3, padding=1), [x])
+    x = net.add("pool2/3x3_s2", MaxPool2D(3, stride=2, padding=1), [x])
+    tags: List[str] = list(INCEPTION_PARAMS)[:num_inception]
+    pool_after = {"3b": "pool3", "4e": "pool4"}
+    for tag in tags:
+        x = inception_module(net, tag, x, INCEPTION_PARAMS[tag])
+        if tag in pool_after:
+            x = net.add(
+                f"{pool_after[tag]}/3x3_s2",
+                MaxPool2D(3, stride=2, padding=1),
+                [x],
+            )
+    return net

@@ -1,0 +1,268 @@
+"""CNN layer algebra with shape and work inference.
+
+Each layer maps input tensor shapes to an output shape and reports its
+computational work (multiply-accumulates), weight footprint and output
+footprint. The partitioner uses these numbers to derive task execution
+times and intermediate-result sizes; no actual tensor arithmetic runs here
+(Para-CONV schedules the dataflow, it does not compute inferences).
+
+Shapes are channels-first ``(channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class LayerError(ValueError):
+    """Raised for inconsistent layer parameters or shape mismatches."""
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """A 3D feature-map shape: channels x height x width."""
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if min(self.channels, self.height, self.width) < 1:
+            raise LayerError(f"non-positive tensor shape {self}")
+
+    @property
+    def elements(self) -> int:
+        return self.channels * self.height * self.width
+
+    def bytes(self, element_bytes: int = 2) -> int:
+        """Footprint, defaulting to 16-bit fixed point (Neurocube-style)."""
+        return self.elements * element_bytes
+
+    def __str__(self) -> str:
+        return f"{self.channels}x{self.height}x{self.width}"
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise LayerError(
+            f"kernel {kernel}/stride {stride}/padding {padding} collapses a "
+            f"dimension of size {size}"
+        )
+    return out
+
+
+class Layer:
+    """Base class: shape inference plus work/footprint accounting."""
+
+    #: how many input tensors the layer takes (-1 for variadic).
+    arity: int = 1
+
+    def output_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        raise NotImplementedError
+
+    def macs(self, inputs: Sequence[TensorShape]) -> int:
+        """Multiply-accumulate count for one inference."""
+        raise NotImplementedError
+
+    def weight_bytes(self, inputs: Sequence[TensorShape],
+                     element_bytes: int = 2) -> int:
+        """Filter/weight storage footprint."""
+        return 0
+
+    def check_arity(self, inputs: Sequence[TensorShape]) -> None:
+        if self.arity >= 0 and len(inputs) != self.arity:
+            raise LayerError(
+                f"{type(self).__name__} expects {self.arity} input(s), "
+                f"got {len(inputs)}"
+            )
+        if self.arity < 0 and not inputs:
+            raise LayerError(f"{type(self).__name__} needs at least one input")
+
+    @property
+    def is_compute(self) -> bool:
+        """Whether the layer becomes a task-graph operation when partitioned."""
+        return True
+
+
+@dataclass(frozen=True)
+class InputLayer(Layer):
+    """Graph source carrying the network's input shape."""
+
+    shape: TensorShape
+    arity: int = 0
+
+    def output_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        return self.shape
+
+    def macs(self, inputs: Sequence[TensorShape]) -> int:
+        return 0
+
+    @property
+    def is_compute(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    """2D convolution: ``out_channels`` filters of ``kernel x kernel``."""
+
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.out_channels < 1 or self.kernel < 1 or self.stride < 1:
+            raise LayerError(f"bad convolution parameters {self}")
+        if self.padding < 0:
+            raise LayerError("padding must be >= 0")
+
+    def output_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        src = inputs[0]
+        return TensorShape(
+            self.out_channels,
+            _conv_out(src.height, self.kernel, self.stride, self.padding),
+            _conv_out(src.width, self.kernel, self.stride, self.padding),
+        )
+
+    def macs(self, inputs: Sequence[TensorShape]) -> int:
+        src = inputs[0]
+        out = self.output_shape(inputs)
+        return out.elements * src.channels * self.kernel * self.kernel
+
+    def weight_bytes(self, inputs: Sequence[TensorShape],
+                     element_bytes: int = 2) -> int:
+        src = inputs[0]
+        return (
+            self.out_channels * src.channels * self.kernel * self.kernel
+            * element_bytes
+        )
+
+
+@dataclass(frozen=True)
+class _Pool2D(Layer):
+    """Shared pooling geometry; subclasses fix the reduction operator."""
+
+    kernel: int
+    stride: int = 0  # 0 means stride == kernel
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kernel < 1:
+            raise LayerError("pool kernel must be >= 1")
+        if self.stride < 0 or self.padding < 0:
+            raise LayerError("pool stride/padding must be >= 0")
+
+    @property
+    def effective_stride(self) -> int:
+        return self.stride or self.kernel
+
+    def output_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        src = inputs[0]
+        return TensorShape(
+            src.channels,
+            _conv_out(src.height, self.kernel, self.effective_stride, self.padding),
+            _conv_out(src.width, self.kernel, self.effective_stride, self.padding),
+        )
+
+    def macs(self, inputs: Sequence[TensorShape]) -> int:
+        # One comparison/add per pooled element: cheap relative to conv.
+        out = self.output_shape(inputs)
+        return out.elements * self.kernel * self.kernel
+
+
+@dataclass(frozen=True)
+class MaxPool2D(_Pool2D):
+    """Maximum pooling."""
+
+
+@dataclass(frozen=True)
+class AvgPool2D(_Pool2D):
+    """Average pooling."""
+
+
+@dataclass(frozen=True)
+class LocalResponseNorm(Layer):
+    """Local response normalization (shape-preserving, light work)."""
+
+    size: int = 5
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise LayerError("LRN size must be >= 1")
+
+    def output_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        return inputs[0]
+
+    def macs(self, inputs: Sequence[TensorShape]) -> int:
+        return inputs[0].elements * self.size
+
+
+@dataclass(frozen=True)
+class Concat(Layer):
+    """Channel-wise concatenation (inception branch merge)."""
+
+    arity: int = -1
+
+    def output_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        first = inputs[0]
+        for shape in inputs[1:]:
+            if (shape.height, shape.width) != (first.height, first.width):
+                raise LayerError(
+                    f"concat spatial mismatch: {shape} vs {first}"
+                )
+        return TensorShape(
+            sum(s.channels for s in inputs), first.height, first.width
+        )
+
+    def macs(self, inputs: Sequence[TensorShape]) -> int:
+        return 0
+
+    @property
+    def is_compute(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Flatten(Layer):
+    """Collapse a feature map to a vector (1 x 1 x elements)."""
+
+    def output_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        return TensorShape(inputs[0].elements, 1, 1)
+
+    def macs(self, inputs: Sequence[TensorShape]) -> int:
+        return 0
+
+    @property
+    def is_compute(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class FullyConnected(Layer):
+    """Inner product layer -- "a special kind of convolutional layer"."""
+
+    out_features: int
+
+    def __post_init__(self) -> None:
+        if self.out_features < 1:
+            raise LayerError("out_features must be >= 1")
+
+    def output_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        self.check_arity(inputs)
+        return TensorShape(self.out_features, 1, 1)
+
+    def macs(self, inputs: Sequence[TensorShape]) -> int:
+        return inputs[0].elements * self.out_features
+
+    def weight_bytes(self, inputs: Sequence[TensorShape],
+                     element_bytes: int = 2) -> int:
+        return inputs[0].elements * self.out_features * element_bytes

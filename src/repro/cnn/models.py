@@ -1,0 +1,99 @@
+"""Additional classic CNN builders beyond GoogLeNet.
+
+The paper's framework is network-agnostic; these builders give users (and
+our experiments) structurally different dataflows to schedule:
+
+* :func:`build_lenet5` -- the tiny sequential pioneer (LeCun et al.); a
+  nearly pure pipeline, the worst case for intra-iteration parallelism and
+  therefore the best showcase for retiming.
+* :func:`build_alexnet` -- the 2012 ImageNet winner; wide convolutions,
+  heavy fully-connected tail.
+* :func:`build_vgg16` -- deep homogeneous 3x3 stacks; large uniform
+  per-layer work, dominated by convolution as the paper assumes.
+
+All are inference-time graphs (no dropout / training heads).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cnn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Flatten,
+    FullyConnected,
+    InputLayer,
+    LocalResponseNorm,
+    MaxPool2D,
+    TensorShape,
+)
+from repro.cnn.network import Network
+
+
+def build_lenet5() -> Network:
+    """LeNet-5 on 32x32 grayscale input (LeCun et al., 1998 geometry)."""
+    net = Network(name="lenet5")
+    x = net.add("input", InputLayer(TensorShape(1, 32, 32)))
+    x = net.add("c1", Conv2D(6, 5), [x])            # 6 x 28 x 28
+    x = net.add("s2", AvgPool2D(2), [x])            # 6 x 14 x 14
+    x = net.add("c3", Conv2D(16, 5), [x])           # 16 x 10 x 10
+    x = net.add("s4", AvgPool2D(2), [x])            # 16 x 5 x 5
+    x = net.add("c5", Conv2D(120, 5), [x])          # 120 x 1 x 1
+    x = net.add("flatten", Flatten(), [x])
+    x = net.add("f6", FullyConnected(84), [x])
+    net.add("output", FullyConnected(10), [x])
+    return net
+
+
+def build_alexnet(num_classes: int = 1000) -> Network:
+    """AlexNet (single-tower inference variant, Krizhevsky et al. 2012)."""
+    net = Network(name="alexnet")
+    x = net.add("input", InputLayer(TensorShape(3, 227, 227)))
+    x = net.add("conv1", Conv2D(96, 11, stride=4), [x])        # 96 x 55 x 55
+    x = net.add("norm1", LocalResponseNorm(), [x])
+    x = net.add("pool1", MaxPool2D(3, stride=2), [x])          # 96 x 27 x 27
+    x = net.add("conv2", Conv2D(256, 5, padding=2), [x])       # 256 x 27 x 27
+    x = net.add("norm2", LocalResponseNorm(), [x])
+    x = net.add("pool2", MaxPool2D(3, stride=2), [x])          # 256 x 13 x 13
+    x = net.add("conv3", Conv2D(384, 3, padding=1), [x])
+    x = net.add("conv4", Conv2D(384, 3, padding=1), [x])
+    x = net.add("conv5", Conv2D(256, 3, padding=1), [x])
+    x = net.add("pool5", MaxPool2D(3, stride=2), [x])          # 256 x 6 x 6
+    x = net.add("flatten", Flatten(), [x])
+    x = net.add("fc6", FullyConnected(4096), [x])
+    x = net.add("fc7", FullyConnected(4096), [x])
+    net.add("fc8", FullyConnected(num_classes), [x])
+    return net
+
+
+#: VGG-16 configuration "D": (block, out_channels, conv count).
+_VGG16_BLOCKS: Sequence = (
+    (1, 64, 2), (2, 128, 2), (3, 256, 3), (4, 512, 3), (5, 512, 3)
+)
+
+
+def build_vgg16(num_classes: int = 1000) -> Network:
+    """VGG-16 (configuration D, Simonyan & Zisserman 2014)."""
+    net = Network(name="vgg16")
+    x = net.add("input", InputLayer(TensorShape(3, 224, 224)))
+    for block, channels, count in _VGG16_BLOCKS:
+        for index in range(1, count + 1):
+            x = net.add(
+                f"conv{block}_{index}", Conv2D(channels, 3, padding=1), [x]
+            )
+        x = net.add(f"pool{block}", MaxPool2D(2), [x])
+    x = net.add("flatten", Flatten(), [x])
+    x = net.add("fc6", FullyConnected(4096), [x])
+    x = net.add("fc7", FullyConnected(4096), [x])
+    net.add("fc8", FullyConnected(num_classes), [x])
+    return net
+
+
+#: All auxiliary model builders keyed by name (GoogLeNet lives in
+#: :mod:`repro.cnn.googlenet`).
+MODEL_BUILDERS = {
+    "lenet5": build_lenet5,
+    "alexnet": build_alexnet,
+    "vgg16": build_vgg16,
+}

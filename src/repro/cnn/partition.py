@@ -1,0 +1,157 @@
+"""Partition a CNN into the periodic task-graph form (paper Section 4.1).
+
+"These CNN applications are further partitioned based on the functionality
+(i.e., convolution, or pooling) to obtain CNN graphs." Each compute layer
+becomes one or more task-graph operations (large layers split into parallel
+channel groups -- the data-level parallelism Para-CONV exploits); the data
+flowing between layers becomes intermediate processing results.
+
+Quantization: execution times are MAC counts scaled to small integer time
+units, and intermediate-result sizes are clamped into the range the machine
+model expects (a whole feature map never sits in one PE's cache; what moves
+between operations are channel-group slices).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cnn.layers import Conv2D, FullyConnected, MaxPool2D, AvgPool2D
+from repro.cnn.network import Network, NetworkError
+from repro.graph.taskgraph import OperationKind, TaskGraph
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Partitioning knobs.
+
+    Attributes:
+        macs_per_task: target MAC count of one task; layers above it split
+            into channel groups.
+        max_splits: cap on how many tasks one layer may become.
+        macs_per_time_unit: scale from MACs to schedule time units.
+        max_execution_time: clamp on per-task execution time (keeps the
+            periodic model's time units coarse, as the paper's examples do).
+        min_ir_bytes / max_ir_bytes: clamp on intermediate-result sizes so
+            transfer times respect the Theorem 3.1 premise ``c_ij <= p``.
+    """
+
+    macs_per_task: int = 30_000_000
+    max_splits: int = 8
+    macs_per_time_unit: int = 12_000_000
+    max_execution_time: int = 4
+    min_ir_bytes: int = 256
+    max_ir_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.macs_per_task < 1 or self.macs_per_time_unit < 1:
+            raise NetworkError("MAC scales must be positive")
+        if self.max_splits < 1:
+            raise NetworkError("max_splits must be >= 1")
+        if self.max_execution_time < 1:
+            raise NetworkError("max_execution_time must be >= 1")
+        if not 0 < self.min_ir_bytes <= self.max_ir_bytes:
+            raise NetworkError("invalid intermediate-result size clamp")
+
+
+def _kind_of(layer) -> OperationKind:
+    if isinstance(layer, Conv2D):
+        return OperationKind.CONV
+    if isinstance(layer, (MaxPool2D, AvgPool2D)):
+        return OperationKind.POOL
+    if isinstance(layer, FullyConnected):
+        return OperationKind.FC
+    return OperationKind.GENERIC
+
+
+def partition_network(
+    network: Network, config: PartitionConfig = PartitionConfig()
+) -> TaskGraph:
+    """Lower ``network`` into a :class:`TaskGraph`.
+
+    Non-compute layers (inputs, concats, flattens) do not become tasks;
+    edges route through them, so an inception concat feeding a convolution
+    yields direct edges from every branch's tasks to the convolution's
+    tasks -- the fan-in the paper's graphs exhibit.
+    """
+    info = network.infer_shapes()
+
+    # Pass 1: create tasks for compute layers.
+    graph = TaskGraph(name=network.name)
+    next_id = 0
+    tasks_of: Dict[str, List[int]] = {}
+    for name in network.layer_names():
+        rec = info[name]
+        if not rec.layer.is_compute:
+            continue
+        splits = min(
+            config.max_splits,
+            max(1, math.ceil(rec.macs / config.macs_per_task)),
+        )
+        per_task_macs = rec.macs / splits if splits else 0
+        exec_time = min(
+            config.max_execution_time,
+            max(1, round(per_task_macs / config.macs_per_time_unit)),
+        )
+        ids = []
+        for part in range(splits):
+            suffix = f"#{part}" if splits > 1 else ""
+            graph.add_op(
+                next_id,
+                execution_time=exec_time,
+                name=f"{name}{suffix}",
+                kind=_kind_of(rec.layer),
+                work=int(per_task_macs),
+            )
+            ids.append(next_id)
+            next_id += 1
+        tasks_of[name] = ids
+
+    # Pass 2: resolve producers through pass-through layers.
+    def terminal_producers(name: str) -> List[Tuple[int, int]]:
+        """Task ids feeding out of ``name``, with their slice sizes."""
+        rec = info[name]
+        if rec.layer.is_compute:
+            ids = tasks_of[name]
+            slice_bytes = max(1, rec.output_bytes // len(ids))
+            return [(task_id, slice_bytes) for task_id in ids]
+        if not rec.inputs:  # an InputLayer: external data, no producer task
+            return []
+        producers: List[Tuple[int, int]] = []
+        for src in rec.inputs:
+            producers.extend(terminal_producers(src))
+        return producers
+
+    def clamp(size: int) -> int:
+        return max(config.min_ir_bytes, min(config.max_ir_bytes, size))
+
+    # Pass 3: connect producers to consumers.
+    for name in network.layer_names():
+        rec = info[name]
+        if not rec.layer.is_compute:
+            continue
+        producers: List[Tuple[int, int]] = []
+        for src in rec.inputs:
+            producers.extend(terminal_producers(src))
+        consumers = tasks_of[name]
+        pool_like = _kind_of(rec.layer) is OperationKind.POOL
+        for c_index, consumer in enumerate(consumers):
+            if pool_like and len(producers) >= len(consumers):
+                # Pooling is per-channel: each task reads its own slice(s).
+                chosen = [
+                    producers[p]
+                    for p in range(c_index, len(producers), len(consumers))
+                ]
+            else:
+                # Convolutions reduce over all input channels: full fan-in.
+                chosen = producers
+            for producer, slice_bytes in chosen:
+                if not graph.has_edge(producer, consumer):
+                    graph.connect(
+                        producer, consumer, size_bytes=clamp(slice_bytes)
+                    )
+
+    graph.validate()
+    return graph

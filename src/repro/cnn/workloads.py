@@ -1,0 +1,65 @@
+"""Workload registry: every benchmark the evaluation runs.
+
+The paper's twelve applications (Table 1) are regenerated as seeded
+synthetic graphs with the published vertex/edge counts; the CNN-derived
+entries additionally expose real GoogLeNet partitions for users who want
+structure that comes from an actual network rather than a generator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.cnn.googlenet import build_googlenet, googlenet_prefix
+from repro.cnn.models import MODEL_BUILDERS
+from repro.cnn.partition import PartitionConfig, partition_network
+from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
+from repro.graph.taskgraph import GraphValidationError, TaskGraph
+
+GraphBuilder = Callable[[], TaskGraph]
+
+
+def _googlenet_graph() -> TaskGraph:
+    return partition_network(build_googlenet(), PartitionConfig())
+
+
+def _googlenet_small_graph() -> TaskGraph:
+    return partition_network(googlenet_prefix(3), PartitionConfig())
+
+
+def _synthetic(name: str) -> GraphBuilder:
+    def build() -> TaskGraph:
+        return synthetic_benchmark(name)
+
+    return build
+
+
+def _model_graph(name: str) -> GraphBuilder:
+    def build() -> TaskGraph:
+        return partition_network(MODEL_BUILDERS[name](), PartitionConfig())
+
+    return build
+
+
+#: Every named workload; the first twelve are the paper's Table 1 rows.
+WORKLOADS: Dict[str, GraphBuilder] = {
+    **{name: _synthetic(name) for name in BENCHMARK_SIZES},
+    "googlenet": _googlenet_graph,
+    "googlenet-small": _googlenet_small_graph,
+    **{name: _model_graph(name) for name in MODEL_BUILDERS},
+}
+
+#: The paper's evaluation set, in Table 1 row order.
+PAPER_BENCHMARKS: List[str] = list(BENCHMARK_SIZES)
+
+
+def load_workload(name: str) -> TaskGraph:
+    """Build the named workload's task graph (deterministic per name)."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise GraphValidationError(
+            f"unknown workload {name!r}; known workloads: {known}"
+        ) from None
+    return builder()

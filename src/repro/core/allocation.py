@@ -1,0 +1,251 @@
+"""Optimal data allocation for convolutional connections (paper Section 3.3).
+
+The problem: given the analyzed intermediate results (each with a cache
+space requirement ``sp_m`` and a retiming-value reduction ``ΔR(m)`` earned
+by caching it) and the aggregate on-chip cache capacity ``S``, choose the
+subset to cache that maximizes the total profit ``Σ ΔR``.
+
+Following the paper:
+
+1. intermediate results are sorted by deadline ``d_m`` (``O(n log n)``
+   precomputation, Section 3.3.1);
+2. results with ``ΔR(m) = 0`` (cases 1, 4, 6) cannot shorten the prologue
+   and are sent to eDRAM up front, leaving the cache to the competing
+   results of cases 2, 3 and 5 (Section 3.2);
+3. the recursive formulation ``B[S, m]`` (Section 3.3.2) is evaluated
+   bottom-up -- a 0/1-knapsack table over (cache slots x results) -- and
+   the optimal subset is reconstructed from it (Section 3.3.3).
+
+Ablation allocators (greedy, random, all-eDRAM, capacity-oblivious oracle)
+share the same interface so experiments can swap them in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.retiming import EdgeTiming, RetimingError
+from repro.pim.memory import Placement
+
+EdgeKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AllocationItem:
+    """One cache-competing intermediate result, in DP order.
+
+    Attributes:
+        key: edge identifier ``(producer, consumer)``.
+        slots: space requirement ``sp_m`` in cache slots.
+        delta_r: profit ``ΔR(m)`` -- prologue iterations saved by caching.
+        deadline: sort key ``d_m``.
+    """
+
+    key: EdgeKey
+    slots: int
+    delta_r: int
+    deadline: int
+
+
+@dataclass
+class AllocationProblem:
+    """A deadline-sorted instance of the Section 3.3 allocation problem."""
+
+    items: List[AllocationItem]
+    capacity_slots: int
+    #: edges excluded from the DP because ``ΔR = 0`` (placed in eDRAM).
+    indifferent: List[EdgeKey] = field(default_factory=list)
+
+    @classmethod
+    def from_timings(
+        cls,
+        timings: Mapping[EdgeKey, EdgeTiming],
+        capacity_slots: int,
+    ) -> "AllocationProblem":
+        """Build the DP instance from the Section 3.2 edge analysis."""
+        if capacity_slots < 0:
+            raise RetimingError("capacity_slots must be >= 0")
+        items: List[AllocationItem] = []
+        indifferent: List[EdgeKey] = []
+        for key, timing in timings.items():
+            if timing.delta_r > 0:
+                items.append(
+                    AllocationItem(
+                        key=key,
+                        slots=timing.slots,
+                        delta_r=timing.delta_r,
+                        deadline=timing.deadline,
+                    )
+                )
+            else:
+                indifferent.append(key)
+        # Section 3.3.1: schedule (and therefore index) in increasing order
+        # of deadline; ties broken by key for determinism.
+        items.sort(key=lambda item: (item.deadline, item.key))
+        indifferent.sort()
+        return cls(items=items, capacity_slots=capacity_slots,
+                   indifferent=indifferent)
+
+    @property
+    def num_items(self) -> int:
+        return len(self.items)
+
+    def total_demand_slots(self) -> int:
+        return sum(item.slots for item in self.items)
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of one allocation strategy.
+
+    ``placements`` covers *every* edge the problem saw (competing and
+    indifferent); ``cached`` lists the edges put in on-chip cache;
+    ``total_delta_r`` is the achieved profit ``Σ ΔR`` over cached edges.
+    """
+
+    method: str
+    placements: Dict[EdgeKey, Placement]
+    cached: List[EdgeKey]
+    total_delta_r: int
+    slots_used: int
+    capacity_slots: int
+
+    @property
+    def num_cached(self) -> int:
+        return len(self.cached)
+
+    def cache_utilization(self) -> float:
+        if self.capacity_slots == 0:
+            return 0.0
+        return self.slots_used / self.capacity_slots
+
+
+def _finalize(
+    method: str,
+    problem: AllocationProblem,
+    chosen: Sequence[AllocationItem],
+) -> AllocationResult:
+    placements: Dict[EdgeKey, Placement] = {
+        key: Placement.EDRAM for key in problem.indifferent
+    }
+    chosen_keys = []
+    profit = 0
+    slots = 0
+    chosen_set = {item.key for item in chosen}
+    for item in problem.items:
+        if item.key in chosen_set:
+            placements[item.key] = Placement.CACHE
+            chosen_keys.append(item.key)
+            profit += item.delta_r
+            slots += item.slots
+        else:
+            placements[item.key] = Placement.EDRAM
+    return AllocationResult(
+        method=method,
+        placements=placements,
+        cached=chosen_keys,
+        total_delta_r=profit,
+        slots_used=slots,
+        capacity_slots=problem.capacity_slots,
+    )
+
+
+def dp_allocate(problem: AllocationProblem) -> AllocationResult:
+    """The paper's dynamic program ``B[S, m]`` (Sections 3.3.2-3.3.3).
+
+    ``B[s, m]`` is the maximum total profit achievable with the first ``m``
+    deadline-ordered results under capacity ``s``::
+
+        B[s, 0] = 0
+        B[s, m] = B[s, m-1]                       if sp_m > s
+        B[s, m] = max(B[s, m-1],
+                      B[s - sp_m, m-1] + ΔR(m))   otherwise
+
+    Each entry takes O(1), so the table costs ``O(n * S)`` time and space;
+    the optimal subset is reconstructed by walking the table backwards.
+    The result is profit-optimal for the capacity (standard 0/1-knapsack
+    optimality; the deadline order fixes tie-breaking as the paper
+    prescribes).
+    """
+    import numpy as np
+
+    capacity = problem.capacity_slots
+    items = problem.items
+    n = len(items)
+    # rows[m][s] = B[s, m]; row 0 is all zeros. Vectorized over s with
+    # numpy: each item's row is a shifted-and-offset max of the previous.
+    rows = np.zeros((n + 1, capacity + 1), dtype=np.int64)
+    for m, item in enumerate(items, start=1):
+        previous = rows[m - 1]
+        current = previous.copy()
+        weight, value = item.slots, item.delta_r
+        if weight <= capacity:
+            taken = previous[: capacity + 1 - weight] + value
+            np.maximum(current[weight:], taken, out=current[weight:])
+        rows[m] = current
+
+    # Reconstruction: item m was taken iff B[s, m] != B[s, m-1].
+    chosen: List[AllocationItem] = []
+    s = capacity
+    for m in range(n, 0, -1):
+        if rows[m][s] != rows[m - 1][s]:
+            item = items[m - 1]
+            chosen.append(item)
+            s -= item.slots
+    chosen.reverse()
+    return _finalize("dp", problem, chosen)
+
+
+def greedy_allocate(problem: AllocationProblem) -> AllocationResult:
+    """Density-greedy baseline: cache by descending ``ΔR / sp`` while it fits."""
+    order = sorted(
+        problem.items,
+        key=lambda item: (-item.delta_r / item.slots, item.slots, item.key),
+    )
+    chosen: List[AllocationItem] = []
+    free = problem.capacity_slots
+    for item in order:
+        if item.slots <= free:
+            chosen.append(item)
+            free -= item.slots
+    return _finalize("greedy", problem, chosen)
+
+
+def random_allocate(problem: AllocationProblem, seed: int = 0) -> AllocationResult:
+    """Random-order first-fit baseline (ablation floor)."""
+    rng = random.Random(seed)
+    order = list(problem.items)
+    rng.shuffle(order)
+    chosen: List[AllocationItem] = []
+    free = problem.capacity_slots
+    for item in order:
+        if item.slots <= free:
+            chosen.append(item)
+            free -= item.slots
+    return _finalize("random", problem, chosen)
+
+
+def all_edram_allocate(problem: AllocationProblem) -> AllocationResult:
+    """Everything in eDRAM: the no-cache floor."""
+    return _finalize("all-edram", problem, [])
+
+
+def oracle_allocate(problem: AllocationProblem) -> AllocationResult:
+    """Capacity-oblivious oracle: every profitable result cached.
+
+    Upper-bounds what any allocator can achieve; useful to measure how much
+    of the headroom the DP captures under the real capacity.
+    """
+    return _finalize("oracle", problem, list(problem.items))
+
+
+#: Registry used by the ablation experiments.
+ALLOCATORS = {
+    "dp": dp_allocate,
+    "greedy": greedy_allocate,
+    "random": random_allocate,
+    "all-edram": all_edram_allocate,
+    "oracle": oracle_allocate,
+}

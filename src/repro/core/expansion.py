@@ -1,0 +1,142 @@
+"""Analytic expansion of a periodic schedule into absolute instances.
+
+The executor (:mod:`repro.sim.executor`) *simulates* a schedule against
+stateful hardware; this module *computes* the same placement closed-form:
+instance ``l`` of operation ``i`` runs in round ``l + R_max - R(i)`` at its
+kernel offset. The expansion gives users a concrete, exportable timetable
+(prologue, steady state and epilogue included) and powers whole-run Gantt
+rendering and schedule export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.schedule import PeriodicSchedule, ScheduleError
+
+
+@dataclass(frozen=True)
+class ExpandedInstance:
+    """One operation instance placed in absolute time."""
+
+    op_id: int
+    iteration: int
+    round_index: int
+    pe: int
+    start: int
+    finish: int
+
+    @property
+    def in_prologue(self) -> bool:
+        """Whether this instance runs before the first full round."""
+        return self.round_index <= 0  # set by the expander (see below)
+
+
+@dataclass
+class ExpandedSchedule:
+    """A fully expanded run: N logical iterations plus prologue/epilogue."""
+
+    schedule: PeriodicSchedule
+    iterations: int
+    instances: List[ExpandedInstance]
+
+    @property
+    def makespan(self) -> int:
+        return max((inst.finish for inst in self.instances), default=0)
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds spanned: ``R_max`` prologue rounds + N + epilogue tail."""
+        return self.iterations + self.schedule.max_retiming
+
+    def instances_in_round(self, round_index: int) -> List[ExpandedInstance]:
+        return [i for i in self.instances if i.round_index == round_index]
+
+    def instance(self, op_id: int, iteration: int) -> ExpandedInstance:
+        for inst in self.instances:
+            if inst.op_id == op_id and inst.iteration == iteration:
+                return inst
+        raise ScheduleError(f"no instance V{op_id}^{iteration} in expansion")
+
+    def per_pe_timeline(self) -> Dict[int, List[ExpandedInstance]]:
+        """Instances grouped by PE, sorted by start time."""
+        timeline: Dict[int, List[ExpandedInstance]] = {}
+        for inst in self.instances:
+            timeline.setdefault(inst.pe, []).append(inst)
+        for instances in timeline.values():
+            instances.sort(key=lambda i: i.start)
+        return timeline
+
+
+def expand(schedule: PeriodicSchedule, iterations: int) -> ExpandedSchedule:
+    """Expand ``iterations`` logical iterations of a periodic schedule.
+
+    Rounds are numbered ``1 .. iterations + R_max``; rounds ``1 .. R_max``
+    are the (partial) prologue. Instance ``l`` of operation ``i`` lands in
+    round ``l + R_max - R(i)``.
+    """
+    if iterations < 1:
+        raise ScheduleError("iterations must be >= 1")
+    period = schedule.period
+    r_max = schedule.max_retiming
+    instances: List[ExpandedInstance] = []
+    for op in schedule.graph.operations():
+        retime = schedule.retiming[op.op_id]
+        placement = schedule.kernel.placement(op.op_id)
+        for iteration in range(1, iterations + 1):
+            round_index = iteration + r_max - retime
+            base = (round_index - 1) * period
+            instances.append(
+                ExpandedInstance(
+                    op_id=op.op_id,
+                    iteration=iteration,
+                    round_index=round_index,
+                    pe=placement.pe,
+                    start=base + placement.start,
+                    finish=base + placement.finish,
+                )
+            )
+    instances.sort(key=lambda i: (i.start, i.pe, i.op_id))
+    return ExpandedSchedule(
+        schedule=schedule, iterations=iterations, instances=instances
+    )
+
+
+def verify_expansion(expanded: ExpandedSchedule) -> None:
+    """Cross-check an expansion against the schedule semantics.
+
+    * no two instances overlap on one PE;
+    * every dependency (same logical iteration across each edge) is met
+      with its transfer latency.
+
+    Raises :class:`ScheduleError` on the first violation. This is the
+    closed-form twin of the executor's runtime checks.
+    """
+    schedule = expanded.schedule
+    per_pe = expanded.per_pe_timeline()
+    for pe, instances in per_pe.items():
+        for left, right in zip(instances, instances[1:]):
+            if right.start < left.finish:
+                raise ScheduleError(
+                    f"PE {pe}: V{left.op_id}^{left.iteration} overlaps "
+                    f"V{right.op_id}^{right.iteration}"
+                )
+    finish: Dict[Tuple[int, int], int] = {
+        (inst.op_id, inst.iteration): inst.finish
+        for inst in expanded.instances
+    }
+    start: Dict[Tuple[int, int], int] = {
+        (inst.op_id, inst.iteration): inst.start
+        for inst in expanded.instances
+    }
+    for edge in schedule.graph.edges():
+        transfer = schedule.transfer_times[edge.key]
+        for iteration in range(1, expanded.iterations + 1):
+            produced = finish[(edge.producer, iteration)] + transfer
+            consumed = start[(edge.consumer, iteration)]
+            if produced > consumed:
+                raise ScheduleError(
+                    f"edge {edge.key} iteration {iteration}: data at "
+                    f"{produced}, consumer starts at {consumed}"
+                )

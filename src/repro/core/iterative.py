@@ -1,0 +1,135 @@
+"""Critical-path-aware iterative allocation (extension, not in the paper).
+
+The paper's dynamic program maximizes the *sum* of per-edge retiming
+reductions ``Σ ΔR`` under the cache capacity. That objective is a proxy:
+the prologue is ``R_max * p``, and ``R_max`` is the longest δ-weighted path
+through the graph, so caching edges *off* the critical path buys nothing.
+(This is the soundness gap in the paper's optimality claim: a knapsack
+over per-edge profits does not, in general, minimize the maximum path
+weight.)
+
+:func:`iterative_allocate` targets ``R_max`` directly:
+
+1. compute the current δ-weighted longest path (with every undecided edge
+   priced at its eDRAM delta),
+2. move the cheapest not-yet-cached positive-``ΔR`` edge on that path into
+   the cache (if it fits),
+3. repeat until the critical path contains no improvable edge or the
+   capacity is exhausted.
+
+The ablation experiment compares it against the paper's DP; it never
+produces a larger ``R_max`` for the same capacity, and often a smaller
+one when capacity is scarce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.allocation import (
+    ALLOCATORS,
+    AllocationItem,
+    AllocationProblem,
+    AllocationResult,
+    _finalize,
+)
+from repro.core.retiming import EdgeTiming
+from repro.graph.taskgraph import TaskGraph
+
+EdgeKey = Tuple[int, int]
+
+
+def _longest_path_edges(
+    graph: TaskGraph, deltas: Mapping[EdgeKey, int]
+) -> Tuple[int, List[EdgeKey]]:
+    """Max δ-weighted path value (``R_max``) and one path achieving it."""
+    best: Dict[int, int] = {}
+    best_edge: Dict[int, Optional[EdgeKey]] = {}
+    order = graph.topological_order()
+    for op_id in reversed(order):
+        best[op_id] = 0
+        best_edge[op_id] = None
+        for edge in graph.out_edges(op_id):
+            value = best[edge.consumer] + deltas[edge.key]
+            if value > best[op_id]:
+                best[op_id] = value
+                best_edge[op_id] = edge.key
+    if not best:
+        return 0, []
+    start = max(best, key=lambda i: (best[i], -i))
+    r_max = best[start]
+    path: List[EdgeKey] = []
+    node = start
+    while best_edge[node] is not None:
+        key = best_edge[node]
+        path.append(key)
+        node = key[1]
+    return r_max, path
+
+
+class IterativeAllocator:
+    """Callable allocator with access to the graph's path structure.
+
+    Unlike the knapsack allocators, minimizing ``R_max`` needs the graph
+    topology, so this allocator is constructed per run by the pipeline
+    (see :meth:`ParaConv.run` with ``allocator_name="iterative"`` -- the
+    registry entry is a factory resolved by the pipeline with the current
+    graph and timings).
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        timings: Mapping[EdgeKey, EdgeTiming],
+        max_rounds: int = 100_000,
+    ):
+        self.graph = graph
+        self.timings = timings
+        self.max_rounds = max_rounds
+
+    def __call__(self, problem: AllocationProblem) -> AllocationResult:
+        capacity = problem.capacity_slots
+        items_by_key: Dict[EdgeKey, AllocationItem] = {
+            item.key: item for item in problem.items
+        }
+        cached: Set[EdgeKey] = set()
+        free = capacity
+        deltas: Dict[EdgeKey, int] = {
+            key: timing.delta_edram for key, timing in self.timings.items()
+        }
+
+        for _round in range(self.max_rounds):
+            _r_max, path = _longest_path_edges(self.graph, deltas)
+            # Improvable edges on the critical path: positive ΔR, not yet
+            # cached, and small enough to fit the remaining capacity.
+            candidates = [
+                items_by_key[key]
+                for key in path
+                if key in items_by_key and key not in cached
+                and items_by_key[key].slots <= free
+            ]
+            if not candidates:
+                break
+            # Cheapest slot cost first: spend capacity where it is dense.
+            pick = min(candidates, key=lambda item: (item.slots, item.key))
+            cached.add(pick.key)
+            free -= pick.slots
+            deltas[pick.key] = self.timings[pick.key].delta_cache
+        else:
+            raise RuntimeError("iterative allocator did not converge")
+
+        chosen = [item for item in problem.items if item.key in cached]
+        result = _finalize("iterative", problem, chosen)
+        return result
+
+
+def register_iterative() -> None:
+    """Expose the factory under the "iterative" registry name.
+
+    The pipeline special-cases factories that need (graph, timings); the
+    registry stores the class itself as a marker.
+    """
+    ALLOCATORS.setdefault("iterative", IterativeAllocator)
+
+
+register_iterative()

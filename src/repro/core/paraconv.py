@@ -1,0 +1,278 @@
+"""The Para-CONV pipeline (paper Section 3).
+
+End-to-end flow, mirroring Section 3.3.3's construction:
+
+1. pick the PE group width: when the array is wider than one iteration's
+   useful parallelism, whole iterations are replicated across groups (the
+   motivational example runs two iterations on two PE pairs);
+2. build the *objective schedule* -- the compacted steady-state kernel on a
+   group (known a-priori, load-balance bound);
+3. analyze every intermediate result's required retiming under cache and
+   eDRAM placement (Section 3.2), deriving ``ΔR(m)``;
+4. send placement-indifferent results (``ΔR = 0``) to eDRAM;
+5. run the dynamic program ``B[S, m]`` over the competing results and
+   reconstruct the optimal cache allocation (capacity shared across the
+   concurrently executing groups);
+6. propagate the per-edge retiming requirements into the minimal legal
+   vertex retiming, yielding ``R_max``, the prologue and the full periodic
+   schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.allocation import (
+    ALLOCATORS,
+    AllocationProblem,
+    AllocationResult,
+    dp_allocate,
+)
+from repro.core.cases import RetimingCase, case_census
+from repro.core.retiming import analyze_edges, solve_retiming
+from repro.core.schedule import (
+    PeriodicSchedule,
+    ScheduleError,
+    validate_kernel,
+    validate_periodic_schedule,
+)
+from repro.core.scheduler import (
+    candidate_group_widths,
+    compact_kernel_schedule,
+    load_balance_bound,
+)
+from repro.graph.taskgraph import TaskGraph
+from repro.pim.config import PimConfig
+from repro.pim.memory import Placement
+
+Allocator = Callable[[AllocationProblem], AllocationResult]
+
+
+@dataclass
+class ParaConvResult:
+    """Everything Para-CONV produces for one (graph, machine) pair.
+
+    ``group_width`` PEs execute one iteration's kernel; ``num_groups``
+    such groups run interleaved iterations concurrently, sharing the
+    aggregate on-chip cache equally.
+    """
+
+    graph: TaskGraph
+    config: PimConfig
+    schedule: PeriodicSchedule
+    allocation: AllocationResult
+    case_histogram: Dict[RetimingCase, int]
+    group_width: int
+    num_groups: int
+
+    # ------------------------------------------------------------------
+    # paper metrics
+    # ------------------------------------------------------------------
+    @property
+    def period(self) -> int:
+        """Steady-state execution time of each iteration (Figure 5)."""
+        return self.schedule.period
+
+    @property
+    def max_retiming(self) -> int:
+        """``R_max`` (Table 2)."""
+        return self.schedule.max_retiming
+
+    @property
+    def prologue_time(self) -> int:
+        """``R_max * p`` (Section 3.2)."""
+        return self.schedule.prologue_time
+
+    @property
+    def num_cached(self) -> int:
+        """IRs in on-chip cache per group (the DP's selection)."""
+        return self.allocation.num_cached
+
+    @property
+    def num_cached_total(self) -> int:
+        """IRs resident in cache across the whole array (Figure 6)."""
+        return self.allocation.num_cached * self.num_groups
+
+    def total_time(self, iterations: Optional[int] = None) -> int:
+        """Prologue + N iterations spread over the groups (Table 1)."""
+        n = self.config.iterations if iterations is None else iterations
+        if n < 1:
+            raise ScheduleError("iterations must be >= 1")
+        return self.prologue_time + math.ceil(n / self.num_groups) * self.period
+
+    def offchip_bytes_per_iteration(self) -> int:
+        """Bytes fetched from eDRAM each iteration (the minimized penalty)."""
+        return sum(
+            edge.size_bytes
+            for edge in self.graph.edges()
+            if self.schedule.placements[edge.key] is Placement.EDRAM
+        )
+
+    def throughput(self, iterations: Optional[int] = None) -> float:
+        """Iterations completed per time unit over the whole run."""
+        n = self.config.iterations if iterations is None else iterations
+        return n / self.total_time(n)
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph report."""
+        lines = [
+            f"Para-CONV on {self.graph.name!r} ({self.graph.num_vertices} ops, "
+            f"{self.graph.num_edges} intermediate results)",
+            f"  machine        : {self.config.describe()}",
+            f"  groups         : {self.num_groups} x {self.group_width} PEs",
+            f"  period p       : {self.period} time units "
+            f"(load-balance bound "
+            f"{load_balance_bound(self.graph, self.group_width)})",
+            f"  R_max          : {self.max_retiming} "
+            f"(prologue {self.prologue_time} units)",
+            f"  cached IRs     : {self.num_cached}/{self.graph.num_edges} "
+            f"per group ({self.allocation.slots_used}/"
+            f"{self.allocation.capacity_slots} slots)",
+            f"  total time     : {self.total_time()} units for "
+            f"{self.config.iterations} iterations",
+            f"  off-chip/iter  : {self.offchip_bytes_per_iteration()} bytes",
+        ]
+        return "\n".join(lines)
+
+
+class ParaConv:
+    """Task-level data allocation framework for convolutional connections.
+
+    Args:
+        config: machine description (PE count, cache capacity, eDRAM ratio).
+        allocator: cache-allocation strategy; the paper's dynamic program by
+            default, swappable for the ablation baselines in
+            :mod:`repro.core.allocation` (or by registry name).
+        kernel_order: packing order of the compacted kernel
+            ("topological" or "lpt"; ablation knob).
+        liveness_aware: weight each cache candidate by its concurrent
+            live-instance count (delta_cache + 1) so steady-state peak
+            occupancy respects the capacity -- fixes the transient-spill
+            gap in the paper's accounting (see repro.core.liveness).
+        validate: run the full semantic validator on the produced schedule
+            (cheap; disable only in tight parameter sweeps).
+    """
+
+    def __init__(
+        self,
+        config: PimConfig,
+        allocator: Optional[Allocator] = None,
+        allocator_name: Optional[str] = None,
+        kernel_order: str = "topological",
+        liveness_aware: bool = False,
+        validate: bool = True,
+    ):
+        if allocator is not None and allocator_name is not None:
+            raise ValueError("pass either allocator or allocator_name, not both")
+        if allocator_name is not None:
+            try:
+                allocator = ALLOCATORS[allocator_name]
+            except KeyError:
+                known = ", ".join(sorted(ALLOCATORS))
+                raise ValueError(
+                    f"unknown allocator {allocator_name!r}; known: {known}"
+                ) from None
+        self.config = config
+        self.allocator: Allocator = allocator or dp_allocate
+        self.kernel_order = kernel_order
+        self.liveness_aware = liveness_aware
+        self.validate = validate
+
+    def run(self, graph: TaskGraph) -> ParaConvResult:
+        """Execute the full pipeline, maximizing application throughput.
+
+        The paper's objective is "the maximum application throughput while
+        minimizing the overall off-chip fetching": the pipeline is
+        evaluated at every candidate PE-group width (one iteration per
+        group, iterations replicated across groups) and the assignment
+        with the smallest total execution time over the configured
+        iteration count wins; ties prefer wider groups (lower latency and
+        shorter prologue).
+        """
+        graph.validate()
+        best: Optional[ParaConvResult] = None
+        for width in candidate_group_widths(self.config.num_pes):
+            result = self.run_at_width(graph, width)
+            if best is None or result.total_time() < best.total_time():
+                best = result
+        assert best is not None
+        return best
+
+    def run_at_width(self, graph: TaskGraph, width: int) -> ParaConvResult:
+        """Execute the pipeline with a fixed PE-group width."""
+        graph.validate()
+        config = self.config
+        if not 1 <= width <= config.num_pes:
+            raise ScheduleError(
+                f"group width {width} outside [1, {config.num_pes}]"
+            )
+        num_groups = max(1, config.num_pes // width)
+
+        # Step 2: objective schedule (compacted kernel, Figure 3(b)).
+        kernel = compact_kernel_schedule(graph, width, order=self.kernel_order)
+        if self.validate:
+            validate_kernel(graph, kernel, width)
+
+        # Step 3: extra-data-movement analysis (Section 3.2).
+        timings = analyze_edges(graph, kernel, config)
+
+        # Steps 4-5: zero-ΔR pre-pass + dynamic programming (Section 3.3).
+        # Concurrent groups split the aggregate cache evenly.
+        capacity = config.total_cache_slots // num_groups
+        allocator = self.allocator
+        if isinstance(allocator, type):
+            # Factory allocators (e.g. the iterative extension) need the
+            # graph topology and the edge analysis; instantiate per run.
+            allocator = allocator(graph, timings)
+
+        def solve(problem):
+            allocation = allocator(problem)
+            deltas = {
+                key: timing.delta_for(allocation.placements[key])
+                for key, timing in timings.items()
+            }
+            return allocation, solve_retiming(graph, deltas)
+
+        allocation, solution = solve(
+            AllocationProblem.from_timings(timings, capacity)
+        )
+        if self.liveness_aware:
+            # Second pass: reweight each candidate by its *realized*
+            # live-instance count (R(i) - R(j) + 1 from the first pass) so
+            # steady-state peak occupancy respects the capacity.
+            from repro.core.liveness import liveness_weighted_problem
+
+            realized = {
+                edge.key: solution.vertex_retiming[edge.producer]
+                - solution.vertex_retiming[edge.consumer]
+                for edge in graph.edges()
+            }
+            allocation, solution = solve(
+                liveness_weighted_problem(timings, capacity, realized)
+            )
+        transfer_times = {
+            key: timing.transfer_for(allocation.placements[key])
+            for key, timing in timings.items()
+        }
+        schedule = PeriodicSchedule(
+            graph=graph,
+            kernel=kernel,
+            retiming=solution.vertex_retiming,
+            edge_retiming=solution.edge_retiming,
+            placements=dict(allocation.placements),
+            transfer_times=transfer_times,
+        )
+        if self.validate:
+            validate_periodic_schedule(schedule)
+
+        return ParaConvResult(
+            graph=graph,
+            config=config,
+            schedule=schedule,
+            allocation=allocation,
+            case_histogram=case_census(timings),
+            group_width=width,
+            num_groups=num_groups,
+        )

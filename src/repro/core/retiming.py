@@ -1,0 +1,216 @@
+"""Retiming of convolutional connections (paper Sections 2.3 and 3.2).
+
+Retiming ``R`` maps each vertex to the number of its iterations re-allocated
+into the prologue (Definition 3.1). After retiming, the dependency carried
+by edge ``(i, j)`` crosses ``delta(i, j) = R(i) - R(j)`` iteration
+boundaries; the data produced by instance ``l`` of ``V_i`` is consumed by
+instance ``l + delta`` of ``V_j``.
+
+Given the compacted kernel (period ``p``, per-op offsets) and the transfer
+time ``c_ij`` of the intermediate result under a placement, the *required*
+relative retiming is the smallest ``delta`` with::
+
+    finish(i) + c_ij <= delta * p + start(j)
+
+Because ``finish(i) <= p`` and ``c_ij <= p`` (Theorem 3.1's premise), the
+requirement never exceeds 2 -- Theorem 3.1's bound. Evaluating it under the
+cache and eDRAM placements yields the six cases of Figure 4 and the profit
+``ΔR(m) = delta_edram - delta_cache`` the dynamic program maximizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.core.schedule import KernelSchedule
+from repro.graph.taskgraph import TaskGraph
+from repro.pim.config import PimConfig
+from repro.pim.memory import Placement
+
+
+class RetimingError(ValueError):
+    """Raised on illegal retimings or broken Theorem 3.1 premises."""
+
+
+def required_retiming(finish: int, start: int, transfer: int, period: int) -> int:
+    """Minimum relative retiming for one dependency.
+
+    Args:
+        finish: producer finish offset ``f_i`` within the kernel.
+        start: consumer start offset ``s_j`` within the kernel.
+        transfer: intermediate-result transfer time ``c_ij``.
+        period: kernel period ``p``.
+
+    Returns:
+        ``delta = max(0, ceil((f_i + c_ij - s_j) / p))``.
+    """
+    if period <= 0:
+        raise RetimingError("period must be positive")
+    if transfer < 0:
+        raise RetimingError("transfer time must be >= 0")
+    gap = finish + transfer - start
+    if gap <= 0:
+        return 0
+    return math.ceil(gap / period)
+
+
+@dataclass(frozen=True)
+class EdgeTiming:
+    """Per-edge retiming analysis under both placements.
+
+    Attributes:
+        key: ``(producer, consumer)``.
+        transfer_cache / transfer_edram: effective ``c_ij`` under each
+            placement, already clamped to ``p`` (Theorem 3.1 premise: an
+            access wider than the window spreads across it).
+        delta_cache / delta_edram: required relative retiming under each
+            placement (each in ``{0, 1, 2}``).
+        slots: cache slots ``sp_m`` the result occupies if cached.
+        deadline: the DP sort key ``d_{i,j}`` -- the consumer's start offset
+            (the latest moment the data is still useful within an iteration).
+    """
+
+    key: Tuple[int, int]
+    transfer_cache: int
+    transfer_edram: int
+    delta_cache: int
+    delta_edram: int
+    slots: int
+    deadline: int
+
+    @property
+    def delta_r(self) -> int:
+        """``ΔR(m)`` -- retiming-value reduction earned by caching."""
+        return self.delta_edram - self.delta_cache
+
+    def delta_for(self, placement: Placement) -> int:
+        return (
+            self.delta_cache if placement is Placement.CACHE else self.delta_edram
+        )
+
+    def transfer_for(self, placement: Placement) -> int:
+        return (
+            self.transfer_cache
+            if placement is Placement.CACHE
+            else self.transfer_edram
+        )
+
+
+def analyze_edges(
+    graph: TaskGraph, kernel: KernelSchedule, config: PimConfig
+) -> Dict[Tuple[int, int], EdgeTiming]:
+    """Compute :class:`EdgeTiming` for every intermediate result.
+
+    This is the "analysis of extra data movement" of Section 3.2: it bounds
+    how many extra prologue iterations each placement choice costs.
+    """
+    period = kernel.period
+    if period <= 0:
+        raise RetimingError("kernel period must be positive")
+    timings: Dict[Tuple[int, int], EdgeTiming] = {}
+    for edge in graph.edges():
+        t_cache = min(period, config.cache_transfer_units(edge.size_bytes))
+        t_edram = min(period, config.edram_transfer_units(edge.size_bytes))
+        if t_edram < t_cache:
+            raise RetimingError(
+                f"edge {edge.key}: eDRAM transfer faster than cache "
+                "(configuration inverts the memory hierarchy)"
+            )
+        finish = kernel.finish(edge.producer)
+        start = kernel.start(edge.consumer)
+        d_cache = required_retiming(finish, start, t_cache, period)
+        d_edram = required_retiming(finish, start, t_edram, period)
+        if d_cache > 2 or d_edram > 2:
+            raise RetimingError(
+                f"edge {edge.key}: required retiming exceeds Theorem 3.1 "
+                f"bound (cache={d_cache}, eDRAM={d_edram})"
+            )
+        timings[edge.key] = EdgeTiming(
+            key=edge.key,
+            transfer_cache=t_cache,
+            transfer_edram=t_edram,
+            delta_cache=d_cache,
+            delta_edram=d_edram,
+            slots=config.slots_required(edge.size_bytes),
+            deadline=start,
+        )
+    return timings
+
+
+@dataclass
+class RetimingSolution:
+    """A legal vertex/edge retiming induced by per-edge requirements.
+
+    Attributes:
+        vertex_retiming: ``R(i)`` per operation.
+        edge_retiming: ``R(i, j)`` per intermediate result, chosen as
+            ``R(j) + delta(i, j)`` -- always inside the legal band
+            ``[R(j), R(i)]``.
+        deltas: the per-edge requirements the solution satisfies.
+    """
+
+    vertex_retiming: Dict[int, int]
+    edge_retiming: Dict[Tuple[int, int], int]
+    deltas: Dict[Tuple[int, int], int]
+
+    @property
+    def max_retiming(self) -> int:
+        """``R_max`` -- the prologue length in iterations."""
+        return max(self.vertex_retiming.values(), default=0)
+
+    def is_legal(self) -> bool:
+        """Definition 3.1: ``R(i) >= R(i,j) >= R(j)`` and ``R >= 0``."""
+        for (i, j), r_ij in self.edge_retiming.items():
+            if not self.vertex_retiming[i] >= r_ij >= self.vertex_retiming[j]:
+                return False
+        return all(r >= 0 for r in self.vertex_retiming.values())
+
+
+def solve_retiming(
+    graph: TaskGraph, deltas: Mapping[Tuple[int, int], int]
+) -> RetimingSolution:
+    """Propagate per-edge requirements into the minimal vertex retiming.
+
+    ``R(i) = max over out-edges (R(j) + delta(i, j))`` with ``R = 0`` at
+    sinks; computed in reverse topological order, this is the unique
+    pointwise-minimal legal retiming, hence it minimizes ``R_max``
+    for the given per-edge requirements.
+    """
+    missing = {e.key for e in graph.edges()} - set(deltas)
+    if missing:
+        raise RetimingError(f"missing deltas for edges: {sorted(missing)[:5]}")
+    retiming: Dict[int, int] = {}
+    for op_id in reversed(graph.topological_order()):
+        best = 0
+        for edge in graph.out_edges(op_id):
+            delta = deltas[edge.key]
+            if delta < 0:
+                raise RetimingError(f"edge {edge.key}: negative delta {delta}")
+            best = max(best, retiming[edge.consumer] + delta)
+        retiming[op_id] = best
+    edge_retiming = {
+        edge.key: retiming[edge.consumer] + deltas[edge.key]
+        for edge in graph.edges()
+    }
+    solution = RetimingSolution(
+        vertex_retiming=retiming,
+        edge_retiming=edge_retiming,
+        deltas=dict(deltas),
+    )
+    if not solution.is_legal():
+        raise RetimingError("propagated retiming is illegal (internal error)")
+    return solution
+
+
+def max_retiming_for_placement(
+    graph: TaskGraph,
+    timings: Mapping[Tuple[int, int], EdgeTiming],
+    placement: Mapping[Tuple[int, int], Placement],
+) -> int:
+    """``R_max`` that a concrete placement of every edge induces."""
+    deltas = {
+        key: timing.delta_for(placement[key]) for key, timing in timings.items()
+    }
+    return solve_retiming(graph, deltas).max_retiming

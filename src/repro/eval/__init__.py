@@ -1,0 +1,49 @@
+"""Experiment harness: regenerate every table and figure of Section 4.
+
+One module per paper artifact:
+
+* :mod:`repro.eval.table1` -- total execution time, SPARTA vs Para-CONV
+  on 16/32/64 PEs with IMP%;
+* :mod:`repro.eval.table2` -- maximum retiming value per configuration;
+* :mod:`repro.eval.figure5` -- per-iteration execution time, normalized to
+  the 64-PE baseline;
+* :mod:`repro.eval.figure6` -- intermediate results allocated to on-chip
+  cache per configuration;
+* :mod:`repro.eval.ablation` -- allocator design-choice ablation (A1);
+* :mod:`repro.eval.validation` -- discrete-event vs analytic model (A2);
+* :mod:`repro.eval.energy` -- energy accounting extension (A3).
+
+Run everything from the command line::
+
+    python -m repro.eval all
+"""
+
+from repro.eval.table1 import Table1Row, run_table1
+from repro.eval.table2 import Table2Row, run_table2
+from repro.eval.figure5 import Figure5Row, run_figure5
+from repro.eval.figure6 import Figure6Row, run_figure6
+from repro.eval.ablation import AblationRow, run_ablation
+from repro.eval.architectures import ArchitectureRow, run_architectures
+from repro.eval.validation import ValidationRow, run_validation
+from repro.eval.energy import EnergyRow, run_energy
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "AblationRow",
+    "ArchitectureRow",
+    "EnergyRow",
+    "Figure5Row",
+    "Figure6Row",
+    "Table1Row",
+    "Table2Row",
+    "ValidationRow",
+    "format_table",
+    "run_ablation",
+    "run_architectures",
+    "run_energy",
+    "run_figure5",
+    "run_figure6",
+    "run_table1",
+    "run_table2",
+    "run_validation",
+]

@@ -1,0 +1,120 @@
+"""Persist and reload experiment results as JSON artifacts.
+
+Experiment runs become reviewable files: each artifact records the machine
+configuration, the rows of the experiment and a schema tag, so results can
+be archived, diffed across code versions, and turned into the markdown
+blocks EXPERIMENTS.md carries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.pim.config import PimConfig
+
+ARTIFACT_VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """Raised for malformed experiment artifacts."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of experiment row fields to JSON values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+            if field.name != "graph"  # graphs are workload-reproducible
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def save_artifact(
+    experiment: str,
+    rows: Sequence[Any],
+    config: PimConfig,
+    path: Union[str, Path],
+    extra: Dict[str, Any] = None,
+) -> None:
+    """Write one experiment's rows (dataclasses) to a JSON artifact."""
+    payload = {
+        "artifact_version": ARTIFACT_VERSION,
+        "experiment": experiment,
+        "config": {
+            "num_pes": config.num_pes,
+            "cache_bytes_per_pe": config.cache_bytes_per_pe,
+            "cache_slot_bytes": config.cache_slot_bytes,
+            "edram_latency_factor": config.edram_latency_factor,
+            "edram_energy_factor": config.edram_energy_factor,
+            "iterations": config.iterations,
+        },
+        "rows": [_jsonable(row) for row in rows],
+        "extra": extra or {},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load an artifact, validating its schema tag."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("artifact_version")
+    if version != ARTIFACT_VERSION:
+        raise ArtifactError(f"unsupported artifact version {version!r}")
+    for key in ("experiment", "config", "rows"):
+        if key not in payload:
+            raise ArtifactError(f"artifact missing {key!r}")
+    return payload
+
+
+def diff_artifacts(
+    old: Dict[str, Any], new: Dict[str, Any], tolerance: float = 0.0
+) -> List[str]:
+    """Human-readable differences between two runs of one experiment.
+
+    Compares numeric leaf fields row by row (rows matched positionally);
+    returns one message per drifted value. ``tolerance`` is the relative
+    change below which a numeric difference is ignored.
+    """
+    if old["experiment"] != new["experiment"]:
+        raise ArtifactError(
+            f"cannot diff {old['experiment']!r} against {new['experiment']!r}"
+        )
+    messages: List[str] = []
+    if len(old["rows"]) != len(new["rows"]):
+        messages.append(
+            f"row count changed: {len(old['rows'])} -> {len(new['rows'])}"
+        )
+
+    def walk(prefix: str, left: Any, right: Any) -> None:
+        if isinstance(left, dict) and isinstance(right, dict):
+            for key in sorted(set(left) | set(right)):
+                if key not in left or key not in right:
+                    messages.append(f"{prefix}{key}: added/removed field")
+                    continue
+                walk(f"{prefix}{key}.", left[key], right[key])
+            return
+        if isinstance(left, list) and isinstance(right, list):
+            for index, (a, b) in enumerate(zip(left, right)):
+                walk(f"{prefix}{index}.", a, b)
+            return
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            scale = max(abs(left), abs(right), 1e-12)
+            if abs(left - right) / scale > tolerance:
+                messages.append(f"{prefix[:-1]}: {left} -> {right}")
+            return
+        if left != right:
+            messages.append(f"{prefix[:-1]}: {left!r} -> {right!r}")
+
+    for index, (a, b) in enumerate(zip(old["rows"], new["rows"])):
+        walk(f"row[{index}].", a, b)
+    return messages

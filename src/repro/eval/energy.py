@@ -1,0 +1,110 @@
+"""Extension A3: data-movement energy accounting (the paper's future work).
+
+For each benchmark the experiment prices the steady-state per-iteration
+traffic of three schemes -- Para-CONV's DP allocation, the no-cache floor
+(all intermediate results in eDRAM) and SPARTA's greedy allocation --
+using the machine's per-byte energy ratios. Expected shape: Para-CONV
+moves the same bytes at lower energy because more of them stay on-chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cnn.workloads import PAPER_BENCHMARKS, load_workload
+from repro.core.baseline import SpartaScheduler
+from repro.core.paraconv import ParaConv
+from repro.eval.reporting import format_table
+from repro.pim.config import PimConfig
+from repro.pim.energy import EnergyModel
+from repro.pim.memory import Placement
+from repro.pim.stats import TrafficStats
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    benchmark: str
+    pes: int
+    paraconv_pj: float
+    all_edram_pj: float
+    sparta_pj: float
+
+    @property
+    def saving_vs_no_cache(self) -> float:
+        """Fractional movement-energy saving of Para-CONV vs no cache."""
+        if self.all_edram_pj == 0:
+            return 0.0
+        return 1.0 - self.paraconv_pj / self.all_edram_pj
+
+    @property
+    def saving_vs_sparta(self) -> float:
+        if self.sparta_pj == 0:
+            return 0.0
+        return 1.0 - self.paraconv_pj / self.sparta_pj
+
+
+def _movement_energy(
+    placements, graph, config: PimConfig, model: EnergyModel
+) -> float:
+    """Per-iteration movement energy of one placement map."""
+    stats = TrafficStats()
+    for edge in graph.edges():
+        if placements[edge.key] is Placement.CACHE:
+            stats.cache_accesses += 1
+            stats.cache_bytes += edge.size_bytes
+        else:
+            stats.edram_accesses += 1
+            stats.edram_bytes += edge.size_bytes
+    return model.estimate(stats, config).movement_pj
+
+
+def run_energy(
+    base_config: Optional[PimConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    pes: int = 32,
+    model: Optional[EnergyModel] = None,
+) -> List[EnergyRow]:
+    config = (base_config or PimConfig()).with_pes(pes)
+    energy_model = model or EnergyModel()
+    names = list(benchmarks) if benchmarks is not None else list(PAPER_BENCHMARKS)
+    rows: List[EnergyRow] = []
+    for name in names:
+        graph = load_workload(name)
+        para = ParaConv(config).run(graph)
+        no_cache = ParaConv(config, allocator_name="all-edram").run(graph)
+        sparta = SpartaScheduler(config).run(graph)
+        rows.append(
+            EnergyRow(
+                benchmark=name,
+                pes=pes,
+                paraconv_pj=_movement_energy(
+                    para.schedule.placements, graph, config, energy_model
+                ),
+                all_edram_pj=_movement_energy(
+                    no_cache.schedule.placements, graph, config, energy_model
+                ),
+                sparta_pj=_movement_energy(
+                    sparta.placements, graph, config, energy_model
+                ),
+            )
+        )
+    return rows
+
+
+def render_energy(rows: Sequence[EnergyRow]) -> str:
+    headers = [
+        "benchmark", "PEs", "Para-CONV pJ", "no-cache pJ", "SPARTA pJ",
+        "save vs no-cache %", "save vs SPARTA %",
+    ]
+    body = [
+        [
+            r.benchmark, r.pes, r.paraconv_pj, r.all_edram_pj, r.sparta_pj,
+            r.saving_vs_no_cache * 100.0, r.saving_vs_sparta * 100.0,
+        ]
+        for r in rows
+    ]
+    return format_table(
+        headers, body,
+        title="Extension A3: per-iteration data-movement energy",
+    )

@@ -1,0 +1,77 @@
+"""Figure 5: per-iteration execution time on 16/32/64 PEs.
+
+The paper plots each benchmark's steady-state iteration time, normalized
+by the baseline's on 64 PEs, and observes that it "significantly decreases
+with more processing engines". The effective per-iteration time is
+``p / J`` (one iteration completes every ``p / J`` time units once ``J``
+groups pipeline); the figure reports that quantity normalized by SPARTA's
+effective iteration time at 64 PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cnn.workloads import PAPER_BENCHMARKS, load_workload
+from repro.core.baseline import SpartaScheduler
+from repro.core.paraconv import ParaConv
+from repro.eval.reporting import format_table
+from repro.pim.config import PAPER_PE_SWEEP, PimConfig
+
+
+@dataclass(frozen=True)
+class Figure5Row:
+    """Effective per-iteration execution time for one benchmark."""
+
+    benchmark: str
+    #: Para-CONV effective iteration time (p / J) per PE count.
+    iteration_time: Dict[int, float]
+    #: SPARTA effective iteration time at the normalization point (64 PEs).
+    baseline_64: float
+
+    def normalized(self, pes: int) -> float:
+        """Iteration time normalized by the 64-PE baseline (paper's y-axis)."""
+        if self.baseline_64 == 0:
+            return 0.0
+        return self.iteration_time[pes] / self.baseline_64
+
+
+def run_figure5(
+    base_config: Optional[PimConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    pe_counts: Sequence[int] = PAPER_PE_SWEEP,
+) -> List[Figure5Row]:
+    config = base_config or PimConfig()
+    names = list(benchmarks) if benchmarks is not None else list(PAPER_BENCHMARKS)
+    norm_pes = max(pe_counts)
+    rows: List[Figure5Row] = []
+    for name in names:
+        graph = load_workload(name)
+        times: Dict[int, float] = {}
+        for pes in pe_counts:
+            result = ParaConv(config.with_pes(pes)).run(graph)
+            times[pes] = result.period / result.num_groups
+        baseline = SpartaScheduler(config.with_pes(norm_pes)).run(graph)
+        rows.append(
+            Figure5Row(
+                benchmark=name,
+                iteration_time=times,
+                baseline_64=baseline.effective_period,
+            )
+        )
+    return rows
+
+
+def render_figure5(rows: Sequence[Figure5Row]) -> str:
+    pe_counts = sorted(next(iter(rows)).iteration_time) if rows else []
+    headers = ["benchmark"] + [f"norm@{p}" for p in pe_counts]
+    body = []
+    for row in rows:
+        body.append([row.benchmark] + [row.normalized(p) for p in pe_counts])
+    return format_table(
+        headers,
+        body,
+        title="Figure 5: Para-CONV per-iteration execution time, normalized "
+        f"to the SPARTA baseline on {max(pe_counts)} PEs",
+    )

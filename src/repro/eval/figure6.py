@@ -1,0 +1,100 @@
+"""Figure 6: intermediate processing results allocated to on-chip cache.
+
+The paper counts how many intermediate results Para-CONV's dynamic program
+places in the PE cache at 16/32/64 PEs and observes the count growing from
+16 to 32 PEs, then saturating from 32 to 64 -- the benchmarks rarely keep
+more than about thirty intermediate results in flight concurrently, so the
+extra capacity goes unused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cnn.workloads import PAPER_BENCHMARKS, load_workload
+from repro.core.paraconv import ParaConv
+from repro.eval.reporting import format_table
+from repro.pim.config import PAPER_PE_SWEEP, PimConfig
+
+
+@dataclass(frozen=True)
+class Figure6Row:
+    """Cached-IR census for one benchmark."""
+
+    benchmark: str
+    num_edges: int
+    #: per-group cached IRs (what one DP instance selects).
+    cached_per_group: Dict[int, int]
+    #: array-wide resident cached IRs (per-group count x groups).
+    cached_total: Dict[int, int]
+    #: competing (ΔR > 0) IRs the DP saw -- the saturation ceiling.
+    competing: Dict[int, int]
+
+    def saturated(self, low_pes: int, high_pes: int, tolerance: int = 2) -> bool:
+        """Whether the per-group count stopped growing between two sizes."""
+        return (
+            self.cached_per_group[high_pes]
+            <= self.cached_per_group[low_pes] + tolerance
+        )
+
+
+def run_figure6(
+    base_config: Optional[PimConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    pe_counts: Sequence[int] = PAPER_PE_SWEEP,
+) -> List[Figure6Row]:
+    config = base_config or PimConfig()
+    names = list(benchmarks) if benchmarks is not None else list(PAPER_BENCHMARKS)
+    rows: List[Figure6Row] = []
+    for name in names:
+        graph = load_workload(name)
+        per_group: Dict[int, int] = {}
+        total: Dict[int, int] = {}
+        competing: Dict[int, int] = {}
+        for pes in pe_counts:
+            # The paper maps one iteration across the whole array (Figure
+            # 3(b)); the cache census is therefore taken at full width.
+            result = ParaConv(config.with_pes(pes)).run_at_width(graph, pes)
+            per_group[pes] = result.num_cached
+            total[pes] = result.num_cached_total
+            # Competing edges are the placement-sensitive cases 2, 3, 5 of
+            # Figure 4 -- the saturation ceiling for the cached count.
+            competing[pes] = sum(
+                count
+                for case, count in result.case_histogram.items()
+                if case.placement_sensitive
+            )
+        rows.append(
+            Figure6Row(
+                benchmark=name,
+                num_edges=graph.num_edges,
+                cached_per_group=per_group,
+                cached_total=total,
+                competing=competing,
+            )
+        )
+    return rows
+
+
+def render_figure6(rows: Sequence[Figure6Row]) -> str:
+    pe_counts = sorted(next(iter(rows)).cached_per_group) if rows else []
+    headers = ["benchmark", "|E|"]
+    for pes in pe_counts:
+        headers += [f"cached@{pes}", f"total@{pes}", f"competing@{pes}"]
+    body = []
+    for row in rows:
+        line: List[object] = [row.benchmark, row.num_edges]
+        for pes in pe_counts:
+            line += [
+                row.cached_per_group[pes],
+                row.cached_total[pes],
+                row.competing[pes],
+            ]
+        body.append(line)
+    return format_table(
+        headers,
+        body,
+        title="Figure 6: intermediate results allocated to on-chip cache "
+        "(cached = per group, total = array-wide, competing = ΔR>0 edges)",
+    )

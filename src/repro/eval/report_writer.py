@@ -1,0 +1,96 @@
+"""Generate a markdown experiment report from live runs.
+
+``write_report`` runs the requested experiments and emits one markdown
+document in the EXPERIMENTS.md style -- useful for regenerating the
+shipped record after model changes and for CI artifacts::
+
+    from repro.eval.report_writer import write_report
+    write_report("report.md", benchmarks=["cat", "flower"])
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.eval.ablation import render_ablation, run_ablation
+from repro.eval.energy import render_energy, run_energy
+from repro.eval.figure5 import render_figure5, run_figure5
+from repro.eval.figure6 import render_figure6, run_figure6
+from repro.eval.table1 import (
+    overall_average_improvement,
+    render_table1,
+    run_table1,
+)
+from repro.eval.table2 import render_table2, run_table2
+from repro.eval.validation import render_validation, run_validation
+from repro.pim.config import PimConfig
+
+#: Sections in presentation order: (title, runner producing a text block).
+_SECTIONS = ("table1", "table2", "figure5", "figure6", "ablation",
+             "validation", "energy")
+
+
+def build_report(
+    config: Optional[PimConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    sections: Sequence[str] = _SECTIONS,
+) -> str:
+    """Run the selected experiments and return the markdown report text."""
+    machine = config or PimConfig()
+    unknown = set(sections) - set(_SECTIONS)
+    if unknown:
+        raise ValueError(f"unknown report sections: {sorted(unknown)}")
+    blocks: List[str] = [
+        "# Para-CONV experiment report",
+        "",
+        f"Machine: {machine.describe()}; N = {machine.iterations} iterations.",
+        "",
+    ]
+
+    def add(title: str, body: str) -> None:
+        blocks.append(f"## {title}")
+        blocks.append("")
+        blocks.append("```")
+        blocks.append(body)
+        blocks.append("```")
+        blocks.append("")
+
+    if "table1" in sections:
+        rows = run_table1(machine, benchmarks=benchmarks)
+        add("Table 1 — total execution time", render_table1(rows))
+        blocks.append(
+            f"Overall average reduction: "
+            f"{overall_average_improvement(rows):.2f}% (paper: 53.42%)."
+        )
+        blocks.append("")
+    if "table2" in sections:
+        add("Table 2 — maximum retiming value",
+            render_table2(run_table2(machine, benchmarks=benchmarks)))
+    if "figure5" in sections:
+        add("Figure 5 — per-iteration execution time",
+            render_figure5(run_figure5(machine, benchmarks=benchmarks)))
+    if "figure6" in sections:
+        add("Figure 6 — cached intermediate results",
+            render_figure6(run_figure6(machine, benchmarks=benchmarks)))
+    if "ablation" in sections:
+        add("A1 — allocation-strategy ablation",
+            render_ablation(run_ablation(machine, benchmarks=benchmarks)))
+    if "validation" in sections:
+        kwargs = {"benchmarks": benchmarks} if benchmarks else {}
+        add("A2 — simulator validation",
+            render_validation(run_validation(machine, **kwargs)))
+    if "energy" in sections:
+        add("A3 — data-movement energy",
+            render_energy(run_energy(machine, benchmarks=benchmarks)))
+    return "\n".join(blocks)
+
+
+def write_report(
+    path: Union[str, Path],
+    config: Optional[PimConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    sections: Sequence[str] = _SECTIONS,
+) -> None:
+    """Write :func:`build_report` output to ``path``."""
+    Path(path).write_text(build_report(config, benchmarks, sections))

@@ -1,0 +1,132 @@
+"""Parameter sweeps: scalability and sensitivity experiments.
+
+The paper's evaluation mentions scalability (synthetic graphs with over
+500 convolutions); this module generalizes it into reusable sweeps:
+
+* :func:`sweep_graph_scale` -- improvement vs graph size at fixed machine;
+* :func:`sweep_edram_factor` -- sensitivity to the 2-10x vault cost ratio;
+* :func:`sweep_cache_capacity` -- sensitivity to the per-PE cache size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.baseline import SpartaScheduler
+from repro.core.paraconv import ParaConv
+from repro.eval.reporting import format_table
+from repro.graph.generators import GeneratorParams, SyntheticGraphGenerator
+from repro.pim.config import PimConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the knob value and both schemes' totals."""
+
+    knob: float
+    paraconv_time: int
+    sparta_time: int
+    max_retiming: int
+    num_cached: int
+
+    @property
+    def improvement_percent(self) -> float:
+        if self.sparta_time == 0:
+            return 0.0
+        return (self.sparta_time - self.paraconv_time) / self.sparta_time * 100.0
+
+
+def sweep_graph_scale(
+    sizes: Sequence[int] = (50, 100, 200, 400, 800),
+    edge_factor: float = 2.6,
+    config: Optional[PimConfig] = None,
+    seed: int = 7,
+) -> List[SweepPoint]:
+    """Improvement vs synthetic-graph size (scalability experiment)."""
+    machine = config or PimConfig(num_pes=32)
+    generator = SyntheticGraphGenerator(GeneratorParams())
+    points: List[SweepPoint] = []
+    for size in sizes:
+        edges = int(size * edge_factor)
+        graph = generator.generate(size, edges, seed=seed, name=f"scale-{size}")
+        para = ParaConv(machine).run(graph)
+        sparta = SpartaScheduler(machine).run(graph)
+        points.append(
+            SweepPoint(
+                knob=size,
+                paraconv_time=para.total_time(),
+                sparta_time=sparta.total_time(),
+                max_retiming=para.max_retiming,
+                num_cached=para.num_cached,
+            )
+        )
+    return points
+
+
+def sweep_edram_factor(
+    graph_name: str = "shortest-path",
+    factors: Sequence[int] = (2, 4, 6, 8, 10),
+    config: Optional[PimConfig] = None,
+) -> List[SweepPoint]:
+    """Improvement vs the eDRAM latency factor (2-10x per the paper)."""
+    from repro.cnn.workloads import load_workload
+    from dataclasses import replace as dc_replace
+
+    base = config or PimConfig(num_pes=32)
+    graph = load_workload(graph_name)
+    points: List[SweepPoint] = []
+    for factor in factors:
+        machine = dc_replace(base, edram_latency_factor=factor)
+        para = ParaConv(machine).run(graph)
+        sparta = SpartaScheduler(machine).run(graph)
+        points.append(
+            SweepPoint(
+                knob=factor,
+                paraconv_time=para.total_time(),
+                sparta_time=sparta.total_time(),
+                max_retiming=para.max_retiming,
+                num_cached=para.num_cached,
+            )
+        )
+    return points
+
+
+def sweep_cache_capacity(
+    graph_name: str = "shortest-path",
+    capacities: Sequence[int] = (0, 1024, 2048, 4096, 8192, 16384),
+    config: Optional[PimConfig] = None,
+) -> List[SweepPoint]:
+    """Improvement vs per-PE cache bytes (0 = pure eDRAM machine)."""
+    from repro.cnn.workloads import load_workload
+    from dataclasses import replace as dc_replace
+
+    base = config or PimConfig(num_pes=32)
+    graph = load_workload(graph_name)
+    points: List[SweepPoint] = []
+    for capacity in capacities:
+        machine = dc_replace(base, cache_bytes_per_pe=capacity)
+        para = ParaConv(machine).run(graph)
+        sparta = SpartaScheduler(machine).run(graph)
+        points.append(
+            SweepPoint(
+                knob=capacity,
+                paraconv_time=para.total_time(),
+                sparta_time=sparta.total_time(),
+                max_retiming=para.max_retiming,
+                num_cached=para.num_cached,
+            )
+        )
+    return points
+
+
+def render_sweep(points: Sequence[SweepPoint], knob_name: str, title: str) -> str:
+    headers = [knob_name, "Para-CONV", "SPARTA", "IMP%", "R_max", "cached"]
+    body = [
+        [
+            point.knob, point.paraconv_time, point.sparta_time,
+            point.improvement_percent, point.max_retiming, point.num_cached,
+        ]
+        for point in points
+    ]
+    return format_table(headers, body, title=title)

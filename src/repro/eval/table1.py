@@ -1,0 +1,134 @@
+"""Table 1: total execution time of SPARTA and Para-CONV on 16/32/64 PEs.
+
+For every benchmark the harness runs both schemes at each PE count and
+reports total execution time (prologue + N iterations) plus the reduction
+IMP(%) = (SPARTA - Para-CONV) / SPARTA * 100. The shape to reproduce:
+Para-CONV wins everywhere, the average reduction is roughly half (the
+paper reports 53.42% overall), and both schemes scale with PE count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cnn.workloads import PAPER_BENCHMARKS, load_workload
+from repro.core.baseline import SpartaScheduler
+from repro.core.paraconv import ParaConv
+from repro.eval.paper_data import PAPER_TABLE1, paper_reduction
+from repro.eval.reporting import format_table
+from repro.pim.config import PAPER_PE_SWEEP, PimConfig
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    """One (benchmark, PE count) measurement."""
+
+    pes: int
+    sparta_time: int
+    paraconv_time: int
+
+    @property
+    def improvement_percent(self) -> float:
+        """IMP(%): reduction of total execution time over SPARTA."""
+        if self.sparta_time == 0:
+            return 0.0
+        return (self.sparta_time - self.paraconv_time) / self.sparta_time * 100.0
+
+    @property
+    def speedup(self) -> float:
+        if self.paraconv_time == 0:
+            return 1.0
+        return self.sparta_time / self.paraconv_time
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's row across the PE sweep."""
+
+    benchmark: str
+    num_vertices: int
+    num_edges: int
+    cells: Dict[int, Table1Cell]
+
+
+def run_table1(
+    base_config: Optional[PimConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    pe_counts: Sequence[int] = PAPER_PE_SWEEP,
+) -> List[Table1Row]:
+    """Measure every benchmark at every PE count."""
+    config = base_config or PimConfig()
+    names = list(benchmarks) if benchmarks is not None else list(PAPER_BENCHMARKS)
+    rows: List[Table1Row] = []
+    for name in names:
+        graph = load_workload(name)
+        cells: Dict[int, Table1Cell] = {}
+        for pes in pe_counts:
+            machine = config.with_pes(pes)
+            para = ParaConv(machine).run(graph)
+            sparta = SpartaScheduler(machine).run(graph)
+            cells[pes] = Table1Cell(
+                pes=pes,
+                sparta_time=sparta.total_time(),
+                paraconv_time=para.total_time(),
+            )
+        rows.append(
+            Table1Row(
+                benchmark=name,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+                cells=cells,
+            )
+        )
+    return rows
+
+
+def average_improvement(rows: Sequence[Table1Row], pes: int) -> float:
+    """Mean IMP(%) over the benchmark set for one PE count."""
+    values = [row.cells[pes].improvement_percent for row in rows]
+    return sum(values) / len(values) if values else 0.0
+
+
+def overall_average_improvement(rows: Sequence[Table1Row]) -> float:
+    """Mean IMP(%) over every (benchmark, PE) cell -- the headline number."""
+    values = [
+        cell.improvement_percent for row in rows for cell in row.cells.values()
+    ]
+    return sum(values) / len(values) if values else 0.0
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Paper-style text rendering, with paper reductions alongside."""
+    pe_counts = sorted(next(iter(rows)).cells) if rows else []
+    headers = ["benchmark", "|V|", "|E|"]
+    for pes in pe_counts:
+        headers += [f"SPARTA@{pes}", f"Para@{pes}", f"IMP%@{pes}", f"paper%@{pes}"]
+    body = []
+    for row in rows:
+        line: List[object] = [row.benchmark, row.num_vertices, row.num_edges]
+        for pes in pe_counts:
+            cell = row.cells[pes]
+            paper = (
+                paper_reduction(row.benchmark, pes)
+                if row.benchmark in PAPER_TABLE1
+                else float("nan")
+            )
+            line += [
+                cell.sparta_time,
+                cell.paraconv_time,
+                cell.improvement_percent,
+                paper,
+            ]
+        body.append(line)
+    avg_line: List[object] = ["AVERAGE", "", ""]
+    for pes in pe_counts:
+        avg_line += ["", "", average_improvement(rows, pes), ""]
+    body.append(avg_line)
+    return format_table(
+        headers,
+        body,
+        title="Table 1: total execution time, SPARTA vs Para-CONV "
+        "(IMP% = reduction; paper% = reduction implied by the paper's "
+        "published times)",
+    )

@@ -1,0 +1,105 @@
+"""Trend-agreement scoring between measured results and the paper.
+
+Absolute numbers are incomparable across simulators, so EXPERIMENTS.md
+compares *shapes*. This module makes that comparison quantitative:
+
+* :func:`rank_agreement` -- Spearman-style rank correlation between two
+  numeric series (e.g. per-benchmark reductions, ours vs the paper's);
+* :func:`sign_agreement` -- fraction of paired deltas that move the same
+  direction across the PE sweep;
+* :func:`table1_trend_report` -- both scores computed for Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.paper_data import PAPER_TABLE1, paper_reduction
+from repro.eval.table1 import Table1Row
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    """Average ranks (ties averaged), 1-based."""
+    indexed = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    position = 0
+    while position < len(indexed):
+        tail = position
+        while (
+            tail + 1 < len(indexed)
+            and values[indexed[tail + 1]] == values[indexed[position]]
+        ):
+            tail += 1
+        average = (position + tail) / 2 + 1
+        for k in range(position, tail + 1):
+            ranks[indexed[k]] = average
+        position = tail + 1
+    return ranks
+
+
+def rank_agreement(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation in [-1, 1]; 0 for degenerate input."""
+    if len(a) != len(b):
+        raise ValueError(f"series lengths differ: {len(a)} vs {len(b)}")
+    n = len(a)
+    if n < 2:
+        return 0.0
+    ra, rb = _ranks(a), _ranks(b)
+    mean = (n + 1) / 2
+    cov = sum((x - mean) * (y - mean) for x, y in zip(ra, rb))
+    var_a = sum((x - mean) ** 2 for x in ra)
+    var_b = sum((y - mean) ** 2 for y in rb)
+    if var_a == 0 or var_b == 0:
+        return 0.0
+    return cov / (var_a * var_b) ** 0.5
+
+
+def sign_agreement(
+    a: Sequence[float], b: Sequence[float]
+) -> float:
+    """Fraction of consecutive deltas with matching sign (ties count)."""
+    if len(a) != len(b):
+        raise ValueError("series lengths differ")
+    if len(a) < 2:
+        return 1.0
+    matches = 0
+    total = len(a) - 1
+    for i in range(total):
+        da = a[i + 1] - a[i]
+        db = b[i + 1] - b[i]
+        if da == 0 or db == 0 or (da > 0) == (db > 0):
+            matches += 1
+    return matches / total
+
+
+def table1_trend_report(rows: Sequence[Table1Row]) -> Dict[str, float]:
+    """Quantified Table 1 agreement with the paper.
+
+    Returns:
+        ``benchmark_rank_agreement`` -- do the same benchmarks benefit most
+        (per-benchmark reduction at 32 PEs, ours vs paper-recomputed)?
+        ``scaling_sign_agreement`` -- do totals move the same direction
+        across the 16/32/64 sweep (averaged over benchmarks, both schemes)?
+    """
+    names = [row.benchmark for row in rows if row.benchmark in PAPER_TABLE1]
+    ours = []
+    paper = []
+    for row in rows:
+        if row.benchmark not in PAPER_TABLE1:
+            continue
+        ours.append(row.cells[32].improvement_percent)
+        paper.append(paper_reduction(row.benchmark, 32))
+    scaling_scores = []
+    for row in rows:
+        if row.benchmark not in PAPER_TABLE1:
+            continue
+        mine = [row.cells[p].paraconv_time for p in (16, 32, 64)]
+        theirs = [PAPER_TABLE1[row.benchmark][p][1] for p in (16, 32, 64)]
+        scaling_scores.append(sign_agreement(mine, theirs))
+    return {
+        "benchmark_rank_agreement": rank_agreement(ours, paper),
+        "scaling_sign_agreement": (
+            sum(scaling_scores) / len(scaling_scores) if scaling_scores else 0.0
+        ),
+        "benchmarks_compared": float(len(names)),
+    }

@@ -1,0 +1,88 @@
+"""Validation A2: discrete-event execution vs the analytic model.
+
+The tables report analytic schedule lengths; this experiment executes the
+same schedules on the stateful machine model (vault queueing, cache
+residency, PE timelines) and reports the realized/analytic slowdown plus
+the observed lateness. A slowdown of 1.0 with bounded lateness means the
+closed-form numbers are trustworthy on the modelled machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cnn.workloads import load_workload
+from repro.core.paraconv import ParaConv
+from repro.eval.reporting import format_table
+from repro.pim.config import PimConfig
+from repro.sim.executor import ScheduleExecutor
+
+#: A representative subset (full set is slow under the event executor).
+DEFAULT_BENCHMARKS = (
+    "cat",
+    "flower",
+    "character-1",
+    "image-compress",
+    "shortest-path",
+    "protein",
+)
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    benchmark: str
+    pes: int
+    analytic: int
+    realized: int
+    slowdown: float
+    max_lateness: int
+    cache_spills: int
+    pe_utilization: float
+
+
+def run_validation(
+    base_config: Optional[PimConfig] = None,
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    pes: int = 32,
+    iterations: int = 20,
+    num_vaults: int = 32,
+) -> List[ValidationRow]:
+    config = (base_config or PimConfig()).with_pes(pes)
+    executor = ScheduleExecutor(config, num_vaults=num_vaults)
+    rows: List[ValidationRow] = []
+    for name in benchmarks:
+        graph = load_workload(name)
+        result = ParaConv(config).run(graph)
+        trace = executor.execute(result, iterations=iterations)
+        rows.append(
+            ValidationRow(
+                benchmark=name,
+                pes=pes,
+                analytic=trace.analytic_makespan,
+                realized=trace.realized_makespan,
+                slowdown=trace.slowdown,
+                max_lateness=trace.max_lateness,
+                cache_spills=trace.cache_spills,
+                pe_utilization=trace.pe_utilization(),
+            )
+        )
+    return rows
+
+
+def render_validation(rows: Sequence[ValidationRow]) -> str:
+    headers = [
+        "benchmark", "PEs", "analytic", "realized", "slowdown",
+        "max lateness", "cache spills", "PE util",
+    ]
+    body = [
+        [
+            r.benchmark, r.pes, r.analytic, r.realized, r.slowdown,
+            r.max_lateness, r.cache_spills, r.pe_utilization,
+        ]
+        for r in rows
+    ]
+    return format_table(
+        headers, body,
+        title="Validation A2: discrete-event execution vs analytic model",
+    )

@@ -1,0 +1,34 @@
+"""Workload census: structural statistics of every registered workload.
+
+Backs ``python -m repro.eval workloads`` and the documentation tables:
+vertex/edge counts, total work, critical path, parallelism and depth for
+each named workload, including the CNN-derived ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cnn.workloads import WORKLOADS, load_workload
+from repro.eval.reporting import format_table
+from repro.graph.analysis import GraphStatistics, graph_statistics
+
+
+def run_workload_stats(
+    names: Optional[Sequence[str]] = None,
+) -> List[GraphStatistics]:
+    """Compute :class:`GraphStatistics` for the selected workloads."""
+    selected = list(names) if names is not None else list(WORKLOADS)
+    return [graph_statistics(load_workload(name)) for name in selected]
+
+
+def render_workload_stats(rows: Sequence[GraphStatistics]) -> str:
+    headers = [
+        "workload", "|V|", "|E|", "work", "critical path",
+        "max parallel", "depth", "avg out-degree",
+    ]
+    return format_table(
+        headers,
+        [row.as_row() for row in rows],
+        title="Workload census (all registered workloads)",
+    )

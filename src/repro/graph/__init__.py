@@ -1,0 +1,58 @@
+"""Periodic task-graph application model (paper Section 2.2).
+
+A CNN application is modelled as a weighted directed acyclic graph
+``G = (V, E, P, R)`` executed periodically:
+
+* vertices are convolution / pooling operations (:class:`Operation`),
+* edges carry intermediate processing results (:class:`IntermediateResult`),
+* ``P`` associates each intermediate result with placement profits
+  (on-chip cache vs. stacked eDRAM),
+* ``R`` is the retiming function computed by :mod:`repro.core.retiming`.
+"""
+
+from repro.graph.taskgraph import (
+    GraphValidationError,
+    IntermediateResult,
+    Operation,
+    OperationKind,
+    TaskGraph,
+)
+from repro.graph.instances import OperationInstance, IntermediateInstance, unroll
+from repro.graph.generators import (
+    SyntheticGraphGenerator,
+    generate_series_parallel,
+    synthetic_benchmark,
+)
+from repro.graph.analysis import (
+    critical_path,
+    critical_path_length,
+    degree_histogram,
+    graph_statistics,
+    max_parallelism,
+    parallelism_profile,
+)
+from repro.graph.io import graph_from_dict, graph_from_json, graph_to_dict, graph_to_json
+
+__all__ = [
+    "GraphValidationError",
+    "IntermediateInstance",
+    "IntermediateResult",
+    "Operation",
+    "OperationInstance",
+    "OperationKind",
+    "SyntheticGraphGenerator",
+    "TaskGraph",
+    "critical_path",
+    "critical_path_length",
+    "degree_histogram",
+    "generate_series_parallel",
+    "graph_from_dict",
+    "graph_from_json",
+    "graph_statistics",
+    "graph_to_dict",
+    "graph_to_json",
+    "max_parallelism",
+    "parallelism_profile",
+    "synthetic_benchmark",
+    "unroll",
+]

@@ -1,0 +1,152 @@
+"""Structural analysis of task graphs.
+
+These helpers feed the schedulers (critical-path priorities, load-balance
+bounds) and the evaluation harness (parallelism saturation explains the
+Figure 6 plateau between 32 and 64 processing engines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.graph.taskgraph import IntermediateResult, TaskGraph
+
+EdgeLatency = Callable[[IntermediateResult], int]
+
+
+def _zero_latency(_edge: IntermediateResult) -> int:
+    return 0
+
+
+def critical_path_length(
+    graph: TaskGraph, edge_latency: Optional[EdgeLatency] = None
+) -> int:
+    """Length of the longest weighted path (execution + edge latencies).
+
+    This is the iteration-latency lower bound for any scheduler that honors
+    intra-iteration dependencies (i.e. the baseline); Para-CONV's retiming
+    removes this bound from the steady-state kernel.
+    """
+    latency = edge_latency or _zero_latency
+    finish: Dict[int, int] = {}
+    for op_id in graph.topological_order():
+        op = graph.operation(op_id)
+        ready = 0
+        for edge in graph.in_edges(op_id):
+            ready = max(ready, finish[edge.producer] + latency(edge))
+        finish[op_id] = ready + op.execution_time
+    return max(finish.values(), default=0)
+
+
+def critical_path(
+    graph: TaskGraph, edge_latency: Optional[EdgeLatency] = None
+) -> List[int]:
+    """One longest weighted path, as a list of op_ids in execution order."""
+    latency = edge_latency or _zero_latency
+    finish: Dict[int, int] = {}
+    best_pred: Dict[int, Optional[int]] = {}
+    for op_id in graph.topological_order():
+        op = graph.operation(op_id)
+        ready, pred = 0, None
+        for edge in graph.in_edges(op_id):
+            candidate = finish[edge.producer] + latency(edge)
+            if candidate > ready:
+                ready, pred = candidate, edge.producer
+        finish[op_id] = ready + op.execution_time
+        best_pred[op_id] = pred
+    if not finish:
+        return []
+    tail = max(finish, key=lambda i: (finish[i], -i))
+    path: List[int] = []
+    node: Optional[int] = tail
+    while node is not None:
+        path.append(node)
+        node = best_pred[node]
+    path.reverse()
+    return path
+
+
+def asap_levels(graph: TaskGraph) -> Dict[int, int]:
+    """As-soon-as-possible topological level of every operation (unit delays)."""
+    level: Dict[int, int] = {}
+    for op_id in graph.topological_order():
+        preds = graph.predecessors(op_id)
+        level[op_id] = 1 + max((level[p] for p in preds), default=-1)
+    return level
+
+
+def parallelism_profile(graph: TaskGraph) -> List[int]:
+    """Number of operations per ASAP level.
+
+    ``profile[k]`` counts operations that *could* start concurrently at level
+    ``k`` with unlimited PEs. Its maximum bounds how many PEs an un-retimed
+    iteration can exploit.
+    """
+    levels = asap_levels(graph)
+    if not levels:
+        return []
+    depth = max(levels.values()) + 1
+    profile = [0] * depth
+    for lvl in levels.values():
+        profile[lvl] += 1
+    return profile
+
+
+def max_parallelism(graph: TaskGraph) -> int:
+    """Peak of :func:`parallelism_profile` (0 for the empty graph)."""
+    profile = parallelism_profile(graph)
+    return max(profile) if profile else 0
+
+
+def degree_histogram(graph: TaskGraph) -> Dict[str, Dict[int, int]]:
+    """Histograms of in- and out-degrees, keyed ``'in'`` / ``'out'``."""
+    hist: Dict[str, Dict[int, int]] = {"in": {}, "out": {}}
+    for op in graph.operations():
+        din = graph.in_degree(op.op_id)
+        dout = graph.out_degree(op.op_id)
+        hist["in"][din] = hist["in"].get(din, 0) + 1
+        hist["out"][dout] = hist["out"].get(dout, 0) + 1
+    return hist
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary record used by reports and the benchmark tables."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    total_work: int
+    critical_path_length: int
+    max_parallelism: int
+    depth: int
+    avg_out_degree: float
+
+    def as_row(self) -> Tuple[str, int, int, int, int, int, int, float]:
+        return (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            self.total_work,
+            self.critical_path_length,
+            self.max_parallelism,
+            self.depth,
+            round(self.avg_out_degree, 2),
+        )
+
+
+def graph_statistics(graph: TaskGraph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for ``graph``."""
+    profile = parallelism_profile(graph)
+    n = graph.num_vertices
+    return GraphStatistics(
+        name=graph.name,
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        total_work=graph.total_work(),
+        critical_path_length=critical_path_length(graph),
+        max_parallelism=max(profile) if profile else 0,
+        depth=len(profile),
+        avg_out_degree=(graph.num_edges / n) if n else 0.0,
+    )

@@ -1,0 +1,101 @@
+"""JSON (de)serialization for task graphs.
+
+A stable on-disk format lets experiments pin exact workloads and lets users
+bring their own graphs to the Para-CONV pipeline::
+
+    {"name": "...", "period_hint": null,
+     "operations": [{"op_id": 0, "name": "conv1", "kind": "conv",
+                     "execution_time": 2, "work": 0}, ...],
+     "edges": [{"producer": 0, "consumer": 1, "size_bytes": 1024,
+                "profit_cache": 10, "profit_edram": 1}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.graph.taskgraph import (
+    GraphValidationError,
+    IntermediateResult,
+    Operation,
+    OperationKind,
+    TaskGraph,
+)
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Serialize ``graph`` to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "period_hint": graph.period_hint,
+        "operations": [
+            {
+                "op_id": op.op_id,
+                "name": op.name,
+                "kind": op.kind.value,
+                "execution_time": op.execution_time,
+                "work": op.work,
+            }
+            for op in graph.operations()
+        ],
+        "edges": [
+            {
+                "producer": e.producer,
+                "consumer": e.consumer,
+                "size_bytes": e.size_bytes,
+                "profit_cache": e.profit_cache,
+                "profit_edram": e.profit_edram,
+            }
+            for e in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> TaskGraph:
+    """Deserialize a graph produced by :func:`graph_to_dict`."""
+    version = payload.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise GraphValidationError(
+            f"unsupported task-graph format version {version}"
+        )
+    graph = TaskGraph(
+        name=payload.get("name", "taskgraph"),
+        period_hint=payload.get("period_hint"),
+    )
+    for record in payload.get("operations", []):
+        graph.add_operation(
+            Operation(
+                op_id=int(record["op_id"]),
+                name=record.get("name", ""),
+                kind=OperationKind(record.get("kind", "conv")),
+                execution_time=int(record.get("execution_time", 1)),
+                work=int(record.get("work", 0)),
+            )
+        )
+    for record in payload.get("edges", []):
+        graph.add_edge(
+            IntermediateResult(
+                producer=int(record["producer"]),
+                consumer=int(record["consumer"]),
+                size_bytes=int(record.get("size_bytes", 1)),
+                profit_cache=int(record.get("profit_cache", 10)),
+                profit_edram=int(record.get("profit_edram", 1)),
+            )
+        )
+    graph.validate()
+    return graph
+
+
+def graph_to_json(graph: TaskGraph, path: Union[str, Path]) -> None:
+    """Write ``graph`` to ``path`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def graph_from_json(path: Union[str, Path]) -> TaskGraph:
+    """Load a graph from a JSON file written by :func:`graph_to_json`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,143 @@
+"""Task-graph transformations.
+
+Utilities used by experiments and available to library users: execution
+-time scaling (to study time-quantization sensitivity), uniform-size
+rewrites (isolating structure effects from size effects), transitive-edge
+pruning (CNN partitions can emit redundant dependencies) and linear-chain
+coarsening (fusing pipeline stages into a single operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Set
+
+from repro.graph.taskgraph import (
+    GraphValidationError,
+    IntermediateResult,
+    TaskGraph,
+)
+
+
+def scale_execution_times(
+    graph: TaskGraph, factor: float, name: Optional[str] = None
+) -> TaskGraph:
+    """Multiply every ``c_i`` by ``factor`` (rounded, floor 1)."""
+    if factor <= 0:
+        raise GraphValidationError("factor must be positive")
+    out = TaskGraph(name=name or f"{graph.name}-x{factor:g}",
+                    period_hint=graph.period_hint)
+    for op in graph.operations():
+        out.add_operation(
+            replace(op, execution_time=max(1, round(op.execution_time * factor)))
+        )
+    for edge in graph.edges():
+        out.add_edge(edge)
+    return out
+
+
+def with_uniform_sizes(
+    graph: TaskGraph, size_bytes: int, name: Optional[str] = None
+) -> TaskGraph:
+    """Rewrite every intermediate result to the same footprint."""
+    if size_bytes < 1:
+        raise GraphValidationError("size_bytes must be positive")
+    out = TaskGraph(name=name or f"{graph.name}-uniform",
+                    period_hint=graph.period_hint)
+    for op in graph.operations():
+        out.add_operation(op)
+    for edge in graph.edges():
+        out.add_edge(replace(edge, size_bytes=size_bytes))
+    return out
+
+
+def prune_transitive_edges(
+    graph: TaskGraph, name: Optional[str] = None
+) -> TaskGraph:
+    """Drop edges implied by longer paths (transitive reduction).
+
+    An edge ``(i, j)`` is redundant as a *dependency* when another path
+    from ``i`` to ``j`` exists; note the data transfer itself may still be
+    real, so this is an analysis transform, not a semantic no-op -- use it
+    to measure how much of a graph's retiming pressure comes from shortcut
+    edges.
+    """
+    order = graph.topological_order()
+    position = {op_id: idx for idx, op_id in enumerate(order)}
+    # reachable[i] = set of vertices reachable from i via >= 2 edges
+    reachable: Dict[int, Set[int]] = {op_id: set() for op_id in order}
+    keep: List[IntermediateResult] = []
+    for op_id in reversed(order):
+        succs = graph.successors(op_id)
+        via_two = set()
+        for succ in succs:
+            via_two |= reachable[succ]
+            via_two.add(succ)
+        # direct successors reachable through another successor's subtree
+        shadowed = set()
+        for succ in succs:
+            for other in succs:
+                if other != succ and succ in reachable[other] | set(
+                    graph.successors(other)
+                ):
+                    shadowed.add(succ)
+        for edge in graph.out_edges(op_id):
+            if edge.consumer not in shadowed:
+                keep.append(edge)
+        reachable[op_id] = via_two
+    out = TaskGraph(name=name or f"{graph.name}-reduced",
+                    period_hint=graph.period_hint)
+    for op in graph.operations():
+        out.add_operation(op)
+    for edge in sorted(keep, key=lambda e: e.key):
+        out.add_edge(edge)
+    out.validate()
+    return out
+
+
+def coarsen_chains(graph: TaskGraph, name: Optional[str] = None) -> TaskGraph:
+    """Fuse maximal linear chains into single operations.
+
+    A vertex with exactly one predecessor and one successor, whose
+    predecessor has exactly one successor, merges into it: execution times
+    add, the incoming edge survives with the chain-head's identity. This
+    models operator fusion and reduces scheduling granularity.
+    """
+    order = graph.topological_order()
+    # head[v]: representative (chain head) for v
+    head: Dict[int, int] = {}
+    extra_time: Dict[int, int] = {op_id: 0 for op_id in order}
+    for op_id in order:
+        preds = graph.predecessors(op_id)
+        if (
+            len(preds) == 1
+            and graph.out_degree(preds[0]) == 1
+            and graph.in_degree(op_id) == 1
+        ):
+            rep = head.get(preds[0], preds[0])
+            head[op_id] = rep
+            extra_time[rep] += graph.operation(op_id).execution_time
+        else:
+            head[op_id] = op_id
+
+    out = TaskGraph(name=name or f"{graph.name}-coarse",
+                    period_hint=graph.period_hint)
+    for op in graph.operations():
+        if head[op.op_id] == op.op_id:
+            out.add_operation(
+                replace(
+                    op,
+                    execution_time=op.execution_time + extra_time[op.op_id],
+                )
+            )
+    for edge in graph.edges():
+        producer = head[edge.producer]
+        consumer = head[edge.consumer]
+        if producer == consumer:
+            continue  # edge internal to a fused chain
+        if not out.has_edge(producer, consumer):
+            out.add_edge(
+                replace(edge, producer=producer, consumer=consumer)
+            )
+    out.validate()
+    return out

@@ -1,0 +1,35 @@
+"""Neurocube-style 3D processing-in-memory machine model (paper Section 2.1).
+
+The architecture integrates DRAM/eDRAM arrays with an array of processing
+engines (PEs) in a 3D stack. Each PE has a pFIFO, an ALU datapath, a
+register file and a data cache for intermediate CNN results; iFIFO/oFIFO
+carry inter-PE traffic; PEs reach DRAM vaults through TSVs via a crossbar.
+Fetching from a DRAM vault costs 2-10x more time and energy than the on-chip
+PE cache (Section 2.2), which is what makes intermediate-result placement
+worth optimizing.
+"""
+
+from repro.pim.config import PimConfig, ConfigurationError
+from repro.pim.memory import CacheModel, EdramVault, MemorySystem, Placement
+from repro.pim.pe import ProcessingEngine, PEArray
+from repro.pim.interconnect import Crossbar
+from repro.pim.energy import EnergyModel, EnergyReport
+from repro.pim.presets import ARCHITECTURES, architecture
+from repro.pim.stats import TrafficStats
+
+__all__ = [
+    "ARCHITECTURES",
+    "CacheModel",
+    "ConfigurationError",
+    "Crossbar",
+    "EdramVault",
+    "EnergyModel",
+    "EnergyReport",
+    "MemorySystem",
+    "PEArray",
+    "PimConfig",
+    "Placement",
+    "ProcessingEngine",
+    "TrafficStats",
+    "architecture",
+]

@@ -1,0 +1,135 @@
+"""PIM machine configuration (paper Sections 2.1-2.3, 4.1).
+
+The paper evaluates a Neurocube-derived architecture with up to 64
+processing engines connected by a crossbar, an aggregate on-chip cache of
+100-300 KB for the whole PE array, and stacked eDRAM vaults whose access
+costs 2-10x more time and energy than the PE cache. :class:`PimConfig`
+captures those parameters plus the translation from intermediate-result
+sizes to transfer times in abstract schedule time units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+class ConfigurationError(ValueError):
+    """Raised for inconsistent machine configurations."""
+
+
+@dataclass(frozen=True)
+class PimConfig:
+    """Machine description shared by the analytic model and the simulator.
+
+    Attributes:
+        num_pes: number of processing engines (the paper sweeps 16/32/64).
+        cache_bytes_per_pe: data-cache capacity of one PE. The default of
+            4 KiB yields 64 KiB-256 KiB aggregate across 16-64 PEs, inside
+            the paper's 100-300 KB envelope at the upper configurations.
+        cache_slot_bytes: allocation granularity of the cache. The dynamic
+            program of Section 3.3 runs over slots, keeping the ``B[S, m]``
+            table tractable; intermediate results occupy
+            ``ceil(size / cache_slot_bytes)`` slots.
+        cache_bytes_per_unit: bytes one schedule time unit can move from the
+            PE cache into a consuming PE (on-chip path: pFIFO/RF). With the
+            default, typical intermediate results transfer in zero whole
+            time units -- matching Figure 3, where cache-resident results
+            add no delay.
+        edram_latency_factor: vault-fetch slowdown relative to cache; the
+            paper cites 2-10x.
+        edram_energy_factor: vault-fetch energy ratio relative to cache.
+        iterations: number of steady-state iterations ``N`` assumed when a
+            total execution time is reported (prologue + N kernels).
+    """
+
+    num_pes: int = 16
+    cache_bytes_per_pe: int = 4096
+    cache_slot_bytes: int = 512
+    cache_bytes_per_unit: int = 8192
+    edram_latency_factor: int = 4
+    edram_energy_factor: int = 6
+    iterations: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ConfigurationError("num_pes must be >= 1")
+        if self.cache_bytes_per_pe < 0:
+            raise ConfigurationError("cache_bytes_per_pe must be >= 0")
+        if self.cache_slot_bytes < 1:
+            raise ConfigurationError("cache_slot_bytes must be >= 1")
+        if self.cache_bytes_per_unit < 1:
+            raise ConfigurationError("cache_bytes_per_unit must be >= 1")
+        if not 2 <= self.edram_latency_factor <= 10:
+            raise ConfigurationError(
+                "edram_latency_factor outside the paper's 2-10x envelope: "
+                f"{self.edram_latency_factor}"
+            )
+        if self.edram_energy_factor < 1:
+            raise ConfigurationError("edram_energy_factor must be >= 1")
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+
+    # ------------------------------------------------------------------
+    # capacities
+    # ------------------------------------------------------------------
+    @property
+    def total_cache_bytes(self) -> int:
+        """Aggregate on-chip cache across the PE array."""
+        return self.num_pes * self.cache_bytes_per_pe
+
+    @property
+    def total_cache_slots(self) -> int:
+        """Aggregate cache capacity in allocation slots (DP capacity ``S``)."""
+        return self.total_cache_bytes // self.cache_slot_bytes
+
+    def slots_required(self, size_bytes: int) -> int:
+        """Cache slots ``sp_m`` an intermediate result of ``size_bytes`` needs."""
+        if size_bytes <= 0:
+            raise ConfigurationError("size_bytes must be positive")
+        return max(1, math.ceil(size_bytes / self.cache_slot_bytes))
+
+    # ------------------------------------------------------------------
+    # transfer timing (abstract schedule time units)
+    # ------------------------------------------------------------------
+    def cache_transfer_units(self, size_bytes: int) -> int:
+        """Time units to move an intermediate result via the on-chip cache.
+
+        Zero for results smaller than one unit's worth of on-chip bandwidth:
+        the transfer hides inside the producer/consumer occupancy, exactly
+        like the cache-resident results of the motivational example.
+        """
+        if size_bytes <= 0:
+            raise ConfigurationError("size_bytes must be positive")
+        return size_bytes // self.cache_bytes_per_unit
+
+    def edram_transfer_units(self, size_bytes: int) -> int:
+        """Time units to round-trip an intermediate result through eDRAM.
+
+        At least one whole unit (the vault access itself), scaled by the
+        2-10x latency factor of the stacked memory path.
+        """
+        if size_bytes <= 0:
+            raise ConfigurationError("size_bytes must be positive")
+        scaled = (size_bytes * self.edram_latency_factor) // self.cache_bytes_per_unit
+        return max(1, scaled)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def with_pes(self, num_pes: int) -> "PimConfig":
+        """Copy of this configuration with a different PE count."""
+        return replace(self, num_pes=num_pes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.num_pes} PEs, {self.total_cache_bytes // 1024} KiB aggregate "
+            f"cache ({self.cache_bytes_per_pe} B/PE, {self.cache_slot_bytes} B "
+            f"slots), eDRAM {self.edram_latency_factor}x latency / "
+            f"{self.edram_energy_factor}x energy"
+        )
+
+
+#: The three PE-array configurations the paper sweeps in every experiment.
+PAPER_PE_SWEEP = (16, 32, 64)

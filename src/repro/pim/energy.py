@@ -1,0 +1,65 @@
+"""Energy accounting (the paper's stated future work, built as an extension).
+
+Per-access energies follow the relative costs the paper cites: a DRAM-vault
+access costs several times an on-chip cache access (Section 2.2, refs
+[7, 14]). Absolute values are representative DESTINY-style numbers in
+picojoules; only the ratios matter for the comparisons we report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pim.config import PimConfig
+from repro.pim.stats import TrafficStats
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one run, in picojoules."""
+
+    cache_pj: float
+    edram_pj: float
+    compute_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.cache_pj + self.edram_pj + self.compute_pj
+
+    @property
+    def movement_pj(self) -> float:
+        """Data-movement energy only (what Para-CONV optimizes)."""
+        return self.cache_pj + self.edram_pj
+
+    def as_dict(self) -> dict:
+        return {
+            "cache_pj": self.cache_pj,
+            "edram_pj": self.edram_pj,
+            "compute_pj": self.compute_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Linear per-byte / per-op energy model.
+
+    Attributes:
+        cache_pj_per_byte: energy to move one byte through the PE cache path.
+        alu_pj_per_op: energy of one ALU operation.
+    """
+
+    cache_pj_per_byte: float = 1.0
+    alu_pj_per_op: float = 0.5
+
+    def edram_pj_per_byte(self, config: PimConfig) -> float:
+        """eDRAM per-byte energy scaled by the configured vault ratio."""
+        return self.cache_pj_per_byte * config.edram_energy_factor
+
+    def estimate(self, stats: TrafficStats, config: PimConfig) -> EnergyReport:
+        """Price a traffic-counter snapshot."""
+        return EnergyReport(
+            cache_pj=stats.cache_bytes * self.cache_pj_per_byte,
+            edram_pj=stats.edram_bytes * self.edram_pj_per_byte(config),
+            compute_pj=stats.alu_ops * self.alu_pj_per_op,
+        )

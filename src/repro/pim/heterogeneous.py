@@ -1,0 +1,88 @@
+"""Heterogeneous PE arrays (extension).
+
+SPARTA's original domain is *heterogeneous* many-cores; the paper compares
+against it on a homogeneous PIM array. This extension closes the loop: a
+:class:`HeterogeneousArray` assigns each PE a speed multiplier (e.g. eight
+big cores at 1.0 and eight little cores at 0.5), the schedulers account
+effective execution times per placement, and the cross-scheme comparison
+can be re-run where the baseline is on home turf.
+
+An operation with nominal time ``c`` placed on a PE of speed ``s`` runs
+for ``ceil(c / s)`` time units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.pim.config import ConfigurationError, PimConfig
+
+
+@dataclass(frozen=True)
+class HeterogeneousArray:
+    """Per-PE speed description layered over a :class:`PimConfig`.
+
+    Attributes:
+        config: the machine's memory-system parameters (unchanged).
+        speeds: one multiplier per PE, in PE-id order; 1.0 is the nominal
+            speed the task graph's execution times assume.
+    """
+
+    config: PimConfig
+    speeds: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.speeds) != self.config.num_pes:
+            raise ConfigurationError(
+                f"{len(self.speeds)} speeds for {self.config.num_pes} PEs"
+            )
+        if any(s <= 0 for s in self.speeds):
+            raise ConfigurationError("PE speeds must be positive")
+
+    def effective_time(self, execution_time: int, pe: int) -> int:
+        """``ceil(c / speed)`` -- occupancy of an op on a concrete PE."""
+        if not 0 <= pe < len(self.speeds):
+            raise ConfigurationError(f"unknown PE {pe}")
+        return max(1, math.ceil(execution_time / self.speeds[pe]))
+
+    def group(self, pe_ids: Sequence[int]) -> "HeterogeneousArray":
+        """Sub-array restricted to ``pe_ids`` (renumbered from zero)."""
+        missing = [p for p in pe_ids if not 0 <= p < len(self.speeds)]
+        if missing:
+            raise ConfigurationError(f"unknown PEs {missing}")
+        sub_config = self.config.with_pes(len(pe_ids))
+        return HeterogeneousArray(
+            config=sub_config,
+            speeds=tuple(self.speeds[p] for p in pe_ids),
+        )
+
+    @property
+    def total_speed(self) -> float:
+        return sum(self.speeds)
+
+
+def big_little(
+    config: PimConfig, big_fraction: float = 0.5, little_speed: float = 0.5
+) -> HeterogeneousArray:
+    """A big.LITTLE-style array: fast PEs first, slow PEs after.
+
+    ``big_fraction`` of the PEs run at speed 1.0, the rest at
+    ``little_speed``.
+    """
+    if not 0 <= big_fraction <= 1:
+        raise ConfigurationError("big_fraction must be in [0, 1]")
+    if little_speed <= 0:
+        raise ConfigurationError("little_speed must be positive")
+    num_big = round(config.num_pes * big_fraction)
+    speeds = tuple(
+        1.0 if index < num_big else little_speed
+        for index in range(config.num_pes)
+    )
+    return HeterogeneousArray(config=config, speeds=speeds)
+
+
+def homogeneous(config: PimConfig) -> HeterogeneousArray:
+    """All PEs at nominal speed (degenerates to the paper's machine)."""
+    return HeterogeneousArray(config=config, speeds=(1.0,) * config.num_pes)

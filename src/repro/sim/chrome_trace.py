@@ -1,0 +1,75 @@
+"""Export execution traces to Chrome's trace-event JSON format.
+
+Open the produced file in ``chrome://tracing`` (or Perfetto) to inspect a
+simulated run visually: one row per PE plus one per vault-bound transfer
+stream, complete ("X") events with microsecond-scaled timestamps (one
+schedule time unit = 1 us by default).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.sim.executor import ExecutionTrace
+from repro.sim.trace import TransferKind
+
+
+def trace_to_events(
+    trace: ExecutionTrace, unit_us: float = 1.0
+) -> List[Dict[str, Any]]:
+    """Convert a trace to a list of Chrome trace-event dictionaries."""
+    if unit_us <= 0:
+        raise ValueError("unit_us must be positive")
+    events: List[Dict[str, Any]] = []
+    for record in trace.records:
+        events.append(
+            {
+                "name": f"V{record.op_id}^{record.iteration}",
+                "cat": "compute",
+                "ph": "X",
+                "pid": 0,
+                "tid": f"PE{record.pe}",
+                "ts": record.start * unit_us,
+                "dur": (record.finish - record.start) * unit_us,
+                "args": {
+                    "op": record.op_id,
+                    "iteration": record.iteration,
+                    "lateness": record.lateness,
+                },
+            }
+        )
+    for transfer in trace.transfers:
+        if transfer.completed <= transfer.issued:
+            continue  # zero-latency on-chip moves clutter the view
+        row = "cache-path" if transfer.kind is TransferKind.CACHE else "eDRAM"
+        events.append(
+            {
+                "name": f"I{transfer.edge}^{transfer.iteration}",
+                "cat": "transfer",
+                "ph": "X",
+                "pid": 1,
+                "tid": row,
+                "ts": transfer.issued * unit_us,
+                "dur": (transfer.completed - transfer.issued) * unit_us,
+                "args": {"bytes": transfer.size_bytes},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    trace: ExecutionTrace, path: Union[str, Path], unit_us: float = 1.0
+) -> None:
+    """Write the trace as a ``chrome://tracing`` compatible JSON file."""
+    payload = {
+        "traceEvents": trace_to_events(trace, unit_us),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "iterations": trace.iterations,
+            "analytic_makespan": trace.analytic_makespan,
+            "realized_makespan": trace.realized_makespan,
+        },
+    }
+    Path(path).write_text(json.dumps(payload))

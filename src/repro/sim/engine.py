@@ -1,0 +1,86 @@
+"""Minimal discrete-event simulation engine.
+
+A deterministic heap-based event queue: events carry a timestamp, a
+priority (for same-time ordering) and a callback. Determinism matters --
+the executor's traces are compared across runs in tests -- so ties are
+broken by (priority, sequence number), never by callback identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on executor/engine inconsistencies (schedule violations)."""
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback. Ordering: time, then priority, then FIFO."""
+
+    time: int
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Deterministic time-ordered event queue."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._now = 0
+        self.processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (last event's timestamp)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(
+        self, time: int, callback: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Enqueue ``callback`` at ``time`` (must not be in the past)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, simulation time is {self._now}"
+            )
+        event = Event(time, priority, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self.processed += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: int = 10_000_000) -> int:
+        """Drain the queue (optionally stopping after time ``until``).
+
+        Returns the final simulation time. ``max_events`` guards against
+        runaway feedback loops in executor logic.
+        """
+        steps = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            if steps >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; runaway simulation?"
+                )
+            self.step()
+            steps += 1
+        return self._now

@@ -1,0 +1,340 @@
+"""Execute a Para-CONV periodic schedule on the machine model.
+
+The executor materializes every operation instance of ``N`` logical
+iterations plus the prologue, respecting the retimed dependency structure:
+instance ``l`` of operation ``i`` runs in round ``l + R_max - R(i)`` at its
+kernel offset, and the intermediate result of edge ``(i, j)`` flows from
+producer instance ``l`` to consumer instance ``l`` -- ``R(i) - R(j)``
+rounds apart in wall-clock time.
+
+Unlike the analytic model, the executor charges *real* resource usage:
+
+* eDRAM-resident results queue on their vault and occupy crossbar ports
+  for the write and the prefetch read;
+* cache-resident results occupy cache slots from production to
+  consumption; if the static allocation transiently overflows (an edge
+  with relative retiming > 0 keeps several instances alive), the overflow
+  instance spills to eDRAM and is counted;
+* PEs execute one instance at a time at their static placement.
+
+Instances start no earlier than their nominal time ``(round-1)*p + s_i``;
+any *lateness* beyond it means an analytic-model premise did not hold on
+the simulated machine (typically vault contention). The validation
+experiment asserts the observed lateness stays small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.paraconv import ParaConvResult
+from repro.core.baseline import SpartaResult
+from repro.pim.config import PimConfig
+from repro.pim.energy import EnergyModel, EnergyReport
+from repro.pim.interconnect import Crossbar
+from repro.pim.memory import MemorySystem, Placement
+from repro.pim.pe import PEArray
+from repro.pim.stats import TrafficStats
+from repro.sim.engine import EventQueue, SimulationError
+from repro.sim.trace import InstanceRecord, TransferKind, TransferRecord
+
+EdgeKey = Tuple[int, int]
+InstanceKey = Tuple[int, int]  # (op_id, logical iteration)
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything measured while executing a schedule."""
+
+    config: PimConfig
+    iterations: int
+    analytic_makespan: int
+    realized_makespan: int
+    records: List[InstanceRecord] = field(default_factory=list)
+    transfers: List[TransferRecord] = field(default_factory=list)
+    stats: TrafficStats = field(default_factory=TrafficStats)
+    cache_peak_slots: int = 0
+    cache_spills: int = 0
+    events_processed: int = 0
+
+    @property
+    def max_lateness(self) -> int:
+        return max((r.lateness for r in self.records), default=0)
+
+    @property
+    def total_lateness(self) -> int:
+        return sum(r.lateness for r in self.records)
+
+    @property
+    def slowdown(self) -> float:
+        """Realized over analytic makespan (1.0 = model exact)."""
+        if self.analytic_makespan == 0:
+            return 1.0
+        return self.realized_makespan / self.analytic_makespan
+
+    def pe_utilization(self) -> float:
+        """Aggregate busy fraction over the realized makespan."""
+        if self.realized_makespan == 0:
+            return 0.0
+        busy = sum(r.finish - r.start for r in self.records)
+        width = len({r.pe for r in self.records}) or 1
+        return busy / (self.realized_makespan * width)
+
+    def energy(self, model: Optional[EnergyModel] = None) -> EnergyReport:
+        return (model or EnergyModel()).estimate(self.stats, self.config)
+
+
+class ScheduleExecutor:
+    """Discrete-event executor for :class:`ParaConvResult` schedules."""
+
+    def __init__(self, config: PimConfig, num_vaults: int = 16):
+        self.config = config
+        self.num_vaults = num_vaults
+
+    def execute(self, result: ParaConvResult, iterations: int = 20) -> ExecutionTrace:
+        """Run ``iterations`` logical iterations of one PE group."""
+        if iterations < 1:
+            raise SimulationError("iterations must be >= 1")
+        schedule = result.schedule
+        graph = result.graph
+        kernel = schedule.kernel
+        period = schedule.period
+        r_max = schedule.max_retiming
+        width = result.group_width
+
+        queue = EventQueue()
+        pes = PEArray(self.config.with_pes(width))
+        memory = MemorySystem(self.config, num_vaults=self.num_vaults)
+        # Per-group cache share, as the allocator assumed.
+        memory.cache.capacity_slots = max(
+            memory.cache.capacity_slots // result.num_groups, 0
+        )
+        crossbar = Crossbar(num_inputs=width, num_outputs=self.num_vaults)
+        trace = ExecutionTrace(
+            config=self.config,
+            iterations=iterations,
+            analytic_makespan=r_max * period + iterations * period,
+            realized_makespan=0,
+        )
+
+        # --- instance bookkeeping -------------------------------------
+        pending: Dict[InstanceKey, int] = {}
+        max_avail: Dict[InstanceKey, int] = {}
+        nominal: Dict[InstanceKey, int] = {}
+        cache_live: Dict[Tuple[EdgeKey, int], int] = {}
+
+        def round_of(op_id: int, iteration: int) -> int:
+            return iteration + r_max - schedule.retiming[op_id]
+
+        instances: List[InstanceKey] = []
+        for op in graph.operations():
+            for iteration in range(1, iterations + 1):
+                key = (op.op_id, iteration)
+                instances.append(key)
+                nominal[key] = (round_of(op.op_id, iteration) - 1) * period + (
+                    kernel.start(op.op_id)
+                )
+                # Dependencies: in-edges whose producer instance exists.
+                deps = sum(
+                    1
+                    for _edge in graph.in_edges(op.op_id)
+                )
+                pending[key] = deps
+                max_avail[key] = 0
+
+        # --- event handlers --------------------------------------------
+        from repro.pim.pe import FifoEntry
+
+        def data_arrived(
+            consumer: InstanceKey, when: int, edge_key: EdgeKey = None,
+            size_bytes: int = 0,
+        ) -> None:
+            max_avail[consumer] = max(max_avail[consumer], when)
+            pending[consumer] -= 1
+            # Stage the datum in the consumer PE's pFIFO (occupancy stats;
+            # a full FIFO degrades to a direct cache/eDRAM read).
+            if edge_key is not None:
+                pe = pes[kernel.pe_of(consumer[0])]
+                if not pe.pfifo.full:
+                    pe.pfifo.push(FifoEntry(edge_key, size_bytes))
+                    trace.stats.fifo_pushes += 1
+            if pending[consumer] == 0:
+                start_at = max(nominal[consumer], max_avail[consumer], queue.now)
+                queue.schedule(start_at, lambda c=consumer: attempt_start(c), 1)
+
+        def attempt_start(key: InstanceKey) -> None:
+            op_id, iteration = key
+            op = graph.operation(op_id)
+            pe = pes[kernel.pe_of(op_id)]
+            # Consume the pFIFO entries staged for this instance.
+            for _ in range(graph.in_degree(op_id)):
+                if len(pe.pfifo):
+                    pe.pfifo.pop()
+            start, finish = pe.reserve(queue.now, op.execution_time)
+            trace.records.append(
+                InstanceRecord(
+                    op_id=op_id,
+                    iteration=iteration,
+                    pe=pe.pe_id,
+                    nominal_start=nominal[key],
+                    start=start,
+                    finish=finish,
+                )
+            )
+            trace.stats.alu_ops += max(op.work, op.execution_time)
+            # Consume: free cache slots held by in-edges.
+            for edge in graph.in_edges(op_id):
+                live = (edge.key, iteration)
+                if live in cache_live:
+                    memory.cache.remove(live)
+                    del cache_live[live]
+            queue.schedule(finish, lambda k=key: produce(k), 2)
+
+        def produce(key: InstanceKey) -> None:
+            op_id, iteration = key
+            finish = queue.now
+            for edge in graph.out_edges(op_id):
+                if not 1 <= iteration <= iterations:
+                    continue
+                consumer = (edge.consumer, iteration)
+                placement = schedule.placements[edge.key]
+                if placement is Placement.CACHE:
+                    slots = self.config.slots_required(edge.size_bytes)
+                    if memory.cache.fits(slots):
+                        memory.cache.insert((edge.key, iteration), slots)
+                        cache_live[(edge.key, iteration)] = slots
+                        trace.cache_peak_slots = max(
+                            trace.cache_peak_slots, memory.cache.used_slots
+                        )
+                        memory.record_cache_transfer(edge.size_bytes)
+                        arrival = finish + self.config.cache_transfer_units(
+                            edge.size_bytes
+                        )
+                        trace.transfers.append(
+                            TransferRecord(
+                                edge.key, iteration, TransferKind.CACHE,
+                                edge.size_bytes, finish, arrival,
+                            )
+                        )
+                        queue.schedule(
+                            arrival,
+                            lambda c=consumer, t=arrival, k=edge.key,
+                            b=edge.size_bytes: data_arrived(c, t, k, b),
+                            0,
+                        )
+                        continue
+                    trace.cache_spills += 1  # transient overflow: spill
+                arrival = self._edram_roundtrip(
+                    edge.key, edge.size_bytes, finish,
+                    kernel.pe_of(op_id), kernel.pe_of(edge.consumer),
+                    memory, crossbar,
+                )
+                trace.transfers.append(
+                    TransferRecord(
+                        edge.key, iteration, TransferKind.EDRAM,
+                        edge.size_bytes, finish, arrival,
+                    )
+                )
+                queue.schedule(
+                    arrival,
+                    lambda c=consumer, t=arrival, k=edge.key,
+                    b=edge.size_bytes: data_arrived(c, t, k, b),
+                    0,
+                )
+
+        # --- kick off ----------------------------------------------------
+        for key in instances:
+            if pending[key] == 0:
+                queue.schedule(nominal[key], lambda k=key: attempt_start(k), 1)
+
+        queue.run()
+        executed = len(trace.records)
+        expected = graph.num_vertices * iterations
+        if executed != expected:
+            raise SimulationError(
+                f"executed {executed} instances, expected {expected}; "
+                "dependency deadlock in the schedule"
+            )
+        trace.realized_makespan = max(r.finish for r in trace.records)
+        trace.stats = trace.stats.merged_with(memory.stats)
+        trace.events_processed = queue.processed
+        return trace
+
+    def _edram_roundtrip(
+        self,
+        edge_key: EdgeKey,
+        size_bytes: int,
+        finish: int,
+        producer_pe: int,
+        consumer_pe: int,
+        memory: MemorySystem,
+        crossbar: Crossbar,
+    ) -> int:
+        """Prefetch an intermediate result through the stacked memory.
+
+        The producer writes through to its vault while still executing
+        (the PIM write path pipelines into production), so the visible
+        cost is the consumer-side fetch issued at production time: the
+        vault queues and services the access, then the data crosses the
+        TSV/crossbar wire -- together exactly the analytic
+        ``edram_transfer_units`` when the vault is idle, more under
+        contention. The crossbar ports are occupied for the bandwidth
+        share of the transfer (not its latency), so independent transfers
+        overlap as on real hardware.
+        """
+        vault = memory.vault_for(edge_key)
+        latency = self.config.edram_transfer_units(size_bytes)
+        service = vault.access_time(size_bytes)
+        port_busy = self.config.cache_transfer_units(size_bytes)
+        issued, _ = crossbar.transfer(
+            consumer_pe, vault.vault_id % crossbar.num_outputs, port_busy,
+            finish, size_bytes,
+        )
+        serviced = vault.read(size_bytes, issued)
+        arrival = serviced + max(0, latency - service)
+        memory.record_edram_transfer(size_bytes)
+        return arrival
+
+
+def simulate_sparta(
+    result: SpartaResult, iterations: int = 20, num_vaults: int = 16
+) -> ExecutionTrace:
+    """Execute a SPARTA schedule: iterations back-to-back on one group.
+
+    The stalled occupancies are already folded into the kernel, so the
+    executor only validates resource feasibility and accumulates traffic:
+    every eDRAM-placed in-edge of an operation counts as a demand fetch.
+    """
+    if iterations < 1:
+        raise SimulationError("iterations must be >= 1")
+    graph = result.graph
+    kernel = result.kernel
+    config = result.config
+    length = result.iteration_length
+    memory = MemorySystem(config, num_vaults=num_vaults)
+    trace = ExecutionTrace(
+        config=config,
+        iterations=iterations,
+        analytic_makespan=iterations * length,
+        realized_makespan=iterations * length,
+    )
+    for iteration in range(1, iterations + 1):
+        base = (iteration - 1) * length
+        for op in graph.operations():
+            start = base + kernel.start(op.op_id)
+            finish = base + kernel.finish(op.op_id)
+            trace.records.append(
+                InstanceRecord(
+                    op.op_id, iteration, kernel.pe_of(op.op_id),
+                    start, start, finish,
+                )
+            )
+            trace.stats.alu_ops += max(op.work, op.execution_time)
+        for edge in graph.edges():
+            if result.placements[edge.key] is Placement.CACHE:
+                memory.record_cache_transfer(edge.size_bytes)
+            else:
+                memory.record_edram_transfer(edge.size_bytes)
+    trace.stats = trace.stats.merged_with(memory.stats)
+    return trace

@@ -1,0 +1,53 @@
+"""Trace records produced by the schedule executor."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class TransferKind(enum.Enum):
+    """Which path an intermediate result travelled."""
+
+    CACHE = "cache"
+    EDRAM = "edram"
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """One executed operation instance.
+
+    ``nominal_start`` is what the static schedule prescribed
+    (``(round - 1) * p + s_i``); ``start`` is when the simulator could
+    actually begin (after data arrival and PE availability). The
+    difference is the instance's *lateness* -- zero when the analytic
+    model's premises hold on the simulated machine.
+    """
+
+    op_id: int
+    iteration: int
+    pe: int
+    nominal_start: int
+    start: int
+    finish: int
+
+    @property
+    def lateness(self) -> int:
+        return self.start - self.nominal_start
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One intermediate-result movement between producer and consumer."""
+
+    edge: Tuple[int, int]
+    iteration: int
+    kind: TransferKind
+    size_bytes: int
+    issued: int
+    completed: int
+
+    @property
+    def latency(self) -> int:
+        return self.completed - self.issued

@@ -1,0 +1,87 @@
+"""Tests for the GoogLeNet builder against published structure."""
+
+import pytest
+
+from repro.cnn.googlenet import (
+    INCEPTION_PARAMS,
+    build_googlenet,
+    googlenet_prefix,
+    inception_module,
+)
+from repro.cnn.layers import Conv2D, TensorShape
+from repro.cnn.network import Network
+from repro.cnn.layers import InputLayer
+
+
+class TestFullNetwork:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_googlenet()
+
+    def test_classifier_shape(self, net):
+        info = net.infer_shapes()
+        assert info["loss3/classifier"].output_shape == TensorShape(1000, 1, 1)
+
+    def test_nine_inception_modules(self, net):
+        concats = [n for n in net.layer_names() if n.endswith("/concat")]
+        assert len(concats) == 9
+
+    def test_inception_output_channels(self, net):
+        # Szegedy et al. Table 1: 3a outputs 256 channels at 28x28.
+        info = net.infer_shapes()
+        assert info["inc3a/concat"].output_shape == TensorShape(256, 28, 28)
+        # 4e outputs 832 at 14x14; 5b outputs 1024 at 7x7.
+        assert info["inc4e/concat"].output_shape == TensorShape(832, 14, 14)
+        assert info["inc5b/concat"].output_shape == TensorShape(1024, 7, 7)
+
+    def test_global_pool_shape(self, net):
+        info = net.infer_shapes()
+        assert info["pool5/7x7_s1"].output_shape == TensorShape(1024, 1, 1)
+
+    def test_total_macs_in_published_band(self, net):
+        # GoogLeNet inference is ~1.5 GMAC (published 1.43-1.6 depending
+        # on accounting); allow a generous band.
+        total = net.total_macs()
+        assert 1.0e9 < total < 2.5e9
+
+    def test_convolutions_dominate_compute(self, net):
+        # Paper Section 1: convolutions take about 90% of CNN operations.
+        assert net.conv_mac_fraction() > 0.85
+
+    def test_weight_footprint_megabytes(self, net):
+        # ~7M params, 2 bytes each -> ~13-14 MB
+        weights = net.total_weight_bytes()
+        assert 8e6 < weights < 30e6
+
+
+class TestInceptionModule:
+    def test_branch_structure(self):
+        net = Network()
+        x = net.add("input", InputLayer(TensorShape(192, 28, 28)))
+        out = inception_module(net, "t", x, INCEPTION_PARAMS["3a"])
+        assert out == "inct/concat"
+        info = net.infer_shapes()
+        assert info[out].output_shape.channels == 64 + 128 + 32 + 32
+        # 6 convolutions per module
+        convs = [
+            n for n in net.layer_names()
+            if isinstance(net.layer(n), Conv2D)
+        ]
+        assert len(convs) == 6
+
+
+class TestPrefix:
+    def test_zero_modules(self):
+        net = googlenet_prefix(0)
+        assert not [n for n in net.layer_names() if "inc" in n]
+        net.infer_shapes()
+
+    def test_three_modules(self):
+        net = googlenet_prefix(3)
+        concats = [n for n in net.layer_names() if n.endswith("/concat")]
+        assert len(concats) == 3
+        net.infer_shapes()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            googlenet_prefix(10)

@@ -1,0 +1,143 @@
+"""Tests for the CNN layer algebra (shape inference and work accounting)."""
+
+import pytest
+
+from repro.cnn.layers import (
+    AvgPool2D,
+    Concat,
+    Conv2D,
+    Flatten,
+    FullyConnected,
+    InputLayer,
+    LayerError,
+    LocalResponseNorm,
+    MaxPool2D,
+    TensorShape,
+)
+
+
+class TestTensorShape:
+    def test_elements_and_bytes(self):
+        shape = TensorShape(3, 4, 5)
+        assert shape.elements == 60
+        assert shape.bytes() == 120  # 16-bit default
+        assert shape.bytes(element_bytes=4) == 240
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(LayerError):
+            TensorShape(0, 4, 4)
+
+    def test_str(self):
+        assert str(TensorShape(64, 56, 56)) == "64x56x56"
+
+
+class TestConv2D:
+    def test_output_shape_same_padding(self):
+        conv = Conv2D(out_channels=16, kernel=3, padding=1)
+        out = conv.output_shape([TensorShape(3, 32, 32)])
+        assert out == TensorShape(16, 32, 32)
+
+    def test_output_shape_stride(self):
+        # GoogLeNet conv1: 7x7/2 pad 3 on 224 -> 112
+        conv = Conv2D(64, 7, stride=2, padding=3)
+        out = conv.output_shape([TensorShape(3, 224, 224)])
+        assert out == TensorShape(64, 112, 112)
+
+    def test_macs_formula(self):
+        conv = Conv2D(8, 3)
+        src = TensorShape(4, 10, 10)
+        out = conv.output_shape([src])
+        expected = out.elements * 4 * 3 * 3
+        assert conv.macs([src]) == expected
+
+    def test_weight_bytes(self):
+        conv = Conv2D(8, 3)
+        assert conv.weight_bytes([TensorShape(4, 10, 10)]) == 8 * 4 * 9 * 2
+
+    def test_kernel_too_big_rejected(self):
+        conv = Conv2D(8, 9)
+        with pytest.raises(LayerError, match="collapses"):
+            conv.output_shape([TensorShape(3, 4, 4)])
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(LayerError):
+            Conv2D(0, 3)
+        with pytest.raises(LayerError):
+            Conv2D(8, 3, stride=0)
+        with pytest.raises(LayerError):
+            Conv2D(8, 3, padding=-1)
+
+    def test_arity_enforced(self):
+        conv = Conv2D(8, 3)
+        with pytest.raises(LayerError, match="expects 1"):
+            conv.output_shape([TensorShape(3, 8, 8), TensorShape(3, 8, 8)])
+
+
+class TestPooling:
+    def test_maxpool_default_stride_is_kernel(self):
+        pool = MaxPool2D(2)
+        out = pool.output_shape([TensorShape(16, 8, 8)])
+        assert out == TensorShape(16, 4, 4)
+
+    def test_overlapping_pool(self):
+        # GoogLeNet pool: 3x3/2 pad 1 on 112 -> 56
+        pool = MaxPool2D(3, stride=2, padding=1)
+        out = pool.output_shape([TensorShape(64, 112, 112)])
+        assert out == TensorShape(64, 56, 56)
+
+    def test_channels_preserved(self):
+        pool = AvgPool2D(7)
+        out = pool.output_shape([TensorShape(1024, 7, 7)])
+        assert out == TensorShape(1024, 1, 1)
+
+    def test_pool_macs_light(self):
+        pool = MaxPool2D(2)
+        src = TensorShape(16, 8, 8)
+        conv = Conv2D(16, 3, padding=1)
+        assert pool.macs([src]) < conv.macs([src])
+
+
+class TestOtherLayers:
+    def test_lrn_preserves_shape(self):
+        lrn = LocalResponseNorm()
+        shape = TensorShape(64, 56, 56)
+        assert lrn.output_shape([shape]) == shape
+        assert lrn.macs([shape]) == shape.elements * 5
+
+    def test_concat_sums_channels(self):
+        concat = Concat()
+        shapes = [TensorShape(64, 28, 28), TensorShape(128, 28, 28),
+                  TensorShape(32, 28, 28)]
+        assert concat.output_shape(shapes) == TensorShape(224, 28, 28)
+        assert concat.macs(shapes) == 0
+        assert not concat.is_compute
+
+    def test_concat_spatial_mismatch_rejected(self):
+        concat = Concat()
+        with pytest.raises(LayerError, match="mismatch"):
+            concat.output_shape(
+                [TensorShape(64, 28, 28), TensorShape(64, 14, 14)]
+            )
+
+    def test_concat_needs_input(self):
+        with pytest.raises(LayerError):
+            Concat().output_shape([])
+
+    def test_flatten(self):
+        flat = Flatten()
+        out = flat.output_shape([TensorShape(1024, 7, 7)])
+        assert out == TensorShape(1024 * 49, 1, 1)
+        assert not flat.is_compute
+
+    def test_fully_connected(self):
+        fc = FullyConnected(1000)
+        src = TensorShape(1024, 1, 1)
+        assert fc.output_shape([src]) == TensorShape(1000, 1, 1)
+        assert fc.macs([src]) == 1024 * 1000
+        assert fc.weight_bytes([src]) == 1024 * 1000 * 2
+
+    def test_input_layer(self):
+        layer = InputLayer(TensorShape(3, 224, 224))
+        assert layer.output_shape([]) == TensorShape(3, 224, 224)
+        assert layer.macs([]) == 0
+        assert not layer.is_compute

@@ -1,0 +1,90 @@
+"""Tests for the classic CNN builders (LeNet-5, AlexNet, VGG-16)."""
+
+import pytest
+
+from repro.cnn.layers import TensorShape
+from repro.cnn.models import (
+    MODEL_BUILDERS,
+    build_alexnet,
+    build_lenet5,
+    build_vgg16,
+)
+from repro.cnn.partition import partition_network
+
+
+class TestLeNet5:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_lenet5()
+
+    def test_classic_geometry(self, net):
+        info = net.infer_shapes()
+        assert info["c1"].output_shape == TensorShape(6, 28, 28)
+        assert info["s2"].output_shape == TensorShape(6, 14, 14)
+        assert info["c3"].output_shape == TensorShape(16, 10, 10)
+        assert info["c5"].output_shape == TensorShape(120, 1, 1)
+        assert info["output"].output_shape == TensorShape(10, 1, 1)
+
+    def test_mac_count_published_band(self, net):
+        # LeNet-5 is roughly 0.3-0.5 MMACs per inference
+        assert 2e5 < net.total_macs() < 8e5
+
+
+class TestAlexNet:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_alexnet()
+
+    def test_feature_geometry(self, net):
+        info = net.infer_shapes()
+        assert info["conv1"].output_shape == TensorShape(96, 55, 55)
+        assert info["pool2"].output_shape == TensorShape(256, 13, 13)
+        assert info["pool5"].output_shape == TensorShape(256, 6, 6)
+        assert info["fc8"].output_shape == TensorShape(1000, 1, 1)
+
+    def test_mac_count_published_band(self, net):
+        # AlexNet inference is ~0.7-1.2 GMACs depending on accounting
+        assert 0.6e9 < net.total_macs() < 1.5e9
+
+    def test_custom_class_count(self):
+        net = build_alexnet(num_classes=17)
+        assert net.infer_shapes()["fc8"].output_shape.channels == 17
+
+
+class TestVgg16:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return build_vgg16()
+
+    def test_thirteen_convolutions(self, net):
+        convs = [n for n in net.layer_names() if n.startswith("conv")]
+        assert len(convs) == 13
+
+    def test_feature_geometry(self, net):
+        info = net.infer_shapes()
+        assert info["pool5"].output_shape == TensorShape(512, 7, 7)
+        assert info["fc8"].output_shape == TensorShape(1000, 1, 1)
+
+    def test_mac_count_published_band(self, net):
+        # VGG-16 inference is ~15.5 GMACs
+        assert 14e9 < net.total_macs() < 17e9
+
+    def test_convolutions_dominate(self, net):
+        assert net.conv_mac_fraction() > 0.95
+
+
+class TestModelWorkloads:
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_models_partition_and_schedule(self, name):
+        from repro import ParaConv, PimConfig
+
+        graph = partition_network(MODEL_BUILDERS[name]())
+        graph.validate()
+        result = ParaConv(PimConfig(num_pes=16, iterations=100)).run(graph)
+        assert result.total_time() > 0
+
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_registered_as_workloads(self, name):
+        from repro.cnn.workloads import WORKLOADS
+
+        assert name in WORKLOADS

@@ -1,0 +1,99 @@
+"""Tests for the Network container."""
+
+import pytest
+
+from repro.cnn.layers import (
+    Concat,
+    Conv2D,
+    InputLayer,
+    MaxPool2D,
+    TensorShape,
+)
+from repro.cnn.network import Network, NetworkError
+
+
+def tiny_net() -> Network:
+    net = Network(name="tiny")
+    x = net.add("input", InputLayer(TensorShape(3, 16, 16)))
+    a = net.add("conv_a", Conv2D(8, 3, padding=1), [x])
+    b = net.add("conv_b", Conv2D(8, 1), [x])
+    m = net.add("merge", Concat(), [a, b])
+    net.add("pool", MaxPool2D(2), [m])
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        net = Network()
+        net.add("input", InputLayer(TensorShape(3, 8, 8)))
+        with pytest.raises(NetworkError, match="duplicate"):
+            net.add("input", InputLayer(TensorShape(3, 8, 8)))
+
+    def test_unknown_input_rejected(self):
+        net = Network()
+        with pytest.raises(NetworkError, match="unknown input"):
+            net.add("conv", Conv2D(8, 3), ["nope"])
+
+    def test_input_layer_takes_no_inputs(self):
+        net = Network()
+        net.add("a", InputLayer(TensorShape(3, 8, 8)))
+        with pytest.raises(NetworkError, match="takes no inputs"):
+            net.add("b", InputLayer(TensorShape(3, 8, 8)), ["a"])
+
+    def test_non_input_needs_inputs(self):
+        net = Network()
+        with pytest.raises(NetworkError, match="needs inputs"):
+            net.add("conv", Conv2D(8, 3))
+
+    def test_topology_queries(self):
+        net = tiny_net()
+        assert net.inputs_of("merge") == ("conv_a", "conv_b")
+        assert net.consumers_of("input") == ["conv_a", "conv_b"]
+        assert net.sinks() == ["pool"]
+        assert len(net) == 5
+
+
+class TestInference:
+    def test_shapes_propagate(self):
+        info = tiny_net().infer_shapes()
+        assert info["conv_a"].output_shape == TensorShape(8, 16, 16)
+        assert info["merge"].output_shape == TensorShape(16, 16, 16)
+        assert info["pool"].output_shape == TensorShape(16, 8, 8)
+
+    def test_memoization(self):
+        net = tiny_net()
+        assert net.infer_shapes() is net.infer_shapes()
+
+    def test_adding_layer_invalidates_cache(self):
+        net = tiny_net()
+        first = net.infer_shapes()
+        net.add("pool2", MaxPool2D(2), ["pool"])
+        second = net.infer_shapes()
+        assert first is not second
+        assert "pool2" in second
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(NetworkError, match="empty"):
+            Network().infer_shapes()
+
+    def test_shape_error_names_layer(self):
+        net = Network()
+        x = net.add("input", InputLayer(TensorShape(3, 4, 4)))
+        net.add("bigconv", Conv2D(8, 9), [x])
+        with pytest.raises(NetworkError, match="bigconv"):
+            net.infer_shapes()
+
+    def test_totals(self):
+        net = tiny_net()
+        info = net.infer_shapes()
+        assert net.total_macs() == sum(i.macs for i in info.values())
+        assert net.total_weight_bytes() > 0
+
+    def test_conv_mac_fraction_dominates(self):
+        # convs do nearly all the work in this net
+        assert tiny_net().conv_mac_fraction() > 0.9
+
+    def test_describe_contains_layers(self):
+        text = tiny_net().describe()
+        assert "conv_a" in text
+        assert "MaxPool2D" in text

@@ -1,0 +1,124 @@
+"""Tests for the network-to-task-graph partitioner."""
+
+import pytest
+
+from repro.cnn.googlenet import googlenet_prefix
+from repro.cnn.layers import (
+    Concat,
+    Conv2D,
+    InputLayer,
+    MaxPool2D,
+    TensorShape,
+)
+from repro.cnn.network import Network, NetworkError
+from repro.cnn.partition import PartitionConfig, partition_network
+from repro.graph.taskgraph import OperationKind
+
+
+def branchy_net() -> Network:
+    net = Network(name="branchy")
+    x = net.add("input", InputLayer(TensorShape(8, 16, 16)))
+    a = net.add("conv_a", Conv2D(8, 3, padding=1), [x])
+    b = net.add("conv_b", Conv2D(8, 1), [x])
+    m = net.add("merge", Concat(), [a, b])
+    net.add("pool", MaxPool2D(2), [m])
+    net.add("conv_c", Conv2D(4, 1), ["pool"])
+    return net
+
+
+class TestPartitionConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"macs_per_task": 0},
+            {"macs_per_time_unit": 0},
+            {"max_splits": 0},
+            {"max_execution_time": 0},
+            {"min_ir_bytes": 0},
+            {"min_ir_bytes": 100, "max_ir_bytes": 50},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(NetworkError):
+            PartitionConfig(**kwargs)
+
+
+class TestPartitionStructure:
+    def test_compute_layers_become_tasks(self):
+        graph = partition_network(branchy_net())
+        names = {op.name for op in graph.operations()}
+        assert {"conv_a", "conv_b", "pool", "conv_c"} <= names
+        # input/concat are pass-through, not tasks
+        assert "input" not in names
+        assert "merge" not in names
+
+    def test_kinds_assigned(self):
+        graph = partition_network(branchy_net())
+        kinds = {op.name: op.kind for op in graph.operations()}
+        assert kinds["conv_a"] is OperationKind.CONV
+        assert kinds["pool"] is OperationKind.POOL
+
+    def test_concat_routes_edges_through(self):
+        graph = partition_network(branchy_net())
+        by_name = {op.name: op.op_id for op in graph.operations()}
+        # pool must read from both branches directly
+        preds = set(graph.predecessors(by_name["pool"]))
+        assert preds == {by_name["conv_a"], by_name["conv_b"]}
+
+    def test_graph_validates(self):
+        graph = partition_network(branchy_net())
+        graph.validate()
+        assert graph.sources()  # at least one source task
+
+    def test_ir_sizes_clamped(self):
+        config = PartitionConfig(min_ir_bytes=512, max_ir_bytes=1024)
+        graph = partition_network(branchy_net(), config)
+        for edge in graph.edges():
+            assert 512 <= edge.size_bytes <= 1024
+
+    def test_execution_times_clamped(self):
+        config = PartitionConfig(max_execution_time=2)
+        graph = partition_network(branchy_net(), config)
+        for op in graph.operations():
+            assert 1 <= op.execution_time <= 2
+
+
+class TestSplitting:
+    def test_large_layers_split(self):
+        # Tiny budget forces every conv above it to split into channel groups
+        config = PartitionConfig(macs_per_task=1000, max_splits=4)
+        graph = partition_network(branchy_net(), config)
+        split_names = [op.name for op in graph.operations() if "#" in op.name]
+        assert split_names  # something split
+        # splits are capped
+        from collections import Counter
+
+        bases = Counter(name.split("#")[0] for name in split_names)
+        assert all(count <= 4 for count in bases.values())
+
+    def test_conv_consumers_fan_in_to_all_producer_slices(self):
+        config = PartitionConfig(macs_per_task=1000, max_splits=2)
+        graph = partition_network(branchy_net(), config)
+        by_name = {op.name: op.op_id for op in graph.operations()}
+        # conv_c reduces over all input channels: it must see every pool task
+        pool_ids = [i for n, i in by_name.items() if n.startswith("pool")]
+        conv_c_ids = [i for n, i in by_name.items() if n.startswith("conv_c")]
+        for consumer in conv_c_ids:
+            assert set(graph.predecessors(consumer)) == set(pool_ids)
+
+
+class TestGoogLeNetPartition:
+    def test_prefix_partition_is_schedulable(self):
+        graph = partition_network(googlenet_prefix(2))
+        graph.validate()
+        assert graph.num_vertices > 15
+        assert graph.num_edges >= graph.num_vertices - 1
+
+    def test_full_googlenet_partition_scales(self):
+        from repro.cnn.googlenet import build_googlenet
+
+        graph = partition_network(build_googlenet())
+        graph.validate()
+        # 59 compute layers, many split: expect a substantial graph
+        assert graph.num_vertices > 59
+        assert graph.num_edges > graph.num_vertices

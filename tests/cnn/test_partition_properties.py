@@ -1,0 +1,66 @@
+"""Property tests: random layer stacks always partition to valid graphs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cnn.layers import (
+    Concat,
+    Conv2D,
+    InputLayer,
+    MaxPool2D,
+    TensorShape,
+)
+from repro.cnn.network import Network
+from repro.cnn.partition import PartitionConfig, partition_network
+from repro.core.paraconv import ParaConv
+from repro.core.schedule import validate_periodic_schedule
+from repro.pim.config import PimConfig
+
+
+@st.composite
+def random_networks(draw):
+    """A random branchy CNN: stem, optional two-branch blocks, pools."""
+    size = draw(st.sampled_from([16, 32]))
+    net = Network(name="random-net")
+    tip = net.add("input", InputLayer(TensorShape(3, size, size)))
+    index = 0
+    for _block in range(draw(st.integers(min_value=1, max_value=4))):
+        index += 1
+        kind = draw(st.sampled_from(["conv", "pool", "branch"]))
+        if kind == "conv":
+            channels = draw(st.sampled_from([4, 8, 16]))
+            tip = net.add(f"conv{index}", Conv2D(channels, 3, padding=1), [tip])
+        elif kind == "pool":
+            # avoid collapsing below 2x2
+            shape = net.infer_shapes()[tip].output_shape
+            if shape.height >= 4:
+                tip = net.add(f"pool{index}", MaxPool2D(2), [tip])
+        else:
+            left = net.add(f"bl{index}", Conv2D(8, 1), [tip])
+            right = net.add(f"br{index}", Conv2D(8, 3, padding=1), [tip])
+            tip = net.add(f"cat{index}", Concat(), [left, right])
+    # guarantee at least one compute layer exists
+    net.add("head", Conv2D(4, 1), [tip])
+    return net
+
+
+class TestPartitionProperties:
+    @given(network=random_networks())
+    @settings(max_examples=25, deadline=None)
+    def test_partitions_are_valid_dags(self, network):
+        graph = partition_network(network, PartitionConfig())
+        graph.validate()
+        assert graph.num_vertices >= 1
+        for edge in graph.edges():
+            assert 256 <= edge.size_bytes <= 4096  # clamp respected
+        for op in graph.operations():
+            assert 1 <= op.execution_time <= 4
+
+    @given(network=random_networks(), splits=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=15, deadline=None)
+    def test_partitions_schedule_end_to_end(self, network, splits):
+        config = PartitionConfig(macs_per_task=50_000, max_splits=splits)
+        graph = partition_network(network, config)
+        if graph.num_vertices < 2:
+            return  # single-task networks have nothing to schedule
+        result = ParaConv(PimConfig(num_pes=8, iterations=100)).run(graph)
+        validate_periodic_schedule(result.schedule)

@@ -1,0 +1,36 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.cnn.workloads import PAPER_BENCHMARKS, WORKLOADS, load_workload
+from repro.graph.generators import BENCHMARK_SIZES
+from repro.graph.taskgraph import GraphValidationError
+
+
+class TestRegistry:
+    def test_all_paper_benchmarks_registered(self):
+        for name in BENCHMARK_SIZES:
+            assert name in WORKLOADS
+        assert PAPER_BENCHMARKS == list(BENCHMARK_SIZES)
+
+    def test_googlenet_workloads_registered(self):
+        assert "googlenet" in WORKLOADS
+        assert "googlenet-small" in WORKLOADS
+
+    def test_load_paper_benchmark(self):
+        graph = load_workload("cat")
+        assert (graph.num_vertices, graph.num_edges) == (9, 21)
+
+    def test_load_googlenet_small(self):
+        graph = load_workload("googlenet-small")
+        graph.validate()
+        assert graph.num_vertices > 20
+
+    def test_load_is_deterministic(self):
+        a = load_workload("car")
+        b = load_workload("car")
+        assert [e.key for e in a.edges()] == [e.key for e in b.edges()]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(GraphValidationError, match="unknown workload"):
+            load_workload("imagenet-22k")

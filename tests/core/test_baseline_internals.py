@@ -1,0 +1,107 @@
+"""Unit tests for SPARTA's internal characterization and stall model."""
+
+import pytest
+
+from repro.core.baseline import SpartaScheduler
+from repro.graph.taskgraph import TaskGraph
+from repro.pim.config import PimConfig
+from repro.pim.memory import Placement
+
+
+@pytest.fixture
+def tiny_graph():
+    graph = TaskGraph(name="tiny")
+    graph.add_op(0, execution_time=2)
+    graph.add_op(1, execution_time=1)
+    graph.add_op(2, execution_time=3)
+    graph.connect(0, 1, size_bytes=4096)
+    graph.connect(0, 2, size_bytes=256)
+    graph.connect(1, 2, size_bytes=1024)
+    graph.validate()
+    return graph
+
+
+class TestStalledView:
+    def test_edram_stalls_added_to_consumers(self, tiny_graph):
+        config = PimConfig(num_pes=4)
+        scheduler = SpartaScheduler(config)
+        placements = {e.key: Placement.EDRAM for e in tiny_graph.edges()}
+        stalled = scheduler._stalled_view(tiny_graph, placements)
+        # op 0 has no inputs: unchanged
+        assert stalled.operation(0).execution_time == 2
+        # op 1 demand-fetches the 4096B edge: +edram units
+        expected = 1 + config.edram_transfer_units(4096)
+        assert stalled.operation(1).execution_time == expected
+        # op 2 fetches two edges
+        expected = 3 + config.edram_transfer_units(256) + config.edram_transfer_units(1024)
+        assert stalled.operation(2).execution_time == expected
+
+    def test_cached_inputs_do_not_stall(self, tiny_graph):
+        config = PimConfig(num_pes=4)
+        scheduler = SpartaScheduler(config)
+        placements = {e.key: Placement.CACHE for e in tiny_graph.edges()}
+        stalled = scheduler._stalled_view(tiny_graph, placements)
+        # all intermediate results below one bandwidth unit: zero stall
+        for op in tiny_graph.operations():
+            assert stalled.operation(op.op_id).execution_time == op.execution_time
+
+    def test_structure_preserved(self, tiny_graph):
+        config = PimConfig(num_pes=4)
+        scheduler = SpartaScheduler(config)
+        placements = {e.key: Placement.EDRAM for e in tiny_graph.edges()}
+        stalled = scheduler._stalled_view(tiny_graph, placements)
+        assert stalled.num_vertices == tiny_graph.num_vertices
+        assert [e.key for e in stalled.edges()] == [
+            e.key for e in tiny_graph.edges()
+        ]
+
+
+class TestGreedyCacheAllocation:
+    def test_capacity_zero_caches_nothing(self, tiny_graph):
+        config = PimConfig(num_pes=4)
+        scheduler = SpartaScheduler(config)
+        sensors = scheduler._characterize(tiny_graph)
+        placements = scheduler._allocate_cache(tiny_graph, sensors, 0)
+        assert all(p is Placement.EDRAM for p in placements.values())
+
+    def test_comm_heavy_producers_cached_first(self, tiny_graph):
+        config = PimConfig(num_pes=4, cache_slot_bytes=512)
+        scheduler = SpartaScheduler(config)
+        sensors = scheduler._characterize(tiny_graph)
+        # op 1 senses the most traffic (4096 in + 1024 out), so its edge is
+        # cached first (2 slots); op 0's big edge (8 slots) then no longer
+        # fits in the 9-slot budget while its small edge (1 slot) does.
+        placements = scheduler._allocate_cache(tiny_graph, sensors, 9)
+        assert placements[(1, 2)] is Placement.CACHE
+        assert placements[(0, 1)] is Placement.EDRAM
+        assert placements[(0, 2)] is Placement.CACHE
+
+    def test_every_edge_placed(self, tiny_graph):
+        config = PimConfig(num_pes=4)
+        scheduler = SpartaScheduler(config)
+        sensors = scheduler._characterize(tiny_graph)
+        placements = scheduler._allocate_cache(tiny_graph, sensors, 100)
+        assert set(placements) == {e.key for e in tiny_graph.edges()}
+
+
+class TestPrioritization:
+    def test_priorities_respect_structure(self, tiny_graph):
+        config = PimConfig(num_pes=4)
+        scheduler = SpartaScheduler(config)
+        sensors = scheduler._characterize(tiny_graph)
+        priorities = scheduler._prioritize(tiny_graph, sensors)
+        # upstream ops outrank their dependents
+        assert priorities[0] > priorities[1] > priorities[2]
+
+    def test_sensed_load_breaks_ties(self):
+        graph = TaskGraph()
+        graph.add_op(0, execution_time=1)
+        graph.add_op(1, execution_time=3)  # heavier sibling
+        graph.add_op(2, execution_time=1)
+        graph.connect(0, 2)
+        graph.connect(1, 2)
+        config = PimConfig(num_pes=4)
+        scheduler = SpartaScheduler(config)
+        sensors = scheduler._characterize(graph)
+        priorities = scheduler._prioritize(graph, sensors)
+        assert priorities[1] > priorities[0]

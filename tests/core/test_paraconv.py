@@ -1,0 +1,157 @@
+"""End-to-end tests of the Para-CONV pipeline invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.paraconv import ParaConv
+from repro.core.schedule import ScheduleError, validate_periodic_schedule
+from repro.core.scheduler import load_balance_bound
+from repro.graph.generators import SyntheticGraphGenerator, synthetic_benchmark
+from repro.pim.config import PimConfig
+from repro.pim.memory import Placement
+
+
+class TestPipelineBasics:
+    def test_produces_valid_schedule(self, figure2_graph, small_config):
+        result = ParaConv(small_config).run(figure2_graph)
+        validate_periodic_schedule(result.schedule)
+
+    def test_period_meets_load_balance_bound(self, figure2_graph, small_config):
+        result = ParaConv(small_config).run(figure2_graph)
+        assert result.period >= load_balance_bound(
+            figure2_graph, result.group_width
+        )
+
+    def test_groups_tile_the_array(self, figure2_graph, small_config):
+        result = ParaConv(small_config).run(figure2_graph)
+        assert result.group_width * result.num_groups <= small_config.num_pes
+        assert result.num_groups >= 1
+
+    def test_total_time_formula(self, figure2_graph, small_config):
+        import math
+
+        result = ParaConv(small_config).run(figure2_graph)
+        n = small_config.iterations
+        expected = result.prologue_time + math.ceil(
+            n / result.num_groups
+        ) * result.period
+        assert result.total_time() == expected
+
+    def test_total_time_rejects_bad_iterations(self, figure2_graph, small_config):
+        result = ParaConv(small_config).run(figure2_graph)
+        with pytest.raises(ScheduleError):
+            result.total_time(0)
+
+    def test_throughput_consistency(self, figure2_graph, small_config):
+        result = ParaConv(small_config).run(figure2_graph)
+        assert result.throughput(100) == pytest.approx(
+            100 / result.total_time(100)
+        )
+
+    def test_every_edge_placed(self, figure2_graph, small_config):
+        result = ParaConv(small_config).run(figure2_graph)
+        assert set(result.schedule.placements) == {
+            e.key for e in figure2_graph.edges()
+        }
+
+    def test_case_histogram_covers_edges(self, figure2_graph, small_config):
+        result = ParaConv(small_config).run(figure2_graph)
+        assert sum(result.case_histogram.values()) == figure2_graph.num_edges
+
+    def test_summary_mentions_key_metrics(self, figure2_graph, small_config):
+        text = ParaConv(small_config).run(figure2_graph).summary()
+        assert "R_max" in text
+        assert "period" in text
+        assert "figure2" in text
+
+    def test_run_at_width_bounds(self, figure2_graph, small_config):
+        pipeline = ParaConv(small_config)
+        with pytest.raises(ScheduleError):
+            pipeline.run_at_width(figure2_graph, 0)
+        with pytest.raises(ScheduleError):
+            pipeline.run_at_width(figure2_graph, 99)
+
+    def test_run_selects_best_width(self, figure2_graph, small_config):
+        pipeline = ParaConv(small_config)
+        best = pipeline.run(figure2_graph)
+        from repro.core.scheduler import candidate_group_widths
+
+        for width in candidate_group_widths(small_config.num_pes):
+            assert best.total_time() <= pipeline.run_at_width(
+                figure2_graph, width
+            ).total_time()
+
+
+class TestAllocatorSelection:
+    def test_by_name(self, figure2_graph, small_config):
+        result = ParaConv(small_config, allocator_name="greedy").run(
+            figure2_graph
+        )
+        assert result.allocation.method == "greedy"
+
+    def test_unknown_name_rejected(self, small_config):
+        with pytest.raises(ValueError, match="unknown allocator"):
+            ParaConv(small_config, allocator_name="magic")
+
+    def test_both_forms_rejected(self, small_config):
+        from repro.core.allocation import dp_allocate
+
+        with pytest.raises(ValueError, match="not both"):
+            ParaConv(small_config, allocator=dp_allocate, allocator_name="dp")
+
+    def test_dp_never_worse_than_all_edram(self, small_config):
+        graph = synthetic_benchmark("flower")
+        dp = ParaConv(small_config).run_at_width(graph, 4)
+        edram = ParaConv(small_config, allocator_name="all-edram").run_at_width(
+            graph, 4
+        )
+        assert dp.max_retiming <= edram.max_retiming
+        assert dp.total_time() <= edram.total_time()
+
+    def test_oracle_never_worse_than_dp(self, small_config):
+        graph = synthetic_benchmark("flower")
+        dp = ParaConv(small_config).run_at_width(graph, 4)
+        oracle = ParaConv(small_config, allocator_name="oracle").run_at_width(
+            graph, 4
+        )
+        assert oracle.max_retiming <= dp.max_retiming
+
+
+class TestCapacityAccounting:
+    def test_cache_capacity_respected(self, small_config):
+        graph = synthetic_benchmark("character-1")
+        result = ParaConv(small_config).run(graph)
+        per_group = small_config.total_cache_slots // result.num_groups
+        assert result.allocation.slots_used <= per_group
+
+    def test_offchip_bytes_match_placements(self, figure2_graph, small_config):
+        result = ParaConv(small_config).run(figure2_graph)
+        expected = sum(
+            e.size_bytes
+            for e in figure2_graph.edges()
+            if result.schedule.placements[e.key] is Placement.EDRAM
+        )
+        assert result.offchip_bytes_per_iteration() == expected
+
+    def test_zero_cache_machine_still_works(self):
+        config = PimConfig(num_pes=4, cache_bytes_per_pe=0, iterations=50)
+        result = ParaConv(config).run(synthetic_benchmark("cat"))
+        assert result.num_cached == 0
+        validate_periodic_schedule(result.schedule)
+
+
+class TestPropertyBased:
+    @given(
+        n=st.integers(min_value=4, max_value=50),
+        pes=st.sampled_from([2, 4, 8, 16]),
+        seed=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs_produce_valid_schedules(self, n, pes, seed):
+        graph = SyntheticGraphGenerator().generate(n, n - 1 + n // 2, seed=seed)
+        config = PimConfig(num_pes=pes, iterations=100)
+        result = ParaConv(config).run(graph)
+        validate_periodic_schedule(result.schedule)
+        assert result.period >= load_balance_bound(graph, result.group_width)
+        assert result.max_retiming >= 0
+        assert 0 <= result.num_cached <= graph.num_edges

@@ -1,0 +1,76 @@
+"""Tests for schedule serialization (the deployable artifact)."""
+
+import json
+
+import pytest
+
+from repro.core.paraconv import ParaConv
+from repro.core.schedule import ScheduleError
+from repro.core.schedule_io import (
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from repro.graph.generators import synthetic_benchmark
+from repro.pim.config import PimConfig
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    config = PimConfig(num_pes=16, iterations=100)
+    return ParaConv(config).run(synthetic_benchmark("flower")).schedule
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self, schedule):
+        restored = schedule_from_dict(schedule_to_dict(schedule))
+        assert restored.period == schedule.period
+        assert restored.retiming == schedule.retiming
+        assert restored.edge_retiming == schedule.edge_retiming
+        assert restored.placements == schedule.placements
+        assert restored.transfer_times == schedule.transfer_times
+        assert restored.kernel.placements == schedule.kernel.placements
+
+    def test_json_file_round_trip(self, schedule, tmp_path):
+        path = tmp_path / "schedule.json"
+        schedule_to_json(schedule, path)
+        restored = schedule_from_json(path)
+        assert restored.max_retiming == schedule.max_retiming
+        assert restored.total_time(100) == schedule.total_time(100)
+
+    def test_restored_schedule_still_executes(self, schedule, tmp_path):
+        """A deployed schedule must run on the machine model unchanged."""
+        from repro.core.expansion import expand, verify_expansion
+
+        path = tmp_path / "schedule.json"
+        schedule_to_json(schedule, path)
+        restored = schedule_from_json(path)
+        verify_expansion(expand(restored, iterations=4))
+
+
+class TestValidationOnLoad:
+    def test_bad_version_rejected(self, schedule):
+        payload = schedule_to_dict(schedule)
+        payload["format_version"] = 42
+        with pytest.raises(ScheduleError, match="version"):
+            schedule_from_dict(payload)
+
+    def test_tampered_schedule_rejected(self, schedule):
+        """Loading validates semantics, not just syntax."""
+        payload = schedule_to_dict(schedule)
+        # zero out the retiming: cross-iteration dependencies now break
+        payload["retiming"] = {k: 0 for k in payload["retiming"]}
+        payload["edge_retiming"] = [
+            {**r, "value": 0} for r in payload["edge_retiming"]
+        ]
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(payload)
+
+    def test_json_is_stable_text(self, schedule, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        schedule_to_json(schedule, a)
+        schedule_to_json(schedule, b)
+        assert a.read_text() == b.read_text()
+        json.loads(a.read_text())  # well-formed

@@ -1,0 +1,95 @@
+"""Tests for experiment artifact persistence and diffing."""
+
+import pytest
+
+from repro.eval.artifacts import (
+    ArtifactError,
+    diff_artifacts,
+    load_artifact,
+    save_artifact,
+)
+from repro.eval.table1 import run_table1
+from repro.pim.config import PimConfig
+
+CONFIG = PimConfig(iterations=100)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table1(CONFIG, benchmarks=["cat", "car"])
+
+
+class TestSaveLoad:
+    def test_round_trip(self, rows, tmp_path):
+        path = tmp_path / "table1.json"
+        save_artifact("table1", rows, CONFIG, path)
+        payload = load_artifact(path)
+        assert payload["experiment"] == "table1"
+        assert payload["config"]["iterations"] == 100
+        assert len(payload["rows"]) == 2
+        first = payload["rows"][0]
+        assert first["benchmark"] == "cat"
+        assert "16" in first["cells"]
+
+    def test_extra_metadata(self, rows, tmp_path):
+        path = tmp_path / "a.json"
+        save_artifact("table1", rows, CONFIG, path, extra={"note": "run-1"})
+        assert load_artifact(path)["extra"]["note"] == "run-1"
+
+    def test_bad_version_rejected(self, rows, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        save_artifact("table1", rows, CONFIG, path)
+        payload = json.loads(path.read_text())
+        payload["artifact_version"] = 9
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="version"):
+            load_artifact(path)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"artifact_version": 1, "experiment": "x"}))
+        with pytest.raises(ArtifactError, match="missing"):
+            load_artifact(path)
+
+
+class TestDiff:
+    def _artifact(self, rows, tmp_path, name):
+        path = tmp_path / name
+        save_artifact("table1", rows, CONFIG, path)
+        return load_artifact(path)
+
+    def test_identical_runs_have_no_diff(self, rows, tmp_path):
+        a = self._artifact(rows, tmp_path, "a.json")
+        b = self._artifact(rows, tmp_path, "b.json")
+        assert diff_artifacts(a, b) == []
+
+    def test_numeric_drift_reported(self, rows, tmp_path):
+        a = self._artifact(rows, tmp_path, "a.json")
+        b = self._artifact(rows, tmp_path, "b.json")
+        b["rows"][0]["cells"]["16"]["sparta_time"] += 100
+        messages = diff_artifacts(a, b)
+        assert any("sparta_time" in m for m in messages)
+
+    def test_tolerance_suppresses_noise(self, rows, tmp_path):
+        a = self._artifact(rows, tmp_path, "a.json")
+        b = self._artifact(rows, tmp_path, "b.json")
+        b["rows"][0]["cells"]["16"]["sparta_time"] *= 1.001
+        assert diff_artifacts(a, b, tolerance=0.01) == []
+        assert diff_artifacts(a, b, tolerance=0.0) != []
+
+    def test_mismatched_experiments_rejected(self, rows, tmp_path):
+        a = self._artifact(rows, tmp_path, "a.json")
+        b = self._artifact(rows, tmp_path, "b.json")
+        b["experiment"] = "table2"
+        with pytest.raises(ArtifactError):
+            diff_artifacts(a, b)
+
+    def test_row_count_change_reported(self, rows, tmp_path):
+        a = self._artifact(rows, tmp_path, "a.json")
+        b = self._artifact(rows, tmp_path, "b.json")
+        b["rows"] = b["rows"][:1]
+        assert any("row count" in m for m in diff_artifacts(a, b))

@@ -1,0 +1,54 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.eval.__main__ import build_parser, main as eval_main
+from repro.__main__ import main as repro_main
+
+
+class TestEvalCli:
+    def test_parser_accepts_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--benchmarks", "cat"])
+        assert args.experiment == "table1"
+        assert args.benchmarks == ["cat"]
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_table1_runs(self, capsys):
+        assert eval_main(["table1", "--benchmarks", "cat", "--iterations", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Overall average reduction" in out
+
+    def test_figure6_runs(self, capsys):
+        assert eval_main(["figure6", "--benchmarks", "cat"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+
+class TestReproCli:
+    def test_list_workloads(self, capsys):
+        assert repro_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "protein" in out
+        assert "googlenet" in out
+
+    def test_run_workload_with_gantt_and_baseline(self, capsys):
+        code = repro_main(
+            ["cat", "--pes", "8", "--iterations", "100", "--gantt", "--baseline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Para-CONV on 'cat'" in out
+        assert "PE0" in out
+        assert "SPARTA baseline" in out
+
+    def test_no_workload_prints_usage(self, capsys):
+        assert repro_main([]) == 2
+
+    def test_alternate_allocator(self, capsys):
+        assert repro_main(["cat", "--pes", "4", "--allocator", "greedy",
+                           "--iterations", "50"]) == 0
+        assert "Para-CONV" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""CLI coverage for the remaining eval subcommands and repro flags."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.eval.__main__ import main as eval_main
+
+FAST = ["--iterations", "100", "--benchmarks", "cat"]
+
+
+class TestEvalSubcommands:
+    def test_table2(self, capsys):
+        assert eval_main(["table2", *FAST]) == 0
+        assert "R_max@16" in capsys.readouterr().out
+
+    def test_figure5(self, capsys):
+        assert eval_main(["figure5", *FAST]) == 0
+        assert "norm@64" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        assert eval_main(["ablation", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "dp:time" in out
+        assert "iterative:R" in out
+
+    def test_validation(self, capsys):
+        assert eval_main(["validation", *FAST]) == 0
+        assert "slowdown" in capsys.readouterr().out
+
+    def test_energy(self, capsys):
+        assert eval_main(["energy", *FAST]) == 0
+        assert "no-cache" in capsys.readouterr().out
+
+    def test_latency(self, capsys):
+        assert eval_main(["latency", *FAST]) == 0
+        assert "latency ratio" in capsys.readouterr().out
+
+    def test_architectures(self, capsys):
+        assert eval_main(["architectures", *FAST]) == 0
+        assert "edge_pim" in capsys.readouterr().out
+
+    def test_report(self, tmp_path, capsys):
+        out_path = tmp_path / "r.md"
+        assert eval_main(["report", *FAST, "--out", str(out_path)]) == 0
+        assert out_path.read_text().startswith("# Para-CONV experiment report")
+
+    def test_machine_knobs_flow_through(self, capsys):
+        assert eval_main(
+            ["table2", "--benchmarks", "cat", "--iterations", "100",
+             "--cache-bytes-per-pe", "0", "--edram-factor", "8"]
+        ) == 0
+        # zero cache: nothing allocated, R_max still reported
+        assert "R_max@16" in capsys.readouterr().out
+
+
+class TestReproFlags:
+    def test_simulate_and_exports(self, tmp_path, capsys):
+        dot = tmp_path / "g.dot"
+        trace = tmp_path / "t.json"
+        code = repro_main(
+            ["cat", "--pes", "8", "--iterations", "100",
+             "--simulate", "4", "--dot", str(dot), "--trace", str(trace),
+             "--liveness-aware"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Simulated 4 iterations" in out
+        assert dot.read_text().startswith("digraph")
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]

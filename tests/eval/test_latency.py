@@ -1,0 +1,44 @@
+"""Tests for the frame-latency trade-off analysis."""
+
+import pytest
+
+from repro.eval.latency import render_latency, run_latency
+from repro.pim.config import PimConfig
+
+
+class TestLatency:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_latency(
+            PimConfig(iterations=200),
+            benchmarks=["cat", "flower", "protein"],
+            pes=16,
+        )
+
+    def test_paraconv_wins_throughput(self, rows):
+        for row in rows:
+            assert row.throughput_ratio > 1.0
+
+    def test_retiming_costs_latency(self, rows):
+        # the trade-off the paper does not report: pipelining a frame over
+        # R_max + 1 rounds stretches its sojourn time
+        assert any(row.latency_ratio > 1.0 for row in rows)
+
+    def test_latency_formula(self, rows):
+        from repro.core.paraconv import ParaConv
+        from repro.graph.generators import synthetic_benchmark
+
+        config = PimConfig(num_pes=16, iterations=200)
+        result = ParaConv(config).run(synthetic_benchmark("cat"))
+        row = next(r for r in rows if r.benchmark == "cat")
+        assert row.paraconv_latency == (result.max_retiming + 1) * result.period
+
+    def test_intervals_positive(self, rows):
+        for row in rows:
+            assert row.paraconv_interval > 0
+            assert row.sparta_interval > 0
+
+    def test_render(self, rows):
+        text = render_latency(rows)
+        assert "latency ratio" in text
+        assert "throughput ratio" in text

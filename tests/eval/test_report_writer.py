@@ -1,0 +1,37 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.eval.report_writer import build_report, write_report
+from repro.pim.config import PimConfig
+
+CONFIG = PimConfig(iterations=100)
+
+
+class TestBuildReport:
+    def test_selected_sections_only(self):
+        text = build_report(
+            CONFIG, benchmarks=["cat"], sections=("table1", "figure5")
+        )
+        assert "## Table 1" in text
+        assert "## Figure 5" in text
+        assert "## Table 2" not in text
+        assert "Overall average reduction" in text
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown report sections"):
+            build_report(CONFIG, sections=("table9",))
+
+    def test_machine_header(self):
+        text = build_report(CONFIG, benchmarks=["cat"], sections=("table2",))
+        assert "Machine:" in text
+        assert "N = 100 iterations" in text
+
+
+class TestWriteReport:
+    def test_file_written(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_report(path, CONFIG, benchmarks=["cat"], sections=("table2",))
+        content = path.read_text()
+        assert content.startswith("# Para-CONV experiment report")
+        assert "R_max@16" in content

@@ -1,0 +1,64 @@
+"""Tests for the parameter sweeps."""
+
+import pytest
+
+from repro.eval.sweep import (
+    render_sweep,
+    sweep_cache_capacity,
+    sweep_edram_factor,
+    sweep_graph_scale,
+)
+from repro.pim.config import PimConfig
+
+
+class TestGraphScale:
+    def test_improvement_holds_across_sizes(self):
+        points = sweep_graph_scale(sizes=(40, 80, 160), config=PimConfig(num_pes=16, iterations=200))
+        for point in points:
+            assert point.improvement_percent > 0
+
+    def test_rmax_grows_with_size(self):
+        points = sweep_graph_scale(sizes=(40, 400), config=PimConfig(num_pes=16, iterations=200))
+        assert points[-1].paraconv_time > points[0].paraconv_time
+
+
+class TestEdramFactor:
+    def test_sparta_degrades_with_slower_edram(self):
+        points = sweep_edram_factor(
+            "flower", factors=(2, 10), config=PimConfig(num_pes=16, iterations=200)
+        )
+        assert points[1].sparta_time >= points[0].sparta_time
+
+    def test_improvement_grows_with_penalty(self):
+        # the costlier the vault fetch, the more retiming + caching helps
+        points = sweep_edram_factor(
+            "shortest-path", factors=(2, 10),
+            config=PimConfig(num_pes=16, iterations=200),
+        )
+        assert points[1].improvement_percent >= points[0].improvement_percent
+
+
+class TestCacheCapacity:
+    def test_zero_cache_machine_supported(self):
+        points = sweep_cache_capacity(
+            "flower", capacities=(0, 4096),
+            config=PimConfig(num_pes=16, iterations=200),
+        )
+        assert points[0].num_cached == 0
+        assert points[1].num_cached >= points[0].num_cached
+
+    def test_more_cache_never_hurts_paraconv(self):
+        points = sweep_cache_capacity(
+            "shortest-path", capacities=(0, 2048, 16384),
+            config=PimConfig(num_pes=16, iterations=200),
+        )
+        times = [p.paraconv_time for p in points]
+        assert times == sorted(times, reverse=True) or max(times) - min(times) <= times[-1] * 0.1
+
+
+class TestRendering:
+    def test_render_sweep(self):
+        points = sweep_graph_scale(sizes=(40,), config=PimConfig(num_pes=16, iterations=100))
+        text = render_sweep(points, "size", "Scale sweep")
+        assert "Scale sweep" in text
+        assert "IMP%" in text

@@ -1,0 +1,55 @@
+"""Tests for trend-agreement scoring."""
+
+import pytest
+
+from repro.eval.trends import rank_agreement, sign_agreement, table1_trend_report
+
+
+class TestRankAgreement:
+    def test_perfect_agreement(self):
+        assert rank_agreement([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert rank_agreement([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        value = rank_agreement([1, 1, 2], [5, 5, 9])
+        assert 0.9 <= value <= 1.0
+
+    def test_constant_series_degenerate(self):
+        assert rank_agreement([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rank_agreement([1], [1, 2])
+
+    def test_short_series(self):
+        assert rank_agreement([1], [2]) == 0.0
+
+
+class TestSignAgreement:
+    def test_same_directions(self):
+        assert sign_agreement([1, 2, 3], [10, 30, 50]) == 1.0
+
+    def test_opposite_directions(self):
+        assert sign_agreement([1, 2, 3], [3, 2, 1]) == 0.0
+
+    def test_flat_counts_as_match(self):
+        assert sign_agreement([1, 1], [5, 9]) == 1.0
+
+    def test_single_point(self):
+        assert sign_agreement([1], [2]) == 1.0
+
+
+class TestTable1Trends:
+    def test_reproduction_agrees_with_paper(self):
+        from repro.eval.table1 import run_table1
+        from repro.pim.config import PimConfig
+
+        rows = run_table1(PimConfig(iterations=1000))
+        report = table1_trend_report(rows)
+        assert report["benchmarks_compared"] == 12.0
+        # totals scale the same direction across the PE sweep everywhere
+        assert report["scaling_sign_agreement"] == 1.0
+        # which benchmarks benefit most correlates positively with the paper
+        assert report["benchmark_rank_agreement"] > -0.5

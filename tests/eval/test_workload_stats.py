@@ -1,0 +1,38 @@
+"""Tests for the workload census."""
+
+import pytest
+
+from repro.eval.workload_stats import render_workload_stats, run_workload_stats
+
+
+class TestWorkloadStats:
+    def test_selected_subset(self):
+        rows = run_workload_stats(["cat", "protein"])
+        assert [r.name for r in rows] == ["cat", "protein"]
+        assert rows[0].num_vertices == 9
+        assert rows[1].num_edges == 1449
+
+    def test_all_workloads_census(self):
+        rows = run_workload_stats()
+        names = {r.name for r in rows}
+        # graph names may differ from registry keys (e.g. googlenet prefix)
+        assert len(rows) >= 15  # 12 paper + googlenet x2 + 3 models
+        assert "cat" in names
+        assert "vgg16" in names
+
+    def test_chain_model_has_no_parallelism(self):
+        rows = run_workload_stats(["lenet5"])
+        assert rows[0].max_parallelism == 1  # a pure pipeline
+
+    def test_render(self):
+        text = render_workload_stats(run_workload_stats(["cat"]))
+        assert "Workload census" in text
+        assert "critical path" in text
+
+    def test_cli_subcommand(self, capsys):
+        from repro.eval.__main__ import main
+
+        assert main(["workloads", "--benchmarks", "cat", "car"]) == 0
+        out = capsys.readouterr().out
+        assert "Workload census" in out
+        assert "car" in out

@@ -1,0 +1,86 @@
+"""Tests for graph analysis helpers."""
+
+import pytest
+
+from repro.graph.analysis import (
+    asap_levels,
+    critical_path,
+    critical_path_length,
+    degree_histogram,
+    graph_statistics,
+    max_parallelism,
+    parallelism_profile,
+)
+from repro.graph.taskgraph import TaskGraph, linear_chain
+
+
+class TestCriticalPath:
+    def test_chain_length_is_total_work(self, chain_graph):
+        assert critical_path_length(chain_graph) == chain_graph.total_work()
+
+    def test_diamond_takes_longer_branch(self, diamond_graph):
+        # 1 + max(2, 2) + 1
+        assert critical_path_length(diamond_graph) == 4
+
+    def test_edge_latency_included(self, diamond_graph):
+        length = critical_path_length(diamond_graph, edge_latency=lambda e: 3)
+        assert length == 4 + 2 * 3  # two edges on the longest path
+
+    def test_path_is_dependency_ordered(self, figure2_graph):
+        path = critical_path(figure2_graph)
+        assert len(path) == 3  # depth of the figure-2 graph
+        for left, right in zip(path, path[1:]):
+            assert figure2_graph.has_edge(left, right)
+
+    def test_path_length_matches(self, figure2_graph):
+        path = critical_path(figure2_graph)
+        total = sum(
+            figure2_graph.operation(op_id).execution_time for op_id in path
+        )
+        assert total == critical_path_length(figure2_graph)
+
+    def test_empty_graph(self):
+        assert critical_path(TaskGraph()) == []
+        assert critical_path_length(TaskGraph()) == 0
+
+
+class TestParallelism:
+    def test_asap_levels(self, diamond_graph):
+        levels = asap_levels(diamond_graph)
+        assert levels == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_profile(self, diamond_graph):
+        assert parallelism_profile(diamond_graph) == [1, 2, 1]
+
+    def test_max_parallelism(self, figure2_graph):
+        assert max_parallelism(figure2_graph) == 2
+
+    def test_chain_has_no_parallelism(self, chain_graph):
+        assert max_parallelism(chain_graph) == 1
+
+    def test_empty(self):
+        assert parallelism_profile(TaskGraph()) == []
+        assert max_parallelism(TaskGraph()) == 0
+
+
+class TestHistogramsAndStats:
+    def test_degree_histogram(self, diamond_graph):
+        hist = degree_histogram(diamond_graph)
+        assert hist["out"] == {2: 1, 1: 2, 0: 1}
+        assert hist["in"] == {0: 1, 1: 2, 2: 1}
+
+    def test_graph_statistics(self, figure2_graph):
+        stats = graph_statistics(figure2_graph)
+        assert stats.name == "figure2"
+        assert stats.num_vertices == 5
+        assert stats.num_edges == 6
+        assert stats.total_work == 5
+        assert stats.critical_path_length == 3
+        assert stats.max_parallelism == 2
+        assert stats.depth == 3
+        assert stats.avg_out_degree == pytest.approx(6 / 5)
+
+    def test_as_row_shape(self, figure2_graph):
+        row = graph_statistics(figure2_graph).as_row()
+        assert row[0] == "figure2"
+        assert len(row) == 8

@@ -1,0 +1,49 @@
+"""Structural snapshots of the twelve regenerated paper benchmarks.
+
+The graphs are seeded, so their structure is part of the reproduction's
+published record (the golden Table 1/2 artifacts depend on it). These
+tests pin the structural statistics so an accidental generator change is
+caught before it silently shifts every measured number.
+"""
+
+import pytest
+
+from repro.graph.analysis import graph_statistics
+from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
+
+#: name -> (total_work, critical_path_length, depth) of the seeded graphs.
+EXPECTED_STRUCTURE = {
+    "cat": (17, 15, 8),
+    "car": (27, 15, 8),
+    "flower": (45, 24, 12),
+    "character-1": (81, 38, 21),
+    "character-2": (91, 34, 20),
+    "image-compress": (139, 52, 24),
+    "stock-predict": (175, 52, 22),
+    "string-matching": (203, 54, 25),
+    "shortest-path": (374, 46, 24),
+    "speech-1": (515, 68, 29),
+    "speech-2": (759, 75, 32),
+    "protein": (1109, 75, 34),
+}
+
+
+class TestBenchmarkStructure:
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_SIZES))
+    def test_structural_snapshot(self, name):
+        stats = graph_statistics(synthetic_benchmark(name))
+        work, cp, depth = EXPECTED_STRUCTURE[name]
+        assert stats.total_work == work, f"{name}: work drifted"
+        assert stats.critical_path_length == cp, f"{name}: cp drifted"
+        assert stats.depth == depth, f"{name}: depth drifted"
+
+    def test_work_grows_with_scale(self):
+        works = [EXPECTED_STRUCTURE[name][0] for name in BENCHMARK_SIZES]
+        assert works == sorted(works)
+
+    def test_depth_well_below_size(self):
+        # layered CNN-like graphs, not chains: depth << |V| for large ones
+        for name, (_, _, depth) in EXPECTED_STRUCTURE.items():
+            num_vertices = BENCHMARK_SIZES[name][0]
+            if num_vertices > 100:
+                assert depth < num_vertices / 3

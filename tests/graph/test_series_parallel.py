@@ -1,0 +1,66 @@
+"""Tests for the series-parallel generator and its scheduling behavior."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baseline import SpartaScheduler
+from repro.core.paraconv import ParaConv
+from repro.core.schedule import validate_periodic_schedule
+from repro.graph.analysis import max_parallelism, parallelism_profile
+from repro.graph.generators import generate_series_parallel
+from repro.graph.taskgraph import GraphValidationError
+from repro.pim.config import PimConfig
+
+
+class TestStructure:
+    def test_vertex_and_edge_counts(self):
+        # per stage: 2*branches branch ops + 1 join; plus the source
+        graph = generate_series_parallel(depth=3, branches=4)
+        assert graph.num_vertices == 1 + 3 * (2 * 4 + 1)
+        # per stage: branches fork edges + branches chain edges + branches join edges
+        assert graph.num_edges == 3 * (3 * 4)
+
+    def test_single_source_single_sink(self):
+        graph = generate_series_parallel(2, 3)
+        assert len(graph.sources()) == 1
+        assert len(graph.sinks()) == 1
+
+    def test_parallelism_matches_branches(self):
+        graph = generate_series_parallel(2, 5)
+        assert max_parallelism(graph) == 5
+
+    def test_depth_scales(self):
+        shallow = generate_series_parallel(1, 3)
+        deep = generate_series_parallel(5, 3)
+        assert len(parallelism_profile(deep)) > len(parallelism_profile(shallow))
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphValidationError):
+            generate_series_parallel(0, 3)
+        with pytest.raises(GraphValidationError):
+            generate_series_parallel(3, 0)
+
+    def test_deterministic_per_seed(self):
+        a = generate_series_parallel(2, 3, seed=7)
+        b = generate_series_parallel(2, 3, seed=7)
+        assert [op.execution_time for op in a.operations()] == [
+            op.execution_time for op in b.operations()
+        ]
+
+
+class TestConclusionsHoldOnThisFamily:
+    """The paper's conclusions are not artifacts of the random generator."""
+
+    @given(
+        depth=st.integers(min_value=1, max_value=4),
+        branches=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_paraconv_wins_on_series_parallel_graphs(self, depth, branches, seed):
+        graph = generate_series_parallel(depth, branches, seed=seed)
+        config = PimConfig(num_pes=16, iterations=200)
+        para = ParaConv(config).run(graph)
+        sparta = SpartaScheduler(config).run(graph)
+        validate_periodic_schedule(para.schedule)
+        assert para.total_time() <= sparta.total_time()

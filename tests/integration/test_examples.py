@@ -1,0 +1,59 @@
+"""Smoke tests: every shipped example must run and produce sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "cat", "8")
+        assert "Para-CONV on 'cat'" in out
+        assert "Reduction" in out
+        assert "SPARTA" in out
+
+    def test_googlenet_pim(self):
+        out = run_example("googlenet_pim.py")
+        assert "Partitioned task graph" in out
+        assert "64" in out
+
+    def test_synthetic_scaling(self):
+        out = run_example("synthetic_scaling.py", "16")
+        assert "1024" in out
+        assert "R_max" in out
+
+    def test_allocation_ablation(self):
+        out = run_example("allocation_ablation.py", "shortest-path", "16")
+        assert "iterative" in out
+        assert "oracle" in out
+
+    def test_custom_machine_simulation(self):
+        out = run_example("custom_machine_simulation.py")
+        assert "slowdown" in out
+        assert "PE utilization" in out
+
+    def test_liveness_study(self):
+        out = run_example("liveness_study.py", "16")
+        assert "liveness" in out
+        assert "spills" in out
+
+    def test_deploy_schedule(self):
+        out = run_example("deploy_schedule.py", "cat", "8")
+        assert "Serialized schedule" in out
+        assert "Verified expansion" in out
+        assert "slowdown" in out

@@ -1,0 +1,91 @@
+"""Full paper-sweep regression: all 12 benchmarks x 3 PE counts.
+
+This is the repository's strongest regression net: it pins the qualitative
+conclusions of every evaluation artifact on the complete workload set, so
+any model change that flips a conclusion fails loudly.
+"""
+
+import math
+
+import pytest
+
+from repro.core.baseline import SpartaScheduler
+from repro.core.paraconv import ParaConv
+from repro.core.schedule import validate_periodic_schedule
+from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
+from repro.pim.config import PAPER_PE_SWEEP, PimConfig
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """(benchmark, pes) -> (ParaConvResult, SpartaResult) for the full grid."""
+    results = {}
+    for name in BENCHMARK_SIZES:
+        graph = synthetic_benchmark(name)
+        for pes in PAPER_PE_SWEEP:
+            config = PimConfig(num_pes=pes)
+            results[(name, pes)] = (
+                ParaConv(config).run(graph),
+                SpartaScheduler(config).run(graph),
+            )
+    return results
+
+
+class TestHeadlineClaims:
+    def test_paraconv_wins_every_cell(self, sweep):
+        for (name, pes), (para, sparta) in sweep.items():
+            assert para.total_time() < sparta.total_time(), (name, pes)
+
+    def test_average_reduction_in_paper_band(self, sweep):
+        reductions = [
+            (s.total_time() - p.total_time()) / s.total_time() * 100
+            for p, s in sweep.values()
+        ]
+        average = sum(reductions) / len(reductions)
+        # paper: 53.42% -- accept a +-10-point band
+        assert 43.0 <= average <= 63.0
+
+    def test_speedup_roughly_2x(self, sweep):
+        speedups = [
+            s.total_time() / p.total_time() for p, s in sweep.values()
+        ]
+        geo = math.prod(speedups) ** (1 / len(speedups))
+        # paper: 1.87x throughput acceleration
+        assert 1.5 <= geo <= 3.0
+
+
+class TestScalingClaims:
+    def test_both_schemes_accelerate_with_pes(self, sweep):
+        for name in BENCHMARK_SIZES:
+            para16, sparta16 = sweep[(name, 16)]
+            para64, sparta64 = sweep[(name, 64)]
+            assert para64.total_time() < para16.total_time()
+            assert sparta64.total_time() < sparta16.total_time()
+
+    def test_four_x_pes_buys_at_least_2x(self, sweep):
+        for name in BENCHMARK_SIZES:
+            para16, _ = sweep[(name, 16)]
+            para64, _ = sweep[(name, 64)]
+            assert para16.total_time() / para64.total_time() >= 2.0, name
+
+
+class TestStructuralInvariants:
+    def test_all_schedules_semantically_valid(self, sweep):
+        for (name, pes), (para, _sparta) in sweep.items():
+            validate_periodic_schedule(para.schedule)
+
+    def test_prologue_negligible_everywhere(self, sweep):
+        for (name, pes), (para, _) in sweep.items():
+            share = para.prologue_time / para.total_time()
+            assert share < 0.25, (name, pes, share)
+
+    def test_cache_never_overcommitted(self, sweep):
+        for (name, pes), (para, _) in sweep.items():
+            config = para.config
+            per_group = config.total_cache_slots // para.num_groups
+            assert para.allocation.slots_used <= per_group
+
+    def test_offchip_traffic_bounded_by_footprint(self, sweep):
+        for (name, pes), (para, _) in sweep.items():
+            total = para.graph.total_intermediate_bytes()
+            assert 0 <= para.offchip_bytes_per_iteration() <= total

@@ -1,0 +1,99 @@
+"""Tests for the PIM machine configuration."""
+
+import pytest
+
+from repro.pim.config import PAPER_PE_SWEEP, ConfigurationError, PimConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_pes": 0},
+            {"cache_bytes_per_pe": -1},
+            {"cache_slot_bytes": 0},
+            {"cache_bytes_per_unit": 0},
+            {"edram_latency_factor": 1},
+            {"edram_latency_factor": 11},
+            {"edram_energy_factor": 0},
+            {"iterations": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PimConfig(**kwargs)
+
+    def test_paper_sweep(self):
+        assert PAPER_PE_SWEEP == (16, 32, 64)
+
+    def test_edram_factor_paper_envelope(self):
+        # 2x and 10x (the paper's cited bounds) are both accepted
+        PimConfig(edram_latency_factor=2)
+        PimConfig(edram_latency_factor=10)
+
+
+class TestCapacities:
+    def test_aggregate_cache_in_paper_band_at_64(self):
+        # paper Section 2.3: 100-300 KB for the entire PE array
+        config = PimConfig(num_pes=64)
+        assert 100_000 <= config.total_cache_bytes <= 300_000
+
+    def test_total_slots(self):
+        config = PimConfig(num_pes=4, cache_bytes_per_pe=1024,
+                           cache_slot_bytes=512)
+        assert config.total_cache_slots == 8
+
+    def test_slots_required_rounds_up(self):
+        config = PimConfig(cache_slot_bytes=512)
+        assert config.slots_required(1) == 1
+        assert config.slots_required(512) == 1
+        assert config.slots_required(513) == 2
+
+    def test_slots_required_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            PimConfig().slots_required(0)
+
+
+class TestTransferTiming:
+    def test_cache_transfer_typically_free(self):
+        config = PimConfig()
+        assert config.cache_transfer_units(4096) == 0
+
+    def test_cache_transfer_scales(self):
+        config = PimConfig(cache_bytes_per_unit=1024)
+        assert config.cache_transfer_units(4096) == 4
+
+    def test_edram_at_least_one_unit(self):
+        config = PimConfig()
+        assert config.edram_transfer_units(1) == 1
+
+    def test_edram_slower_than_cache(self):
+        config = PimConfig()
+        for size in (256, 1024, 4096, 65536):
+            assert config.edram_transfer_units(size) >= config.cache_transfer_units(size)
+
+    def test_edram_factor_applied(self):
+        fast = PimConfig(edram_latency_factor=2)
+        slow = PimConfig(edram_latency_factor=8)
+        assert slow.edram_transfer_units(8192) > fast.edram_transfer_units(8192)
+
+    def test_non_positive_sizes_rejected(self):
+        config = PimConfig()
+        with pytest.raises(ConfigurationError):
+            config.cache_transfer_units(0)
+        with pytest.raises(ConfigurationError):
+            config.edram_transfer_units(-4)
+
+
+class TestConvenience:
+    def test_with_pes(self):
+        base = PimConfig(num_pes=16, edram_latency_factor=6)
+        wide = base.with_pes(64)
+        assert wide.num_pes == 64
+        assert wide.edram_latency_factor == 6
+        assert base.num_pes == 16
+
+    def test_describe_mentions_key_numbers(self):
+        text = PimConfig(num_pes=32).describe()
+        assert "32 PEs" in text
+        assert "4x latency" in text

@@ -1,0 +1,65 @@
+"""Tests for the energy model and traffic counters."""
+
+import pytest
+
+from repro.pim.config import PimConfig
+from repro.pim.energy import EnergyModel, EnergyReport
+from repro.pim.stats import TrafficStats
+
+
+class TestTrafficStats:
+    def test_totals(self):
+        stats = TrafficStats(cache_accesses=2, cache_bytes=100,
+                             edram_accesses=1, edram_bytes=300)
+        assert stats.total_accesses == 3
+        assert stats.total_bytes == 400
+        assert stats.offchip_fraction == pytest.approx(0.75)
+
+    def test_offchip_fraction_idle(self):
+        assert TrafficStats().offchip_fraction == 0.0
+
+    def test_merge(self):
+        a = TrafficStats(cache_bytes=10, alu_ops=1, fifo_pushes=2)
+        b = TrafficStats(cache_bytes=5, edram_bytes=7, alu_ops=3)
+        merged = a.merged_with(b)
+        assert merged.cache_bytes == 15
+        assert merged.edram_bytes == 7
+        assert merged.alu_ops == 4
+        assert merged.fifo_pushes == 2
+
+    def test_as_dict_round(self):
+        stats = TrafficStats(cache_accesses=1)
+        assert stats.as_dict()["cache_accesses"] == 1
+        assert set(stats.as_dict()) == {
+            "cache_accesses", "cache_bytes", "edram_accesses",
+            "edram_bytes", "alu_ops", "fifo_pushes",
+        }
+
+
+class TestEnergyModel:
+    def test_edram_ratio_follows_config(self):
+        model = EnergyModel(cache_pj_per_byte=2.0)
+        config = PimConfig(edram_energy_factor=6)
+        assert model.edram_pj_per_byte(config) == 12.0
+
+    def test_estimate_breakdown(self):
+        model = EnergyModel(cache_pj_per_byte=1.0, alu_pj_per_op=0.5)
+        config = PimConfig(edram_energy_factor=4)
+        stats = TrafficStats(cache_bytes=100, edram_bytes=50, alu_ops=10)
+        report = model.estimate(stats, config)
+        assert report.cache_pj == 100.0
+        assert report.edram_pj == 200.0
+        assert report.compute_pj == 5.0
+        assert report.total_pj == 305.0
+        assert report.movement_pj == 300.0
+
+    def test_edram_dominates_per_byte(self):
+        # moving a byte off-chip must always cost more than on-chip
+        model = EnergyModel()
+        config = PimConfig()
+        assert model.edram_pj_per_byte(config) > model.cache_pj_per_byte
+
+    def test_report_as_dict(self):
+        report = EnergyReport(cache_pj=1.0, edram_pj=2.0, compute_pj=3.0)
+        payload = report.as_dict()
+        assert payload["total_pj"] == 6.0

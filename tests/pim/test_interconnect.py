@@ -1,0 +1,67 @@
+"""Tests for the crossbar interconnect model."""
+
+import pytest
+
+from repro.pim.config import ConfigurationError
+from repro.pim.interconnect import Crossbar
+
+
+class TestCrossbar:
+    def test_independent_transfers_overlap(self):
+        xbar = Crossbar(4, 4)
+        a = xbar.transfer(0, 0, duration=5, now=0)
+        b = xbar.transfer(1, 1, duration=5, now=0)
+        assert a == (0, 5)
+        assert b == (0, 5)  # different ports: fully concurrent
+
+    def test_same_input_port_serializes(self):
+        xbar = Crossbar(2, 2)
+        xbar.transfer(0, 0, duration=3, now=0)
+        start, finish = xbar.transfer(0, 1, duration=2, now=0)
+        assert (start, finish) == (3, 5)
+
+    def test_same_output_port_serializes(self):
+        xbar = Crossbar(2, 2)
+        xbar.transfer(0, 1, duration=3, now=0)
+        start, finish = xbar.transfer(1, 1, duration=2, now=0)
+        assert (start, finish) == (3, 5)
+
+    def test_zero_duration_transfer(self):
+        xbar = Crossbar(1, 1)
+        assert xbar.transfer(0, 0, duration=0, now=7) == (7, 7)
+
+    def test_records_kept(self):
+        xbar = Crossbar(2, 2)
+        xbar.transfer(0, 1, 2, 0, size_bytes=64)
+        assert len(xbar.records) == 1
+        record = xbar.records[0]
+        assert (record.source, record.destination) == (0, 1)
+        assert record.size_bytes == 64
+
+    def test_port_pressure(self):
+        xbar = Crossbar(2, 2)
+        xbar.transfer(0, 0, 9, 0)
+        pressure = xbar.port_pressure()
+        assert pressure["max_input_busy_until"] == 9
+        assert pressure["max_output_busy_until"] == 9
+
+    def test_reset(self):
+        xbar = Crossbar(2, 2)
+        xbar.transfer(0, 0, 9, 0)
+        xbar.reset()
+        assert xbar.transfer(0, 0, 1, 0) == (0, 1)
+        assert len(xbar.records) == 1  # only the post-reset record remains
+
+    @pytest.mark.parametrize("src,dst", [(-1, 0), (5, 0), (0, -1), (0, 5)])
+    def test_bad_ports_rejected(self, src, dst):
+        xbar = Crossbar(2, 2)
+        with pytest.raises(ConfigurationError):
+            xbar.transfer(src, dst, 1, 0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Crossbar(1, 1).transfer(0, 0, -1, 0)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Crossbar(0, 4)

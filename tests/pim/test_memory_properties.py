@@ -1,0 +1,84 @@
+"""Property-based tests for the cache model's bookkeeping invariants."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.pim.memory import CacheModel
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """Random insert/touch/remove sequences against a reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 16
+        self.cache = CacheModel(self.capacity)
+        self.reference = {}  # key -> slots
+        self.next_key = 0
+
+    @rule(slots=st.integers(min_value=1, max_value=6))
+    def insert(self, slots):
+        key = self.next_key
+        self.next_key += 1
+        evicted = self.cache.insert(key, slots)
+        for victim in evicted:
+            del self.reference[victim]
+        self.reference[key] = slots
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def touch(self, data):
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        assert self.cache.touch(key) is True
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def remove(self, data):
+        key = data.draw(st.sampled_from(sorted(self.reference)))
+        self.cache.remove(key)
+        del self.reference[key]
+
+    @rule()
+    def miss(self):
+        assert self.cache.touch(-1) is False
+
+    @invariant()
+    def capacity_respected(self):
+        assert 0 <= self.cache.used_slots <= self.capacity
+
+    @invariant()
+    def bookkeeping_consistent(self):
+        assert self.cache.used_slots == sum(self.reference.values())
+        assert set(self.cache.resident_keys()) == set(self.reference)
+
+    @invariant()
+    def free_plus_used_is_capacity(self):
+        assert self.cache.free_slots + self.cache.used_slots == self.capacity
+
+
+TestCacheStateMachine = CacheMachine.TestCase
+TestCacheStateMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+
+
+class TestVaultProperties:
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=8192), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vault_completions_monotone_and_work_conserving(self, sizes):
+        from repro.pim.memory import EdramVault
+
+        vault = EdramVault(0, bytes_per_unit=2048)
+        completions = [vault.read(size, now=0) for size in sizes]
+        assert completions == sorted(completions)
+        # back-to-back service: total time equals summed access times
+        assert completions[-1] == sum(vault.access_time(s) for s in sizes)

@@ -1,0 +1,106 @@
+"""Tests for processing engines and the PE array."""
+
+import pytest
+
+from repro.pim.config import ConfigurationError, PimConfig
+from repro.pim.pe import Fifo, FifoEntry, PEArray, ProcessingEngine
+
+
+class TestFifo:
+    def test_push_pop_order(self):
+        fifo = Fifo(depth=2)
+        fifo.push(FifoEntry((0, 1), 100))
+        fifo.push(FifoEntry((1, 2), 200))
+        assert fifo.pop().key == (0, 1)
+        assert fifo.pop().key == (1, 2)
+
+    def test_overflow(self):
+        fifo = Fifo(depth=1)
+        fifo.push(FifoEntry((0, 1), 1))
+        assert fifo.full
+        with pytest.raises(ConfigurationError, match="overflow"):
+            fifo.push(FifoEntry((1, 2), 1))
+
+    def test_underflow(self):
+        with pytest.raises(ConfigurationError, match="underflow"):
+            Fifo().pop()
+
+    def test_occupancy_stats(self):
+        fifo = Fifo(depth=4)
+        for i in range(3):
+            fifo.push(FifoEntry((i, i + 1), 1))
+        fifo.pop()
+        assert fifo.peak_occupancy == 3
+        assert fifo.total_pushes == 3
+        assert len(fifo) == 2
+
+    def test_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            Fifo(depth=0)
+
+
+class TestProcessingEngine:
+    def test_reserve_sequential(self):
+        pe = ProcessingEngine(0, PimConfig())
+        assert pe.reserve(0, 3) == (0, 3)
+        assert pe.reserve(0, 2) == (3, 5)  # busy until 3
+        assert pe.free_at == 5
+        assert pe.busy_units == 5
+
+    def test_reserve_with_gap(self):
+        pe = ProcessingEngine(0, PimConfig())
+        pe.reserve(0, 2)
+        assert pe.reserve(10, 1) == (10, 11)
+
+    def test_utilization(self):
+        pe = ProcessingEngine(0, PimConfig())
+        pe.reserve(0, 5)
+        assert pe.utilization(10) == pytest.approx(0.5)
+        assert pe.utilization(0) == 0.0
+
+    def test_invalid_reservations(self):
+        pe = ProcessingEngine(0, PimConfig())
+        with pytest.raises(ConfigurationError):
+            pe.reserve(0, 0)
+        with pytest.raises(ConfigurationError):
+            pe.reserve(-1, 1)
+
+    def test_reset(self):
+        pe = ProcessingEngine(0, PimConfig())
+        pe.reserve(0, 4)
+        pe.reset()
+        assert pe.free_at == 0
+        assert pe.busy_units == 0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessingEngine(-1, PimConfig())
+
+
+class TestPEArray:
+    def test_sizing(self):
+        array = PEArray(PimConfig(num_pes=8))
+        assert len(array) == 8
+        assert array[3].pe_id == 3
+
+    def test_earliest_available(self):
+        array = PEArray(PimConfig(num_pes=3))
+        array[0].reserve(0, 5)
+        array[1].reserve(0, 2)
+        assert array.earliest_available().pe_id == 2  # still idle
+        array[2].reserve(0, 9)
+        assert array.earliest_available().pe_id == 1
+
+    def test_makespan(self):
+        array = PEArray(PimConfig(num_pes=2))
+        array[0].reserve(0, 4)
+        array[1].reserve(0, 7)
+        assert array.makespan() == 7
+
+    def test_stats_merge_and_reset(self):
+        array = PEArray(PimConfig(num_pes=2))
+        array[0].stats.alu_ops = 5
+        array[1].stats.alu_ops = 7
+        assert array.total_stats().alu_ops == 12
+        array.reset()
+        assert array.total_stats().alu_ops == 0

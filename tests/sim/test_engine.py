@@ -1,0 +1,76 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, SimulationError
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(5, lambda: log.append("b"))
+        queue.schedule(1, lambda: log.append("a"))
+        queue.schedule(9, lambda: log.append("c"))
+        queue.run()
+        assert log == ["a", "b", "c"]
+        assert queue.now == 9
+        assert queue.processed == 3
+
+    def test_priority_breaks_ties(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(3, lambda: log.append("low"), priority=5)
+        queue.schedule(3, lambda: log.append("high"), priority=0)
+        queue.run()
+        assert log == ["high", "low"]
+
+    def test_fifo_within_same_priority(self):
+        queue = EventQueue()
+        log = []
+        for tag in ("first", "second", "third"):
+            queue.schedule(1, lambda t=tag: log.append(t))
+        queue.run()
+        assert log == ["first", "second", "third"]
+
+    def test_callbacks_can_schedule_more(self):
+        queue = EventQueue()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                queue.schedule(queue.now + 1, lambda: chain(n + 1))
+
+        queue.schedule(0, lambda: chain(0))
+        queue.run()
+        assert log == [0, 1, 2, 3]
+        assert queue.now == 3
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5, lambda: queue.schedule(1, lambda: None))
+        with pytest.raises(SimulationError, match="cannot schedule"):
+            queue.run()
+
+    def test_run_until(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1, lambda: log.append(1))
+        queue.schedule(10, lambda: log.append(10))
+        queue.run(until=5)
+        assert log == [1]
+        assert len(queue) == 1
+
+    def test_step_empty_returns_false(self):
+        assert EventQueue().step() is False
+
+    def test_runaway_guard(self):
+        queue = EventQueue()
+
+        def forever():
+            queue.schedule(queue.now, forever)
+
+        queue.schedule(0, forever)
+        with pytest.raises(SimulationError, match="runaway"):
+            queue.run(max_events=100)

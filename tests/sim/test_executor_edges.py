@@ -1,0 +1,81 @@
+"""Executor edge cases: degenerate machines and workload corners."""
+
+import pytest
+
+from repro.core.paraconv import ParaConv
+from repro.graph.generators import synthetic_benchmark
+from repro.graph.taskgraph import linear_chain
+from repro.pim.config import PimConfig
+from repro.pim.memory import Placement
+from repro.sim.executor import ScheduleExecutor
+
+
+class TestDegenerateMachines:
+    def test_zero_cache_machine(self):
+        config = PimConfig(num_pes=8, cache_bytes_per_pe=0, iterations=100)
+        result = ParaConv(config).run(synthetic_benchmark("cat"))
+        assert all(
+            p is Placement.EDRAM for p in result.schedule.placements.values()
+        )
+        trace = ScheduleExecutor(config, num_vaults=16).execute(
+            result, iterations=6
+        )
+        assert trace.slowdown == pytest.approx(1.0, abs=0.05)
+        assert trace.stats.cache_bytes == 0
+        assert trace.stats.edram_bytes > 0
+
+    def test_single_vault_contention_visible(self):
+        config = PimConfig(num_pes=8, iterations=100)
+        result = ParaConv(config).run(synthetic_benchmark("flower"))
+        relaxed = ScheduleExecutor(config, num_vaults=32).execute(
+            result, iterations=8
+        )
+        contended = ScheduleExecutor(config, num_vaults=1).execute(
+            result, iterations=8
+        )
+        # one vault serializes all off-chip traffic: lateness can only grow
+        assert contended.total_lateness >= relaxed.total_lateness
+        # and the executor absorbs it without losing instances
+        assert len(contended.records) == len(relaxed.records)
+
+    def test_two_pe_machine(self):
+        config = PimConfig(num_pes=2, iterations=100)
+        result = ParaConv(config).run(synthetic_benchmark("cat"))
+        trace = ScheduleExecutor(config).execute(result, iterations=4)
+        assert {r.pe for r in trace.records} <= {0, 1}
+
+
+class TestWorkloadCorners:
+    def test_pure_chain(self):
+        graph = linear_chain([2, 3, 1, 2], size_bytes=2048)
+        config = PimConfig(num_pes=4, iterations=100)
+        result = ParaConv(config).run(graph)
+        trace = ScheduleExecutor(config, num_vaults=8).execute(
+            result, iterations=5
+        )
+        assert trace.slowdown == pytest.approx(1.0, abs=0.05)
+        # chain dependencies: instance l of stage k+1 after stage k
+        finish = {(r.op_id, r.iteration): r.finish for r in trace.records}
+        start = {(r.op_id, r.iteration): r.start for r in trace.records}
+        for stage in range(3):
+            for iteration in range(1, 6):
+                assert finish[(stage, iteration)] <= start[(stage + 1, iteration)]
+
+    def test_single_iteration(self):
+        config = PimConfig(num_pes=8, iterations=100)
+        result = ParaConv(config).run(synthetic_benchmark("cat"))
+        trace = ScheduleExecutor(config).execute(result, iterations=1)
+        assert len(trace.records) == result.graph.num_vertices
+
+    def test_epilogue_instances_complete(self):
+        """Deep retiming: the last iterations drain correctly."""
+        config = PimConfig(num_pes=16, iterations=100)
+        result = ParaConv(config).run(synthetic_benchmark("character-1"))
+        iterations = max(3, result.max_retiming // 2)
+        trace = ScheduleExecutor(config, num_vaults=32).execute(
+            result, iterations=iterations
+        )
+        executed = {(r.op_id, r.iteration) for r in trace.records}
+        for op in result.graph.operations():
+            for iteration in range(1, iterations + 1):
+                assert (op.op_id, iteration) in executed

@@ -1,0 +1,30 @@
+"""Unit tests for trace record types."""
+
+from repro.sim.trace import InstanceRecord, TransferKind, TransferRecord
+
+
+class TestInstanceRecord:
+    def test_lateness(self):
+        record = InstanceRecord(
+            op_id=1, iteration=2, pe=0, nominal_start=10, start=13, finish=15
+        )
+        assert record.lateness == 3
+
+    def test_on_time_instance(self):
+        record = InstanceRecord(
+            op_id=1, iteration=1, pe=0, nominal_start=5, start=5, finish=7
+        )
+        assert record.lateness == 0
+
+
+class TestTransferRecord:
+    def test_latency(self):
+        record = TransferRecord(
+            edge=(0, 1), iteration=3, kind=TransferKind.EDRAM,
+            size_bytes=1024, issued=4, completed=9,
+        )
+        assert record.latency == 5
+
+    def test_kinds(self):
+        assert TransferKind.CACHE.value == "cache"
+        assert TransferKind.EDRAM.value == "edram"
