@@ -11,7 +11,9 @@ It provides:
 * :mod:`repro.core` -- retiming, the dynamic-programming data allocator,
   schedulers, the Para-CONV pipeline and the SPARTA baseline,
 * :mod:`repro.eval` -- the experiment harness regenerating every table and
-  figure of the paper's evaluation section.
+  figure of the paper's evaluation section,
+* :mod:`repro.runtime` -- the compile-once inference-serving runtime
+  (plan cache, sessions, batching request scheduler, metrics).
 
 Quickstart::
 
@@ -33,11 +35,18 @@ from repro.pim.config import PimConfig
 from repro.core.paraconv import ParaConv, ParaConvResult
 from repro.core.baseline import SpartaScheduler
 from repro.cnn.workloads import load_workload, WORKLOADS
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.server import BatchingServer, QueueFullError
+from repro.runtime.session import InferenceSession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchingServer",
+    "InferenceSession",
     "IntermediateResult",
+    "PlanCache",
+    "QueueFullError",
     "Operation",
     "OperationKind",
     "ParaConv",

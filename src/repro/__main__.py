@@ -13,10 +13,22 @@ import sys
 from typing import List, Optional
 
 from repro.cnn.workloads import WORKLOADS, load_workload
+from repro.core.allocation import ALLOCATORS
 from repro.core.baseline import SpartaScheduler
 from repro.core.gantt import render_kernel, render_retiming
 from repro.core.paraconv import ParaConv
 from repro.pim.config import PimConfig
+
+
+def positive_int(text: str) -> int:
+    """argparse type: strictly positive integer (PE/iteration counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,9 +38,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("workload", nargs="?", help="workload name")
     parser.add_argument("--list", action="store_true", help="list workloads")
-    parser.add_argument("--pes", type=int, default=32)
-    parser.add_argument("--iterations", type=int, default=1000)
-    parser.add_argument("--allocator", default="dp")
+    parser.add_argument(
+        "--pes", type=positive_int, default=32,
+        help="number of processing engines (> 0)",
+    )
+    parser.add_argument(
+        "--iterations", type=positive_int, default=1000,
+        help="steady-state iteration count N (> 0)",
+    )
+    parser.add_argument(
+        "--allocator", default="dp", choices=sorted(ALLOCATORS),
+        help="cache-allocation strategy",
+    )
     parser.add_argument(
         "--gantt", action="store_true",
         help="render the kernel Gantt chart and the retiming function",

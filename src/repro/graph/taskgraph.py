@@ -18,8 +18,15 @@ All times are integer *time units*; all sizes are integer *bytes*.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Version tag baked into every task-graph fingerprint; bump when the
+#: canonical form changes so cached plans keyed on old fingerprints are
+#: invalidated rather than silently reused.
+GRAPH_FINGERPRINT_VERSION = 1
 
 
 class GraphValidationError(ValueError):
@@ -349,6 +356,33 @@ class TaskGraph:
         self.topological_order()
         if self.period_hint is not None and self.period_hint <= 0:
             raise GraphValidationError("period_hint must be positive")
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph structure (hex digest).
+
+        The canonical form covers every semantically meaningful field —
+        operations (id, kind, execution time, work), intermediate results
+        (endpoints, size, profits) and the period hint — sorted by id/key
+        so insertion order does not matter. The graph *name* is excluded:
+        two structurally identical graphs produce the same fingerprint
+        regardless of labelling, which is exactly the content-addressing
+        the runtime plan cache needs. A version tag is folded in so a
+        change to the canonical form invalidates old fingerprints.
+        """
+        canonical = {
+            "fingerprint_version": GRAPH_FINGERPRINT_VERSION,
+            "period_hint": self.period_hint,
+            "operations": [
+                [op.op_id, op.kind.value, op.execution_time, op.work]
+                for op in sorted(self._ops.values(), key=lambda o: o.op_id)
+            ],
+            "edges": [
+                [e.producer, e.consumer, e.size_bytes, e.profit_cache, e.profit_edram]
+                for e in sorted(self._edges.values(), key=lambda e: e.key)
+            ],
+        }
+        payload = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def copy(self, name: Optional[str] = None) -> "TaskGraph":
         """Deep-enough copy (operations and edges are immutable)."""

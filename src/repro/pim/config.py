@@ -10,8 +10,16 @@ sizes to transfer times in abstract schedule time units.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, replace
+from typing import Any, Dict
+
+#: Version tag baked into every fingerprint; bump when a field is added,
+#: removed or reinterpreted so stale cached plans can never be confused
+#: with plans compiled under the new semantics.
+CONFIG_FINGERPRINT_VERSION = 1
 
 
 class ConfigurationError(ValueError):
@@ -113,6 +121,58 @@ class PimConfig:
             raise ConfigurationError("size_bytes must be positive")
         scaled = (size_bytes * self.edram_latency_factor) // self.cache_bytes_per_unit
         return max(1, scaled)
+
+    # ------------------------------------------------------------------
+    # canonical serialization / fingerprinting
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dictionary form with stable field ordering.
+
+        The field order is fixed (not reflection-derived) so that the
+        JSON rendering — and therefore :meth:`fingerprint` — is stable
+        across Python versions and dataclass refactorings. A version tag
+        travels with the payload so future field changes invalidate old
+        fingerprints instead of silently colliding.
+        """
+        return {
+            "fingerprint_version": CONFIG_FINGERPRINT_VERSION,
+            "num_pes": self.num_pes,
+            "cache_bytes_per_pe": self.cache_bytes_per_pe,
+            "cache_slot_bytes": self.cache_slot_bytes,
+            "cache_bytes_per_unit": self.cache_bytes_per_unit,
+            "edram_latency_factor": self.edram_latency_factor,
+            "edram_energy_factor": self.edram_energy_factor,
+            "iterations": self.iterations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PimConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        version = payload.get("fingerprint_version", CONFIG_FINGERPRINT_VERSION)
+        if version != CONFIG_FINGERPRINT_VERSION:
+            raise ConfigurationError(
+                f"unsupported PimConfig payload version {version!r}"
+            )
+        return cls(
+            num_pes=int(payload["num_pes"]),
+            cache_bytes_per_pe=int(payload["cache_bytes_per_pe"]),
+            cache_slot_bytes=int(payload["cache_slot_bytes"]),
+            cache_bytes_per_unit=int(payload["cache_bytes_per_unit"]),
+            edram_latency_factor=int(payload["edram_latency_factor"]),
+            edram_energy_factor=int(payload["edram_energy_factor"]),
+            iterations=int(payload["iterations"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this configuration (hex digest).
+
+        Equal configurations always produce equal fingerprints; any field
+        change (or a bump of :data:`CONFIG_FINGERPRINT_VERSION`) produces
+        a different one. Used by :mod:`repro.runtime.plan_cache` to key
+        compiled plans.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # convenience

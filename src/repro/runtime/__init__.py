@@ -1,0 +1,69 @@
+"""Compile-once inference-serving runtime (beyond-paper infrastructure).
+
+The paper's pipeline (:mod:`repro.core.paraconv`) plans one schedule for
+one ``(graph, machine)`` pair; the simulator executes one batch. This
+package turns that one-shot flow into a serving stack:
+
+* :mod:`repro.runtime.plan_cache` -- content-addressed cache of compiled
+  :class:`~repro.core.paraconv.ParaConvResult` plans keyed by stable
+  fingerprints of (task graph, machine config, allocator knobs), with an
+  in-memory LRU front, an optional on-disk store and hit/miss/eviction
+  accounting;
+* :mod:`repro.runtime.session` -- :class:`InferenceSession`: compile (or
+  cache-load) once, then run arbitrary-``N`` steady-state batches through
+  the discrete-event executor without re-planning, amortizing the
+  ``R_max*p`` prologue per the paper's ``R_max*p + N*p`` model;
+* :mod:`repro.runtime.server` -- a deterministic, synchronous-core request
+  scheduler with an admission queue, a batching window that coalesces
+  same-workload requests into one simulated batch, and bounded-queue
+  backpressure (typed rejection, never deadlock);
+* :mod:`repro.runtime.workers` -- parallel cold-start compilation of many
+  workloads to warm the plan cache;
+* :mod:`repro.runtime.metrics` -- counters, gauges and streaming latency
+  histograms (p50/p95/p99, throughput).
+
+Command line::
+
+    python -m repro.runtime warmup --pes 32
+    python -m repro.runtime bench flower --requests 32
+    python -m repro.runtime stats --disk plans/
+"""
+
+from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.runtime.plan_cache import (
+    CacheStats,
+    PlanCache,
+    PlanKey,
+    plan_from_dict,
+    plan_key_for,
+    plan_to_dict,
+)
+from repro.runtime.server import (
+    BatchingServer,
+    InferenceRequest,
+    QueueFullError,
+    RequestResult,
+)
+from repro.runtime.session import BatchResult, InferenceSession
+from repro.runtime.workers import WarmupReport, warm_cache
+
+__all__ = [
+    "BatchResult",
+    "BatchingServer",
+    "CacheStats",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InferenceRequest",
+    "InferenceSession",
+    "MetricsRegistry",
+    "PlanCache",
+    "PlanKey",
+    "QueueFullError",
+    "RequestResult",
+    "WarmupReport",
+    "plan_from_dict",
+    "plan_key_for",
+    "plan_to_dict",
+    "warm_cache",
+]

@@ -1,0 +1,214 @@
+"""Serving-runtime CLI.
+
+Usage::
+
+    python -m repro.runtime warmup [--pes N] [--workloads A B ...] [--jobs J]
+    python -m repro.runtime bench <workload> [--requests N] [--iterations K]
+    python -m repro.runtime stats --disk DIR
+
+``warmup`` compiles the benchmark plans (in parallel) into the cache —
+pass ``--disk`` to persist them; ``bench`` drives the batching server with
+a stream of requests and prints the latency/throughput report; ``stats``
+inspects a persistent plan store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cnn.workloads import PAPER_BENCHMARKS, WORKLOADS
+from repro.core.allocation import ALLOCATORS
+from repro.pim.config import PimConfig
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.server import BatchingServer, QueueFullError
+from repro.runtime.workers import warm_cache
+
+
+def positive_int(text: str) -> int:
+    """argparse type: strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pes", type=positive_int, default=32,
+                        help="PE count (default 32)")
+    parser.add_argument("--iterations", type=positive_int, default=1000,
+                        help="width-search iteration count N (default 1000)")
+    parser.add_argument("--allocator", default="dp", choices=sorted(ALLOCATORS),
+                        help="cache allocator (default dp)")
+    parser.add_argument("--disk", metavar="DIR", default=None,
+                        help="persistent plan-store directory")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Compile-once inference-serving runtime.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    warmup = sub.add_parser(
+        "warmup", help="compile workload plans into the cache in parallel"
+    )
+    _add_machine_args(warmup)
+    warmup.add_argument(
+        "--workloads", nargs="+", metavar="NAME", default=None,
+        help="workloads to warm (default: the 12 paper benchmarks)",
+    )
+    warmup.add_argument("--jobs", type=positive_int, default=None,
+                        help="worker threads (default: executor-chosen)")
+
+    bench = sub.add_parser(
+        "bench", help="serve a request stream and report latency/throughput"
+    )
+    _add_machine_args(bench)
+    bench.add_argument("workload", help="workload name to serve")
+    bench.add_argument("--requests", type=positive_int, default=32,
+                       help="requests to submit (default 32)")
+    bench.add_argument("--batch-iterations", type=positive_int, default=1,
+                       help="inference iterations per request (default 1)")
+    bench.add_argument("--queue", type=positive_int, default=64,
+                       help="admission-queue bound (default 64)")
+    bench.add_argument("--window", type=positive_int, default=8,
+                       help="batching window (default 8)")
+    bench.add_argument("--json", action="store_true",
+                       help="emit a machine-readable JSON report")
+
+    stats = sub.add_parser("stats", help="inspect a persistent plan store")
+    stats.add_argument("--disk", metavar="DIR", required=True,
+                       help="plan-store directory to inspect")
+    return parser
+
+
+def _machine(args: argparse.Namespace) -> PimConfig:
+    return PimConfig(num_pes=args.pes, iterations=args.iterations)
+
+
+def cmd_warmup(args: argparse.Namespace) -> int:
+    names = args.workloads if args.workloads is not None else list(PAPER_BENCHMARKS)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        known = ", ".join(sorted(WORKLOADS))
+        print(f"unknown workloads {unknown}; known: {known}", file=sys.stderr)
+        return 2
+    cache = PlanCache(capacity=max(32, len(names)), disk_dir=args.disk)
+    report = warm_cache(
+        names,
+        _machine(args),
+        cache,
+        allocator=args.allocator,
+        max_workers=args.jobs,
+    )
+    print(report.render())
+    if args.disk:
+        print(f"plans persisted to {args.disk} "
+              f"({len(cache.disk_digests())} on disk)")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.workload not in WORKLOADS:
+        known = ", ".join(sorted(WORKLOADS))
+        print(f"unknown workload {args.workload!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    cache = PlanCache(disk_dir=args.disk)
+    server = BatchingServer(
+        _machine(args),
+        cache=cache,
+        max_queue=args.queue,
+        batch_window=args.window,
+        allocator=args.allocator,
+    )
+    rejected = 0
+    for _ in range(args.requests):
+        try:
+            server.submit(args.workload, iterations=args.batch_iterations)
+        except QueueFullError:
+            rejected += 1
+            server.drain()  # relieve backpressure, then keep submitting
+            server.submit(args.workload, iterations=args.batch_iterations)
+    server.drain()
+    results = server.results  # includes batches drained mid-stream
+
+    sim = server.metrics.histogram("sim_latency_units")
+    wall = server.metrics.histogram("wall_latency_seconds")
+    throughput = server.throughput_summary()
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "requests": len(results),
+            "rejected": rejected,
+            "sim_latency_units": sim.summary(),
+            "wall_latency_seconds": wall.summary(),
+            "throughput": throughput,
+            "plan_cache": cache.stats.as_dict(),
+        }, indent=2))
+        return 0
+    print(f"served {len(results)} requests for {args.workload!r} "
+          f"({rejected} transiently rejected by backpressure)")
+    print(
+        f"  sim latency (units) : p50={sim.p50:.0f} p95={sim.p95:.0f} "
+        f"p99={sim.p99:.0f} max={sim.max:.0f}"
+    )
+    print(
+        f"  wall latency (ms)   : p50={wall.p50 * 1e3:.2f} "
+        f"p95={wall.p95 * 1e3:.2f} p99={wall.p99 * 1e3:.2f} "
+        f"max={wall.max * 1e3:.2f}"
+    )
+    print(
+        f"  throughput          : {throughput['sim_throughput']:.4f} inf/unit "
+        f"simulated, {throughput['wall_throughput']:.1f} inf/s wall"
+    )
+    print()
+    print(server.stats_report())
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    store = Path(args.disk)
+    if not store.is_dir():
+        print(f"no plan store at {store}", file=sys.stderr)
+        return 2
+    from repro.runtime.plan_cache import plan_from_dict
+
+    files = sorted(store.glob("*.json"))
+    print(f"plan store {store}: {len(files)} plans")
+    for path in files:
+        try:
+            plan = plan_from_dict(json.loads(path.read_text()))
+        except Exception as exc:  # corrupt entries are reported, not fatal
+            print(f"  {path.stem[:16]}…  UNREADABLE ({exc})")
+            continue
+        print(
+            f"  {path.stem[:16]}…  {plan.graph.name:<20} "
+            f"{plan.config.num_pes:>3} PEs  period={plan.period:<4} "
+            f"R_max={plan.max_retiming:<3} groups={plan.num_groups}x"
+            f"{plan.group_width}  {path.stat().st_size / 1024:.1f} KiB"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "warmup":
+        return cmd_warmup(args)
+    if args.command == "bench":
+        return cmd_bench(args)
+    if args.command == "stats":
+        return cmd_stats(args)
+    return 2  # pragma: no cover — argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Serving metrics: counters, gauges and streaming latency histograms.
+
+The runtime layer needs the classic serving triplet — request counters,
+occupancy gauges, and latency percentiles — without any external metrics
+dependency. :class:`Histogram` keeps a bounded reservoir so a long-running
+server's memory stays constant while p50/p95/p99 remain exact for small
+streams and statistically faithful for large ones.
+
+All classes are synchronous and deterministic; thread safety is provided
+by a single lock per registry because the warmup workers record from
+multiple threads.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "percentile",
+]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (``q`` in [0, 100]).
+
+    Matches ``numpy.percentile``'s default (linear) method so the figures
+    the CLI prints line up with any offline analysis of the same samples.
+    Raises ``ValueError`` on an empty sample or out-of-range ``q``.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(ordered[lower])
+    frac = rank - lower
+    return float(ordered[lower] * (1.0 - frac) + ordered[upper] * frac)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing counter."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value (queue depth, cache occupancy, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+
+class Histogram:
+    """Streaming sample distribution with bounded memory.
+
+    Keeps every observation up to ``reservoir_size``; beyond that it
+    switches to Vitter's Algorithm R reservoir sampling (seeded, so runs
+    are reproducible). Count/sum/min/max are tracked exactly regardless.
+    """
+
+    def __init__(self, name: str, reservoir_size: int = 4096, seed: int = 0x5EED):
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.name = name
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        return percentile(self._samples, q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def summary(self) -> Dict[str, float]:
+        """Snapshot of the classic latency summary."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Named collection of counters, gauges and histograms."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self.counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self.gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str, reservoir_size: int = 4096) -> Histogram:
+        with self._lock:
+            if name not in self.histograms:
+                self.histograms[name] = Histogram(name, reservoir_size)
+            return self.histograms[name]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible dump of everything recorded so far."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self.counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+                "histograms": {
+                    n: h.summary() for n, h in sorted(self.histograms.items())
+                },
+            }
+
+    def render(self) -> str:
+        """Human-readable multi-line report (the ``stats`` subcommand)."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        for name, value in snap["counters"].items():
+            lines.append(f"counter   {name:<32} {value}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"gauge     {name:<32} {value:g}")
+        for name, summary in snap["histograms"].items():
+            if summary.get("count"):
+                lines.append(
+                    f"histogram {name:<32} count={summary['count']} "
+                    f"mean={summary['mean']:.6g} p50={summary['p50']:.6g} "
+                    f"p95={summary['p95']:.6g} p99={summary['p99']:.6g} "
+                    f"max={summary['max']:.6g}"
+                )
+            else:
+                lines.append(f"histogram {name:<32} count=0")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

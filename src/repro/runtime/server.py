@@ -1,0 +1,295 @@
+"""Batching request scheduler with bounded-queue backpressure.
+
+Design: a *synchronous core*. The server is a deterministic state machine
+— ``submit()`` either admits a request into the bounded queue or raises
+:class:`QueueFullError`; ``step()`` forms one batch and runs it;
+``drain()`` loops ``step()`` until the queue is empty. There are no
+threads and no waiting inside the core, which makes every scheduling
+decision unit-testable and reproducible. Wall-clock timing comes from an
+injectable ``clock`` so tests can drive virtual time.
+
+Batching policy (the PIMfused observation: steady-state scheduling, not
+per-request planning, dominates throughput): ``step()`` picks the oldest
+queued request and coalesces every other queued request for the *same
+plan* (same workload fingerprint + knobs) up to ``batch_window`` requests
+into one simulated steady-state batch. The prologue ``R_max * p`` is paid
+once per batch and attributed to the batch, not multiplied per request —
+exactly the paper's ``R_max*p + N*p`` amortization.
+
+Per-request latency has two clocks:
+
+* *simulated* latency — time units from batch start until the request's
+  last iteration completes inside the simulated machine (FIFO order
+  within a batch), and
+* *wall* latency — seconds from ``submit()`` until its batch finished
+  executing on this host.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.cnn.workloads import load_workload
+from repro.graph.taskgraph import TaskGraph
+from repro.pim.config import PimConfig
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.session import BatchResult, InferenceSession
+
+
+class QueueFullError(RuntimeError):
+    """Typed backpressure signal: the admission queue is at capacity.
+
+    Carries enough context for a client to implement retry-with-backoff.
+    """
+
+    def __init__(self, capacity: int, workload: str):
+        self.capacity = capacity
+        self.workload = workload
+        super().__init__(
+            f"admission queue full ({capacity} requests); "
+            f"rejecting request for {workload!r}"
+        )
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One admitted inference request."""
+
+    request_id: int
+    workload: str
+    iterations: int
+    submit_wall: float
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Everything measured for one served request."""
+
+    request: InferenceRequest
+    batch_id: int
+    batch_size: int
+    #: simulated time units from batch start to this request's completion.
+    sim_latency: int
+    #: wall seconds from submit() to batch completion.
+    wall_latency: float
+    #: the batch-level measurements this request shared.
+    batch: BatchResult
+
+
+@dataclass
+class _WorkloadState:
+    """Per-workload session plus arrival bookkeeping."""
+
+    session: InferenceSession
+    queued: int = 0
+
+
+class BatchingServer:
+    """Deterministic single-host serving core over the plan cache.
+
+    Args:
+        config: machine every request is served on.
+        cache: shared plan cache (a fresh private one when omitted).
+        max_queue: admission-queue bound; beyond it ``submit`` raises
+            :class:`QueueFullError` instead of blocking — bounded memory
+            and no deadlock under overload, the caller owns retry policy.
+        batch_window: maximum requests coalesced into one simulated batch.
+        allocator: allocator registry name for plan compilation.
+        num_vaults: executor vault count.
+        clock: wall-clock source (``time.perf_counter`` by default);
+            injectable for deterministic tests.
+        graph_loader: workload-name resolver (:func:`load_workload` by
+            default); injectable so tests can serve synthetic graphs.
+    """
+
+    def __init__(
+        self,
+        config: PimConfig,
+        cache: Optional[PlanCache] = None,
+        max_queue: int = 64,
+        batch_window: int = 8,
+        allocator: str = "dp",
+        num_vaults: int = 32,
+        clock: Optional[Callable[[], float]] = None,
+        graph_loader: Optional[Callable[[str], TaskGraph]] = None,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if batch_window < 1:
+            raise ValueError("batch_window must be >= 1")
+        self.config = config
+        self.cache = cache if cache is not None else PlanCache()
+        self.max_queue = max_queue
+        self.batch_window = batch_window
+        self.allocator = allocator
+        self.num_vaults = num_vaults
+        self.clock = clock if clock is not None else time.perf_counter
+        self.graph_loader = graph_loader if graph_loader is not None else load_workload
+        self.metrics = MetricsRegistry()
+        self._queue: Deque[InferenceRequest] = deque()
+        self._sessions: Dict[str, _WorkloadState] = {}
+        self._ids = itertools.count(1)
+        self._batches = itertools.count(1)
+        self._results: List[RequestResult] = []
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(self, workload: str, iterations: int = 1) -> InferenceRequest:
+        """Admit one request or raise :class:`QueueFullError`."""
+        if len(self._queue) >= self.max_queue:
+            self.metrics.counter("requests_rejected").inc()
+            raise QueueFullError(self.max_queue, workload)
+        request = InferenceRequest(
+            request_id=next(self._ids),
+            workload=workload,
+            iterations=iterations,
+            submit_wall=self.clock(),
+        )
+        self._queue.append(request)
+        self._state_for(workload).queued += 1
+        self.metrics.counter("requests_accepted").inc()
+        self.metrics.gauge("queue_depth").set(len(self._queue))
+        return request
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def step(self) -> List[RequestResult]:
+        """Serve one batch: coalesce, execute, time. No-op on empty queue."""
+        if not self._queue:
+            return []
+        head = self._queue[0]
+        batch: List[InferenceRequest] = []
+        kept: Deque[InferenceRequest] = deque()
+        # Oldest-first coalescing: take the head's workload, sweep the
+        # queue in FIFO order for up to batch_window same-plan requests,
+        # preserve everyone else's order.
+        while self._queue:
+            request = self._queue.popleft()
+            if request.workload == head.workload and len(batch) < self.batch_window:
+                batch.append(request)
+            else:
+                kept.append(request)
+        self._queue = kept
+        self.metrics.gauge("queue_depth").set(len(self._queue))
+        return self._execute_batch(batch)
+
+    def drain(self) -> List[RequestResult]:
+        """Serve until the queue is empty; returns results in batch order."""
+        results: List[RequestResult] = []
+        while self._queue:
+            results.extend(self.step())
+        return results
+
+    @property
+    def results(self) -> List[RequestResult]:
+        """Every result produced since construction (batch order)."""
+        return list(self._results)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _state_for(self, workload: str) -> _WorkloadState:
+        state = self._sessions.get(workload)
+        if state is None:
+            graph = self.graph_loader(workload)
+            state = _WorkloadState(
+                session=InferenceSession(
+                    graph,
+                    self.config,
+                    allocator=self.allocator,
+                    cache=self.cache,
+                    num_vaults=self.num_vaults,
+                )
+            )
+            self._sessions[workload] = state
+        return state
+
+    def _execute_batch(self, batch: List[InferenceRequest]) -> List[RequestResult]:
+        state = self._state_for(batch[0].workload)
+        state.queued -= len(batch)
+        batch_id = next(self._batches)
+        total_iterations = sum(r.iterations for r in batch)
+        compile_was_needed = not state.session.is_compiled
+        batch_result = state.session.run(total_iterations)
+        finished_wall = self.clock()
+        if compile_was_needed:
+            self.metrics.counter("plans_compiled_or_loaded").inc()
+            self.metrics.histogram("compile_seconds").observe(
+                state.session.last_compile_seconds
+            )
+        # FIFO attribution inside the batch: request k completes when its
+        # last iteration does. Prologue + ceil(cumulative/J) * p, i.e. the
+        # analytic completion prefix of the shared steady-state schedule.
+        plan = state.session.plan
+        results: List[RequestResult] = []
+        cumulative = 0
+        for request in batch:
+            cumulative += request.iterations
+            sim_latency = plan.total_time(cumulative)
+            wall_latency = finished_wall - request.submit_wall
+            result = RequestResult(
+                request=request,
+                batch_id=batch_id,
+                batch_size=len(batch),
+                sim_latency=sim_latency,
+                wall_latency=wall_latency,
+                batch=batch_result,
+            )
+            results.append(result)
+            self.metrics.histogram("sim_latency_units").observe(sim_latency)
+            self.metrics.histogram("wall_latency_seconds").observe(wall_latency)
+        self.metrics.counter("batches_executed").inc()
+        self.metrics.counter("requests_served").inc(len(batch))
+        self.metrics.counter("inferences_served").inc(total_iterations)
+        self.metrics.counter("sim_units_busy").inc(batch_result.realized_makespan)
+        self.metrics.counter("cache_spills").inc(batch_result.cache_spills)
+        self._results.extend(results)
+        return results
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def throughput_summary(self) -> Dict[str, float]:
+        """Aggregate inferences/sec (wall) and inferences/unit (simulated)."""
+        snap = self.metrics.snapshot()["counters"]
+        inferences = snap.get("inferences_served", 0)
+        sim_busy = snap.get("sim_units_busy", 0)
+        wall = sum(r.batch.wall_seconds for r in self._results)
+        return {
+            "inferences": float(inferences),
+            "sim_throughput": inferences / sim_busy if sim_busy else 0.0,
+            "wall_throughput": inferences / wall if wall else 0.0,
+        }
+
+    def stats_report(self) -> str:
+        """Multi-line operator report: metrics + plan-cache accounting."""
+        lines = [self.metrics.render(), ""]
+        stats = self.cache.stats
+        lines.append(
+            f"plan cache: {stats.hits} hits / {stats.misses} misses "
+            f"(rate {stats.hit_rate:.2%}), {stats.evictions} evictions, "
+            f"{stats.disk_hits} disk hits, {stats.disk_writes} disk writes, "
+            f"{stats.compile_seconds:.3f}s compiling"
+        )
+        summary = self.throughput_summary()
+        lines.append(
+            f"throughput: {summary['inferences']:.0f} inferences, "
+            f"{summary['sim_throughput']:.4f} inf/unit simulated, "
+            f"{summary['wall_throughput']:.1f} inf/s wall"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Compile-once inference sessions.
+
+An :class:`InferenceSession` binds one workload to one machine, pays the
+planning cost (retiming analysis + DP allocation + width search) exactly
+once — or not at all when the plan cache already holds the plan — and then
+serves arbitrary-``N`` steady-state batches through the discrete-event
+executor. This is the paper's cost model made operational: the prologue
+``R_max * p`` is a per-*deployment* cost, the per-batch marginal cost is
+``ceil(N / num_groups) * p``, so a session amortizes compilation and
+prologue across every request it serves.
+
+The session path is bit-identical to the direct
+``ParaConv(...).run(graph)`` + ``ScheduleExecutor(...).execute(...)``
+path: both the planner and the executor are deterministic, and the session
+adds no transformation in between (verified by ``benchmarks/test_runtime``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.paraconv import ParaConv, ParaConvResult
+from repro.graph.taskgraph import TaskGraph
+from repro.pim.config import PimConfig
+from repro.pim.energy import EnergyModel, EnergyReport
+from repro.pim.stats import TrafficStats
+from repro.runtime.plan_cache import PlanCache, plan_key_for
+from repro.sim.executor import ExecutionTrace, ScheduleExecutor
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one steady-state batch run through a session.
+
+    Carries exactly the quantities the acceptance comparison pins against
+    the direct pipeline: makespans, traffic counters and the energy
+    breakdown, plus the serving-relevant derived rates.
+    """
+
+    iterations: int
+    analytic_makespan: int
+    realized_makespan: int
+    stats: TrafficStats
+    energy: EnergyReport
+    cache_spills: int
+    max_lateness: int
+    wall_seconds: float
+
+    @property
+    def sim_throughput(self) -> float:
+        """Inferences per simulated time unit."""
+        if self.realized_makespan == 0:
+            return 0.0
+        return self.iterations / self.realized_makespan
+
+    @property
+    def wall_throughput(self) -> float:
+        """Inferences per wall-clock second of simulation."""
+        if self.wall_seconds == 0.0:
+            return 0.0
+        return self.iterations / self.wall_seconds
+
+
+class InferenceSession:
+    """Compile a plan once, then serve steady-state batches from it.
+
+    Args:
+        graph: the workload's task graph.
+        config: machine description; its ``iterations`` field only affects
+            the width search's objective (as in the one-shot pipeline).
+        allocator: allocator registry name (``dp`` by default).
+        kernel_order: kernel packing order knob (ablation).
+        liveness_aware: liveness-corrected allocation pass.
+        cache: optional :class:`PlanCache`; when provided, compilation is
+            ``get_or_compile`` against the content-addressed key, so a
+            second session for the same (graph, machine, knobs) tuple is a
+            pure lookup.
+        num_vaults: eDRAM vault count handed to the executor.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        config: PimConfig,
+        allocator: str = "dp",
+        kernel_order: str = "topological",
+        liveness_aware: bool = False,
+        cache: Optional[PlanCache] = None,
+        num_vaults: int = 32,
+    ):
+        self.graph = graph
+        self.config = config
+        self.allocator = allocator
+        self.kernel_order = kernel_order
+        self.liveness_aware = liveness_aware
+        self.cache = cache
+        self.num_vaults = num_vaults
+        self._plan: Optional[ParaConvResult] = None
+        self._executor: Optional[ScheduleExecutor] = None
+        #: wall seconds the last :meth:`compile` call took (0 for a pure
+        #: memory hit, which still goes through the cache's accounting).
+        self.last_compile_seconds: float = 0.0
+        #: number of times this session actually ran the planner.
+        self.compilations: int = 0
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> ParaConvResult:
+        """The compiled plan; first access triggers :meth:`compile`."""
+        if self._plan is None:
+            self.compile()
+        assert self._plan is not None
+        return self._plan
+
+    @property
+    def is_compiled(self) -> bool:
+        return self._plan is not None
+
+    def _build_pipeline(self) -> ParaConv:
+        return ParaConv(
+            self.config,
+            allocator_name=self.allocator,
+            kernel_order=self.kernel_order,
+            liveness_aware=self.liveness_aware,
+        )
+
+    def compile(self, force: bool = False) -> ParaConvResult:
+        """Plan (or cache-load) the schedule; idempotent unless ``force``."""
+        if self._plan is not None and not force:
+            return self._plan
+        started = time.perf_counter()
+        if self.cache is not None:
+            key = plan_key_for(
+                self.graph,
+                self.config,
+                allocator=self.allocator,
+                kernel_order=self.kernel_order,
+                liveness_aware=self.liveness_aware,
+            )
+
+            def _compile() -> ParaConvResult:
+                self.compilations += 1
+                return self._build_pipeline().run(self.graph)
+
+            self._plan = self.cache.get_or_compile(key, _compile)
+        else:
+            self.compilations += 1
+            self._plan = self._build_pipeline().run(self.graph)
+        self.last_compile_seconds = time.perf_counter() - started
+        return self._plan
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        iterations: int,
+        energy_model: Optional[EnergyModel] = None,
+    ) -> BatchResult:
+        """Execute one batch of ``iterations`` inferences on the plan.
+
+        Re-uses the compiled plan (and the executor object) across calls:
+        no re-planning, no re-validation — only the discrete-event
+        execution itself. Each call simulates a fresh machine, exactly
+        like the direct executor path.
+        """
+        plan = self.plan
+        if self._executor is None:
+            self._executor = ScheduleExecutor(self.config, num_vaults=self.num_vaults)
+        started = time.perf_counter()
+        trace = self._executor.execute(plan, iterations=iterations)
+        wall = time.perf_counter() - started
+        return self._batch_result(trace, energy_model, wall)
+
+    @staticmethod
+    def _batch_result(
+        trace: ExecutionTrace,
+        energy_model: Optional[EnergyModel],
+        wall_seconds: float,
+    ) -> BatchResult:
+        return BatchResult(
+            iterations=trace.iterations,
+            analytic_makespan=trace.analytic_makespan,
+            realized_makespan=trace.realized_makespan,
+            stats=trace.stats,
+            energy=trace.energy(energy_model),
+            cache_spills=trace.cache_spills,
+            max_lateness=trace.max_lateness,
+            wall_seconds=wall_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # analytics
+    # ------------------------------------------------------------------
+    def total_time(self, iterations: int) -> int:
+        """Analytic ``R_max*p + ceil(N/J)*p`` for a batch of ``N``."""
+        return self.plan.total_time(iterations)
+
+    def summary(self) -> str:
+        plan = self.plan
+        state = "cached" if self.compilations == 0 else "compiled"
+        return (
+            f"InferenceSession({self.graph.name!r}, {self.config.num_pes} PEs, "
+            f"allocator={self.allocator!r}): plan {state} in "
+            f"{self.last_compile_seconds * 1e3:.2f} ms, period {plan.period}, "
+            f"R_max {plan.max_retiming}, groups {plan.num_groups} x "
+            f"{plan.group_width} PEs"
+        )
+
+
+def direct_batch(
+    graph: TaskGraph,
+    config: PimConfig,
+    iterations: int,
+    allocator: str = "dp",
+    num_vaults: int = 32,
+    energy_model: Optional[EnergyModel] = None,
+) -> BatchResult:
+    """The uncached reference path: plan, execute, report.
+
+    Exists so tests (and users migrating from the one-shot pipeline) can
+    compare the session path against a from-scratch run with identical
+    semantics.
+    """
+    result = ParaConv(config, allocator_name=allocator).run(graph)
+    started = time.perf_counter()
+    trace = ScheduleExecutor(config, num_vaults=num_vaults).execute(
+        result, iterations=iterations
+    )
+    wall = time.perf_counter() - started
+    return InferenceSession._batch_result(trace, energy_model, wall)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the serving-runtime tests.
+
+Small synthetic graphs keep each test milliseconds-fast while exercising
+the full plan pipeline (retiming + DP allocation + width search).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import synthetic_benchmark
+from repro.graph.taskgraph import TaskGraph
+from repro.pim.config import PimConfig
+
+
+@pytest.fixture()
+def config() -> PimConfig:
+    return PimConfig(num_pes=16, iterations=100)
+
+
+@pytest.fixture()
+def graph() -> TaskGraph:
+    return synthetic_benchmark("cat")
+
+
+@pytest.fixture()
+def other_graph() -> TaskGraph:
+    return synthetic_benchmark("car")
+
+
+def tiny_graph(name: str = "tiny", stages: int = 4) -> TaskGraph:
+    """A deterministic little pipeline for scheduler-focused tests."""
+    graph = TaskGraph(name=name)
+    for idx in range(stages):
+        graph.add_op(idx, execution_time=1 + idx % 2)
+    for idx in range(stages - 1):
+        graph.connect(idx, idx + 1, size_bytes=256)
+    graph.validate()
+    return graph

@@ -1,0 +1,117 @@
+"""Metrics primitives: percentile math, reservoir behavior, registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_exact_small_sample(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 100) == 5.0
+
+    def test_linear_interpolation(self):
+        assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_matches_numpy(self):
+        numpy = pytest.importorskip("numpy")
+        values = [float(v) for v in [9, 1, 7, 3, 5, 2, 8]]
+        for q in (10, 50, 90, 95, 99):
+            assert percentile(values, q) == pytest.approx(
+                float(numpy.percentile(values, q))
+            )
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_single_sample(self):
+        assert percentile([42.0], 99) == 42.0
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        counter = Counter("n")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_add(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.add(-1)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = Histogram("lat")
+        for v in [5, 1, 3, 2, 4]:
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 5
+        assert summary["min"] == 1.0 and summary["max"] == 5.0
+        assert summary["mean"] == pytest.approx(3.0)
+        assert summary["p50"] == pytest.approx(3.0)
+
+    def test_empty_summary(self):
+        assert Histogram("lat").summary() == {"count": 0}
+
+    def test_reservoir_bounds_memory_but_tracks_extremes(self):
+        hist = Histogram("lat", reservoir_size=64)
+        for v in range(10_000):
+            hist.observe(float(v))
+        assert hist.count == 10_000
+        assert len(hist._samples) == 64
+        assert hist.min == 0.0 and hist.max == 9999.0
+        # percentiles stay order-of-magnitude faithful under sampling
+        assert 3000 < hist.p50 < 7000
+
+    def test_reservoir_is_seeded_deterministic(self):
+        def fill():
+            hist = Histogram("lat", reservoir_size=16)
+            for v in range(1000):
+                hist.observe(float(v))
+            return list(hist._samples)
+
+        assert fill() == fill()
+
+
+class TestRegistry:
+    def test_idempotent_creation(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_and_render(self):
+        registry = MetricsRegistry()
+        registry.counter("served").inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat").observe(1.5)
+        registry.histogram("empty")
+        snap = registry.snapshot()
+        assert snap["counters"]["served"] == 3
+        assert snap["gauges"]["depth"] == 2.0
+        assert snap["histograms"]["lat"]["count"] == 1
+        text = registry.render()
+        assert "served" in text and "depth" in text
+        assert "count=0" in text  # empty histogram renders safely
+
+    def test_empty_render(self):
+        assert MetricsRegistry().render() == "(no metrics recorded)"

@@ -1,0 +1,202 @@
+"""Plan-cache semantics: accounting, LRU order, disk tier, invalidation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.paraconv import ParaConv
+from repro.pim.config import PimConfig
+from repro.runtime.plan_cache import (
+    PlanCache,
+    PlanCacheError,
+    PlanKey,
+    plan_from_dict,
+    plan_key_for,
+    plan_to_dict,
+)
+
+
+def compile_plan(graph, config, allocator="dp"):
+    return ParaConv(config, allocator_name=allocator).run(graph)
+
+
+# ----------------------------------------------------------------------
+# keys
+# ----------------------------------------------------------------------
+class TestPlanKey:
+    def test_same_inputs_same_digest(self, graph, config):
+        a = plan_key_for(graph, config)
+        b = plan_key_for(graph.copy(), config)
+        assert a == b
+        assert a.digest == b.digest
+
+    def test_every_component_changes_the_key(self, graph, other_graph, config):
+        base = plan_key_for(graph, config)
+        variants = [
+            plan_key_for(other_graph, config),
+            plan_key_for(graph, config.with_pes(64)),
+            plan_key_for(graph, config, allocator="greedy"),
+            plan_key_for(graph, config, kernel_order="lpt"),
+            plan_key_for(graph, config, liveness_aware=True),
+        ]
+        digests = {base.digest} | {v.digest for v in variants}
+        assert len(digests) == len(variants) + 1, "fingerprint collision"
+
+    def test_graph_mutation_invalidates(self, graph, config):
+        before = plan_key_for(graph, config)
+        mutated = graph.copy()
+        edge = mutated.edges()[0]
+        # change one intermediate-result size: different content hash
+        mutated._edges[edge.key] = type(edge)(
+            producer=edge.producer,
+            consumer=edge.consumer,
+            size_bytes=edge.size_bytes + 1,
+            profit_cache=edge.profit_cache,
+            profit_edram=edge.profit_edram,
+        )
+        assert plan_key_for(mutated, config).digest != before.digest
+
+    def test_name_does_not_matter(self, graph, config):
+        renamed = graph.copy(name="renamed")
+        assert plan_key_for(renamed, config) == plan_key_for(graph, config)
+
+
+# ----------------------------------------------------------------------
+# hit/miss accounting + LRU
+# ----------------------------------------------------------------------
+class TestAccounting:
+    def test_hit_miss_counters(self, graph, config):
+        cache = PlanCache(capacity=4)
+        key = plan_key_for(graph, config)
+        assert cache.get(key) is None
+        assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+        plan = compile_plan(graph, config)
+        cache.put(key, plan)
+        assert cache.get(key) is plan
+        assert cache.get(key) is plan
+        assert (cache.stats.hits, cache.stats.misses) == (2, 1)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_get_or_compile_compiles_once(self, graph, config):
+        cache = PlanCache(capacity=4)
+        key = plan_key_for(graph, config)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return compile_plan(graph, config)
+
+        first = cache.get_or_compile(key, build)
+        second = cache.get_or_compile(key, build)
+        assert first is second
+        assert len(calls) == 1
+        assert cache.stats.compile_seconds > 0.0
+
+    def test_lru_eviction_order(self, graph, config):
+        cache = PlanCache(capacity=2)
+        plan = compile_plan(graph, config)
+        k1 = PlanKey("g1", "c")
+        k2 = PlanKey("g2", "c")
+        k3 = PlanKey("g3", "c")
+        cache.put(k1, plan)
+        cache.put(k2, plan)
+        assert cache.get(k1) is plan  # promote k1: k2 is now LRU
+        cache.put(k3, plan)  # evicts k2
+        assert cache.stats.evictions == 1
+        assert k2 not in cache
+        assert k1 in cache and k3 in cache
+        assert cache.keys() == [k1.digest, k3.digest]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(PlanCacheError):
+            PlanCache(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# serialization + disk tier
+# ----------------------------------------------------------------------
+class TestDiskTier:
+    def test_plan_round_trip_equals(self, graph, config):
+        plan = compile_plan(graph, config)
+        restored = plan_from_dict(json.loads(json.dumps(plan_to_dict(plan))))
+        assert restored.period == plan.period
+        assert restored.max_retiming == plan.max_retiming
+        assert restored.group_width == plan.group_width
+        assert restored.num_groups == plan.num_groups
+        assert restored.allocation == plan.allocation
+        assert restored.case_histogram == plan.case_histogram
+        assert restored.schedule.retiming == plan.schedule.retiming
+        assert restored.schedule.placements == plan.schedule.placements
+        assert restored.schedule.transfer_times == plan.schedule.transfer_times
+        assert restored.config == plan.config
+        assert restored.graph.fingerprint() == plan.graph.fingerprint()
+        assert restored.total_time() == plan.total_time()
+
+    def test_disk_round_trip_through_cache(self, graph, config, tmp_path):
+        cache = PlanCache(capacity=4, disk_dir=tmp_path / "plans")
+        key = plan_key_for(graph, config)
+        plan = compile_plan(graph, config)
+        cache.put(key, plan)
+        assert cache.stats.disk_writes == 1
+        assert cache.disk_digests() == [key.digest]
+
+        # a fresh cache (new process) hydrates from disk
+        fresh = PlanCache(capacity=4, disk_dir=tmp_path / "plans")
+        restored = fresh.get(key)
+        assert restored is not None
+        assert fresh.stats.disk_hits == 1
+        assert restored.total_time() == plan.total_time()
+        assert restored.schedule.placements == plan.schedule.placements
+        # hydrated plans are promoted to memory: second get is a pure hit
+        assert fresh.get(key) is restored
+        assert fresh.stats.disk_hits == 1
+
+    def test_eviction_keeps_disk_copy(self, graph, config, tmp_path):
+        cache = PlanCache(capacity=1, disk_dir=tmp_path)
+        plan = compile_plan(graph, config)
+        k1 = plan_key_for(graph, config)
+        k2 = plan_key_for(graph, config.with_pes(64))
+        cache.put(k1, plan)
+        cache.put(k2, compile_plan(graph, config.with_pes(64)))  # evicts k1
+        assert cache.stats.evictions == 1
+        assert cache.get(k1) is not None  # served from disk, not recompiled
+        assert cache.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, graph, config, tmp_path):
+        cache = PlanCache(capacity=2, disk_dir=tmp_path)
+        key = plan_key_for(graph, config)
+        (tmp_path / f"{key.digest}.json").write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+    def test_clear_disk(self, graph, config, tmp_path):
+        cache = PlanCache(capacity=2, disk_dir=tmp_path)
+        cache.put(plan_key_for(graph, config), compile_plan(graph, config))
+        cache.clear(memory_only=False)
+        assert len(cache) == 0
+        assert cache.disk_digests() == []
+
+    def test_bad_version_rejected(self, graph, config):
+        payload = plan_to_dict(compile_plan(graph, config))
+        payload["format_version"] = 99
+        with pytest.raises(PlanCacheError):
+            plan_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# invalidation: every fingerprint component routes to a distinct plan
+# ----------------------------------------------------------------------
+def test_cache_isolates_configurations(graph, config):
+    cache = PlanCache(capacity=8)
+    key16 = plan_key_for(graph, config)
+    key64 = plan_key_for(graph, config.with_pes(64))
+    plan16 = cache.get_or_compile(key16, lambda: compile_plan(graph, config))
+    plan64 = cache.get_or_compile(
+        key64, lambda: compile_plan(graph, config.with_pes(64))
+    )
+    assert plan16.config.num_pes == 16
+    assert plan64.config.num_pes == 64
+    assert cache.get(key16) is plan16
+    assert cache.get(key64) is plan64

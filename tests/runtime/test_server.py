@@ -1,0 +1,175 @@
+"""Batching server: admission, coalescing, backpressure, timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import synthetic_benchmark
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.server import BatchingServer, QueueFullError
+
+from tests.runtime.conftest import tiny_graph
+
+
+class FakeClock:
+    """Deterministic monotonic clock for timing assertions."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def tick(self, seconds: float = 1.0) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_server(config, **kwargs):
+    kwargs.setdefault("graph_loader", lambda name: synthetic_benchmark(name))
+    kwargs.setdefault("cache", PlanCache(capacity=8))
+    return BatchingServer(config, **kwargs)
+
+
+class TestAdmission:
+    def test_submit_assigns_increasing_ids(self, config):
+        server = make_server(config, max_queue=4)
+        r1 = server.submit("cat")
+        r2 = server.submit("cat")
+        assert (r1.request_id, r2.request_id) == (1, 2)
+        assert server.queue_depth == 2
+
+    def test_bounded_queue_rejects_not_deadlocks(self, config):
+        server = make_server(config, max_queue=3)
+        for _ in range(3):
+            server.submit("cat")
+        with pytest.raises(QueueFullError) as err:
+            server.submit("cat")
+        assert err.value.capacity == 3
+        assert err.value.workload == "cat"
+        assert server.metrics.snapshot()["counters"]["requests_rejected"] == 1
+        # the queue is still fully servable after the rejection
+        assert len(server.drain()) == 3
+        # and accepts again afterwards
+        server.submit("cat")
+        assert server.queue_depth == 1
+
+    def test_invalid_parameters(self, config):
+        with pytest.raises(ValueError):
+            make_server(config, max_queue=0)
+        with pytest.raises(ValueError):
+            make_server(config, batch_window=0)
+        server = make_server(config)
+        with pytest.raises(ValueError):
+            server.submit("cat", iterations=0)
+
+
+class TestCoalescing:
+    def test_same_workload_requests_share_one_batch(self, config):
+        server = make_server(config, batch_window=8)
+        for _ in range(5):
+            server.submit("cat")
+        results = server.step()
+        assert len(results) == 5
+        assert {r.batch_id for r in results} == {1}
+        assert all(r.batch_size == 5 for r in results)
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["batches_executed"] == 1
+        assert counters["inferences_served"] == 5
+
+    def test_window_bounds_batch_size(self, config):
+        server = make_server(config, batch_window=2)
+        for _ in range(5):
+            server.submit("cat")
+        results = server.drain()
+        batches = {r.batch_id for r in results}
+        assert len(results) == 5
+        assert len(batches) == 3  # 2 + 2 + 1
+
+    def test_mixed_workloads_preserve_fifo_between_plans(self, config):
+        server = make_server(config, batch_window=8)
+        server.submit("cat")
+        server.submit("car")
+        server.submit("cat")  # coalesces with the head batch
+        first = server.step()
+        assert [r.request.workload for r in first] == ["cat", "cat"]
+        second = server.step()
+        assert [r.request.workload for r in second] == ["car"]
+        assert server.queue_depth == 0
+
+    def test_one_plan_compile_for_many_requests(self, config):
+        cache = PlanCache(capacity=8)
+        server = make_server(config, cache=cache, batch_window=4)
+        for _ in range(8):
+            server.submit("cat")
+        server.drain()
+        assert cache.stats.misses == 1  # compiled exactly once
+        assert cache.stats.compile_seconds > 0.0
+
+    def test_step_on_empty_queue_is_noop(self, config):
+        server = make_server(config)
+        assert server.step() == []
+        assert server.drain() == []
+
+
+class TestTiming:
+    def test_wall_latency_uses_injected_clock(self, config):
+        clock = FakeClock()
+        server = make_server(config, clock=clock)
+        server.submit("cat")
+        clock.tick(2.0)
+        server.submit("cat")
+        clock.tick(3.0)
+        results = server.step()
+        by_id = {r.request.request_id: r for r in results}
+        assert by_id[1].wall_latency == pytest.approx(5.0)
+        assert by_id[2].wall_latency == pytest.approx(3.0)
+
+    def test_sim_latency_is_monotone_within_batch(self, config):
+        server = make_server(config, batch_window=8)
+        for _ in range(6):
+            server.submit("cat", iterations=4)
+        results = server.step()
+        latencies = [r.sim_latency for r in results]
+        assert latencies == sorted(latencies)
+        # the last request's completion equals the whole batch's time
+        plan = server._sessions["cat"].session.plan
+        assert latencies[-1] == plan.total_time(6 * 4)
+
+    def test_prologue_amortized_across_batch(self, config):
+        """A coalesced batch pays R_max*p once, not once per request."""
+        server = make_server(config, batch_window=8)
+        for _ in range(4):
+            server.submit("cat")
+        results = server.step()
+        plan = server._sessions["cat"].session.plan
+        solo_cost = plan.total_time(1)
+        batch_total = results[-1].sim_latency
+        assert batch_total < 4 * solo_cost
+
+    def test_metrics_percentiles_exposed(self, config):
+        server = make_server(config)
+        for _ in range(4):
+            server.submit("cat")
+        server.drain()
+        hist = server.metrics.histogram("sim_latency_units")
+        assert hist.count == 4
+        assert hist.p50 <= hist.p95 <= hist.p99
+        summary = server.throughput_summary()
+        assert summary["inferences"] == 4
+        assert summary["sim_throughput"] > 0
+        assert "plan cache" in server.stats_report()
+
+
+class TestCustomGraphs:
+    def test_loader_injection(self, config):
+        served = []
+
+        def loader(name):
+            served.append(name)
+            return tiny_graph(name)
+
+        server = BatchingServer(config, graph_loader=loader, cache=PlanCache())
+        server.submit("alpha")
+        server.submit("alpha")
+        server.drain()
+        assert served == ["alpha"]  # one session per workload

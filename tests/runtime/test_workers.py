@@ -1,0 +1,75 @@
+"""Parallel warmup: cache population, determinism, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import synthetic_benchmark
+from repro.runtime.plan_cache import PlanCache, plan_key_for
+from repro.runtime.workers import warm_cache
+
+NAMES = ["cat", "car", "flower"]
+
+
+def loader(name):
+    return synthetic_benchmark(name)
+
+
+class TestWarmCache:
+    def test_populates_every_workload(self, config):
+        cache = PlanCache(capacity=8)
+        report = warm_cache(NAMES, config, cache, graph_loader=loader)
+        assert len(report.entries) == 3
+        assert report.compiled == 3 and report.from_cache == 0
+        for name in NAMES:
+            key = plan_key_for(loader(name), config)
+            assert key in cache
+
+    def test_second_warmup_is_all_cache_hits(self, config):
+        cache = PlanCache(capacity=8)
+        warm_cache(NAMES, config, cache, graph_loader=loader)
+        report = warm_cache(NAMES, config, cache, graph_loader=loader)
+        assert report.compiled == 0
+        assert report.from_cache == 3
+
+    def test_parallel_equals_serial_plans(self, config):
+        serial = PlanCache(capacity=8)
+        parallel = PlanCache(capacity=8)
+        warm_cache(NAMES, config, serial, max_workers=1, graph_loader=loader)
+        warm_cache(NAMES, config, parallel, max_workers=4, graph_loader=loader)
+        for name in NAMES:
+            key = plan_key_for(loader(name), config)
+            a = serial.get(key)
+            b = parallel.get(key)
+            assert a is not None and b is not None
+            assert a.total_time() == b.total_time()
+            assert a.schedule.placements == b.schedule.placements
+            assert a.schedule.retiming == b.schedule.retiming
+
+    def test_order_preserved_and_facts_reported(self, config):
+        cache = PlanCache(capacity=8)
+        report = warm_cache(NAMES, config, cache, graph_loader=loader)
+        assert [e.workload for e in report.entries] == NAMES
+        for entry in report.entries:
+            assert entry.seconds >= 0.0
+            assert entry.period > 0
+            assert entry.num_groups * entry.group_width <= config.num_pes
+            assert len(entry.digest) == 64
+
+    def test_unknown_workload_raises(self, config):
+        cache = PlanCache(capacity=8)
+        with pytest.raises(Exception):
+            warm_cache(["no-such-workload"], config, cache)
+
+    def test_warmup_persists_to_disk(self, config, tmp_path):
+        cache = PlanCache(capacity=8, disk_dir=tmp_path)
+        warm_cache(NAMES, config, cache, graph_loader=loader)
+        assert len(cache.disk_digests()) == 3
+
+    def test_render_smoke(self, config):
+        cache = PlanCache(capacity=8)
+        report = warm_cache(NAMES, config, cache, graph_loader=loader)
+        text = report.render()
+        for name in NAMES:
+            assert name in text
+        assert "warmed 3 workloads" in text
