@@ -32,6 +32,14 @@ from repro.pim.memory import Placement
 EdgeKey = Tuple[int, int]
 
 
+class AllocationError(RetimingError):
+    """A malformed allocation instance reached an allocator entry point.
+
+    Subclasses :class:`RetimingError` so existing callers that guard the
+    analysis pipeline with ``except RetimingError`` keep working.
+    """
+
+
 @dataclass(frozen=True)
 class AllocationItem:
     """One cache-competing intermediate result, in DP order.
@@ -66,7 +74,7 @@ class AllocationProblem:
     ) -> "AllocationProblem":
         """Build the DP instance from the Section 3.2 edge analysis."""
         if capacity_slots < 0:
-            raise RetimingError("capacity_slots must be >= 0")
+            raise AllocationError("capacity_slots must be >= 0")
         items: List[AllocationItem] = []
         indifferent: List[EdgeKey] = []
         for key, timing in timings.items():
@@ -87,6 +95,45 @@ class AllocationProblem:
         indifferent.sort()
         return cls(items=items, capacity_slots=capacity_slots,
                    indifferent=indifferent)
+
+    def validate(self) -> None:
+        """Reject malformed instances with a typed error.
+
+        Every allocator entry point calls this before doing any work, so a
+        bad instance (hand-built, deserialized, or corrupted upstream)
+        fails loudly instead of producing an infeasible or silently wrong
+        allocation. Checks: non-negative integer capacity, strictly
+        positive per-item slot demands, non-negative profits, and no
+        duplicate edge keys.
+        """
+        if not isinstance(self.capacity_slots, int):
+            raise AllocationError(
+                f"capacity_slots must be an int, got "
+                f"{type(self.capacity_slots).__name__}"
+            )
+        if self.capacity_slots < 0:
+            raise AllocationError(
+                f"capacity_slots must be >= 0, got {self.capacity_slots}"
+            )
+        seen = set()
+        for item in self.items:
+            if item.slots <= 0:
+                raise AllocationError(
+                    f"item {item.key}: slots must be >= 1, got {item.slots}"
+                )
+            if item.delta_r < 0:
+                raise AllocationError(
+                    f"item {item.key}: delta_r must be >= 0, "
+                    f"got {item.delta_r}"
+                )
+            if item.key in seen:
+                raise AllocationError(f"duplicate item key {item.key}")
+            seen.add(item.key)
+        overlap = seen & set(self.indifferent)
+        if overlap:
+            raise AllocationError(
+                f"keys both competing and indifferent: {sorted(overlap)[:5]}"
+            )
 
     @property
     def num_items(self) -> int:
@@ -171,6 +218,7 @@ def dp_allocate(problem: AllocationProblem) -> AllocationResult:
     """
     import numpy as np
 
+    problem.validate()
     capacity = problem.capacity_slots
     items = problem.items
     n = len(items)
@@ -200,6 +248,7 @@ def dp_allocate(problem: AllocationProblem) -> AllocationResult:
 
 def greedy_allocate(problem: AllocationProblem) -> AllocationResult:
     """Density-greedy baseline: cache by descending ``ΔR / sp`` while it fits."""
+    problem.validate()
     order = sorted(
         problem.items,
         key=lambda item: (-item.delta_r / item.slots, item.slots, item.key),
@@ -215,6 +264,7 @@ def greedy_allocate(problem: AllocationProblem) -> AllocationResult:
 
 def random_allocate(problem: AllocationProblem, seed: int = 0) -> AllocationResult:
     """Random-order first-fit baseline (ablation floor)."""
+    problem.validate()
     rng = random.Random(seed)
     order = list(problem.items)
     rng.shuffle(order)
@@ -229,6 +279,7 @@ def random_allocate(problem: AllocationProblem, seed: int = 0) -> AllocationResu
 
 def all_edram_allocate(problem: AllocationProblem) -> AllocationResult:
     """Everything in eDRAM: the no-cache floor."""
+    problem.validate()
     return _finalize("all-edram", problem, [])
 
 
@@ -238,6 +289,7 @@ def oracle_allocate(problem: AllocationProblem) -> AllocationResult:
     Upper-bounds what any allocator can achieve; useful to measure how much
     of the headroom the DP captures under the real capacity.
     """
+    problem.validate()
     return _finalize("oracle", problem, list(problem.items))
 
 

@@ -88,6 +88,7 @@ class IterativeAllocator:
         self.max_rounds = max_rounds
 
     def __call__(self, problem: AllocationProblem) -> AllocationResult:
+        problem.validate()
         capacity = problem.capacity_slots
         items_by_key: Dict[EdgeKey, AllocationItem] = {
             item.key: item for item in problem.items

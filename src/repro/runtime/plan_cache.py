@@ -182,6 +182,9 @@ class CacheStats:
     disk_hits: int = 0
     disk_writes: int = 0
     compile_seconds: float = 0.0
+    #: disk payloads that parsed but failed invariant verification
+    #: (only counted when the cache was built with ``verify_on_load``).
+    verify_failures: int = 0
 
     @property
     def lookups(self) -> int:
@@ -200,6 +203,7 @@ class CacheStats:
             "disk_writes": self.disk_writes,
             "hit_rate": self.hit_rate,
             "compile_seconds": self.compile_seconds,
+            "verify_failures": self.verify_failures,
         }
 
 
@@ -212,6 +216,14 @@ class PlanCache:
             on disk when a ``disk_dir`` is configured.
         disk_dir: optional directory for the persistent tier. Created on
             first write. One ``<digest>.json`` file per plan.
+        verify_on_load: when true, plans hydrated from the disk tier are
+            checked by the :class:`~repro.verify.validator.ScheduleValidator`
+            before entering the memory tier. A plan that parses but breaks
+            an invariant (tampered file, stale format producing a subtly
+            wrong plan) degrades to a cache miss and bumps
+            ``stats.verify_failures`` — serving then recompiles instead of
+            executing a corrupt schedule. Memory-tier hits are trusted:
+            they were verified (or freshly compiled) on the way in.
 
     Thread-safe: the warmup workers insert from multiple threads.
     """
@@ -220,11 +232,13 @@ class PlanCache:
         self,
         capacity: int = 32,
         disk_dir: Optional[Union[str, Path]] = None,
+        verify_on_load: bool = False,
     ):
         if capacity < 1:
             raise PlanCacheError("cache capacity must be >= 1")
         self.capacity = capacity
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.verify_on_load = verify_on_load
         self.stats = CacheStats()
         self._plans: "OrderedDict[str, ParaConvResult]" = OrderedDict()
         self._lock = threading.RLock()
@@ -325,7 +339,19 @@ class PlanCache:
         if not path.is_file():
             return None
         try:
-            return plan_from_dict(json.loads(path.read_text()))
+            plan = plan_from_dict(json.loads(path.read_text()))
         except (json.JSONDecodeError, PlanCacheError):
             # A corrupt file must degrade to a miss, never poison serving.
             return None
+        if self.verify_on_load and not self._plan_verifies(plan):
+            self.stats.verify_failures += 1
+            return None
+        return plan
+
+    @staticmethod
+    def _plan_verifies(plan: ParaConvResult) -> bool:
+        """True when the hydrated plan passes the invariant validator."""
+        # Lazy import keeps the serving fast path free of the verifier.
+        from repro.verify.validator import ScheduleValidator
+
+        return ScheduleValidator().validate(plan).ok

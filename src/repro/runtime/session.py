@@ -78,6 +78,12 @@ class InferenceSession:
             second session for the same (graph, machine, knobs) tuple is a
             pure lookup.
         num_vaults: eDRAM vault count handed to the executor.
+        verify: when true, every plan this session compiles (or loads from
+            the cache) is pushed through the
+            :class:`~repro.verify.validator.ScheduleValidator` before it is
+            ever served; a plan with invariant errors raises
+            :class:`~repro.verify.violations.VerificationError` instead of
+            silently producing wrong latencies.
     """
 
     def __init__(
@@ -89,7 +95,17 @@ class InferenceSession:
         liveness_aware: bool = False,
         cache: Optional[PlanCache] = None,
         num_vaults: int = 32,
+        verify: bool = False,
     ):
+        from repro.core.allocation import ALLOCATORS
+
+        if allocator not in ALLOCATORS:
+            known = ", ".join(sorted(ALLOCATORS))
+            raise ValueError(
+                f"unknown allocator {allocator!r}; known: {known}"
+            )
+        if num_vaults < 1:
+            raise ValueError(f"num_vaults must be >= 1, got {num_vaults}")
         self.graph = graph
         self.config = config
         self.allocator = allocator
@@ -97,6 +113,7 @@ class InferenceSession:
         self.liveness_aware = liveness_aware
         self.cache = cache
         self.num_vaults = num_vaults
+        self.verify = verify
         self._plan: Optional[ParaConvResult] = None
         self._executor: Optional[ScheduleExecutor] = None
         #: wall seconds the last :meth:`compile` call took (0 for a pure
@@ -150,8 +167,19 @@ class InferenceSession:
         else:
             self.compilations += 1
             self._plan = self._build_pipeline().run(self.graph)
+        if self.verify:
+            self._verify_plan(self._plan)
         self.last_compile_seconds = time.perf_counter() - started
         return self._plan
+
+    def _verify_plan(self, plan: ParaConvResult) -> None:
+        """Gate a freshly compiled/loaded plan on the paper's invariants."""
+        # Imported lazily: the serving path must not pay for the verifier
+        # (or depend on it) unless verification was requested.
+        from repro.verify.validator import ScheduleValidator
+
+        report = ScheduleValidator().validate(plan)
+        report.raise_if_failed()
 
     # ------------------------------------------------------------------
     # serving

@@ -1,0 +1,81 @@
+"""Machine verification of Para-CONV schedules and allocations.
+
+Three independent instruments, designed to be composed:
+
+* :class:`ScheduleValidator` — checks a compiled plan against the paper's
+  structural invariants (dependency order across retimed iteration
+  instances, PE exclusion, cache capacity, prologue shape, profit
+  accounting) and returns a structured :class:`VerificationReport`.
+* :func:`exhaustive_allocate` / :func:`differential_check` — a brute-force
+  subset oracle that pins the DP allocator to the true optimum on small
+  instances and to dominance relations on large ones.
+* :func:`inject_faults` / :func:`fault_detection_report` — a seeded
+  mutation corpus that scores the validator's ability to catch every
+  class of planted invariant violation.
+
+:func:`verify_workload` and :func:`run_verification_sweep` drive all three
+over the paper's benchmarks; ``python -m repro.verify`` is the CLI front
+end and CI gate.
+"""
+
+from repro.verify.mutation import (
+    MUTATORS,
+    FaultDetectionReport,
+    InjectedFault,
+    clone_result,
+    fault_detection_report,
+    inject_faults,
+)
+from repro.verify.oracle import (
+    DEFAULT_EXHAUSTIVE_LIMIT,
+    DifferentialReport,
+    OracleSizeError,
+    differential_check,
+    exhaustive_allocate,
+)
+from repro.verify.runner import (
+    SweepOutcome,
+    WorkloadVerification,
+    run_verification_sweep,
+    verify_workload,
+)
+from repro.verify.validator import (
+    CAPACITY_OBLIVIOUS_METHODS,
+    CHECK_CATALOG,
+    ScheduleValidator,
+    verify_result,
+)
+from repro.verify.violations import (
+    Severity,
+    VerificationError,
+    VerificationReport,
+    Violation,
+    worst_of,
+)
+
+__all__ = [
+    "CAPACITY_OBLIVIOUS_METHODS",
+    "CHECK_CATALOG",
+    "DEFAULT_EXHAUSTIVE_LIMIT",
+    "DifferentialReport",
+    "FaultDetectionReport",
+    "InjectedFault",
+    "MUTATORS",
+    "OracleSizeError",
+    "ScheduleValidator",
+    "Severity",
+    "SweepOutcome",
+    "VerificationError",
+    "VerificationReport",
+    "Violation",
+    "WorkloadVerification",
+    "clone_result",
+    "differential_check",
+    "exhaustive_allocate",
+    "fault_detection_report",
+    "inject_faults",
+    "run_verification_sweep",
+    "verify_result",
+    "verify_workload",
+    "worst_of",
+]

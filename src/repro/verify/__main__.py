@@ -1,0 +1,116 @@
+"""Verification CLI.
+
+Usage::
+
+    python -m repro.verify                       # full battery, 12 benchmarks
+    python -m repro.verify --benchmarks cat car  # subset
+    python -m repro.verify --allocators dp greedy --pes 32
+    python -m repro.verify --strict-liveness     # escalate liveness warnings
+    python -m repro.verify --no-oracle --no-mutations
+    python -m repro.verify --list-checks         # print the check catalog
+    python -m repro.verify --json                # machine-readable output
+
+Exit status is non-zero when any validator error, oracle mismatch or
+missed injected fault is found — suitable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.allocation import ALLOCATORS
+from repro.graph.generators import BENCHMARK_SIZES
+from repro.pim.config import PimConfig
+from repro.verify.validator import CHECK_CATALOG, ScheduleValidator
+from repro.verify.runner import run_verification_sweep
+
+
+def positive_int(text: str) -> int:
+    """argparse type: strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=(
+            "Machine-check Para-CONV schedules against the paper's "
+            "invariants, differentially verify the DP allocator against a "
+            "brute-force oracle, and score the validator on an injected-"
+            "fault corpus."
+        ),
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", metavar="NAME", default=None,
+        choices=sorted(BENCHMARK_SIZES),
+        help="benchmarks to sweep (default: all 12 paper benchmarks)",
+    )
+    parser.add_argument(
+        "--allocators", nargs="+", metavar="NAME", default=None,
+        choices=sorted(ALLOCATORS),
+        help="allocators to validate (default: every registered allocator)",
+    )
+    parser.add_argument("--pes", type=positive_int, default=16,
+                        help="PE count of the machine (default 16)")
+    parser.add_argument("--iterations", type=positive_int, default=1000,
+                        help="width-search iteration count N (default 1000)")
+    parser.add_argument("--strict-liveness", action="store_true",
+                        help="treat liveness-point cache overflows as errors")
+    parser.add_argument("--unroll", type=positive_int, default=3,
+                        help="steady-state iterations to unroll (default 3)")
+    parser.add_argument("--oracle-limit", type=positive_int, default=16,
+                        help="max competing results for exhaustive "
+                             "enumeration (default 16)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-injection seed (default 0)")
+    parser.add_argument("--no-oracle", action="store_true",
+                        help="skip the oracle-differential stage")
+    parser.add_argument("--no-mutations", action="store_true",
+                        help="skip the fault-injection stage")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full outcome as JSON")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print the invariant-check catalog and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_checks:
+        width = max(len(name) for name in CHECK_CATALOG)
+        for name, description in CHECK_CATALOG.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    config = PimConfig(num_pes=args.pes, iterations=args.iterations)
+    validator = ScheduleValidator(
+        strict_liveness=args.strict_liveness, unroll_iterations=args.unroll
+    )
+    outcome = run_verification_sweep(
+        config=config,
+        benchmarks=args.benchmarks,
+        allocators=args.allocators,
+        validator=validator,
+        oracle_limit=args.oracle_limit,
+        with_differential=not args.no_oracle,
+        with_faults=not args.no_mutations,
+        fault_seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(outcome.as_dict(), indent=2))
+    else:
+        print(outcome.summary())
+    return 0 if outcome.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

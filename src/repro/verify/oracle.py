@@ -1,0 +1,193 @@
+"""Brute-force allocation oracle and differential optimality checks.
+
+The paper's central algorithmic claim is that the deadline-ordered dynamic
+program ``B[S, m]`` (Section 3.3) is *profit-optimal* under the cache
+capacity. For small instances that claim is machine-checkable by
+exhaustive enumeration: :func:`exhaustive_allocate` tries every subset of
+the competing intermediate results and keeps the best feasible one, giving
+an independent optimum the DP must match exactly.
+
+On instances too large to enumerate, optimality degrades to *dominance*:
+the DP's profit must be at least every polynomial baseline's (greedy,
+random, all-eDRAM) and at most the capacity-oblivious oracle's upper
+bound. :func:`differential_check` runs both modes and returns a structured
+:class:`DifferentialReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.allocation import (
+    ALLOCATORS,
+    AllocationItem,
+    AllocationProblem,
+    AllocationResult,
+    _finalize,
+    dp_allocate,
+)
+
+#: Largest item count enumerated exhaustively (2^n subsets).
+DEFAULT_EXHAUSTIVE_LIMIT = 16
+
+#: Registry entries that are per-run factories needing the task graph
+#: (``ALLOCATORS[name](graph, timings)(problem)``) rather than plain
+#: ``problem -> result`` functions.  Differential checks on a bare
+#: :class:`AllocationProblem` cannot invoke them and skip them.
+GRAPH_COUPLED_METHODS = frozenset({"iterative"})
+
+
+class OracleSizeError(ValueError):
+    """Raised when an instance is too large for exhaustive enumeration."""
+
+
+def exhaustive_allocate(
+    problem: AllocationProblem,
+    limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+) -> AllocationResult:
+    """Optimal allocation by enumerating every subset of competing results.
+
+    Ground truth for :func:`repro.core.allocation.dp_allocate`: among all
+    subsets whose total space fits the capacity, return one maximizing the
+    profit ``sum of DR(m)``. Ties prefer fewer slots, then the
+    lexicographically smallest key set, making the outcome deterministic.
+
+    Raises :class:`OracleSizeError` beyond ``limit`` items — the caller
+    should fall back to dominance checking.
+    """
+    problem.validate()
+    items = problem.items
+    n = len(items)
+    if n > limit:
+        raise OracleSizeError(
+            f"{n} competing results exceed the exhaustive limit {limit} "
+            f"(2^{n} subsets)"
+        )
+    capacity = problem.capacity_slots
+    best_mask = 0
+    best_profit, best_slots, best_keys = 0, 0, ()
+    for mask in range(1 << n):
+        profit = slots = 0
+        for index in range(n):
+            if mask >> index & 1:
+                item = items[index]
+                profit += item.delta_r
+                slots += item.slots
+                if slots > capacity:
+                    break
+        if slots > capacity:
+            continue
+        keys = tuple(
+            items[index].key for index in range(n) if mask >> index & 1
+        )
+        candidate = (profit, -slots, tuple(sorted(keys)))
+        incumbent = (best_profit, -best_slots, tuple(sorted(best_keys)))
+        if (
+            profit > best_profit
+            or (profit == best_profit and candidate[1:] > incumbent[1:])
+        ):
+            best_profit, best_slots, best_keys = profit, slots, keys
+            best_mask = mask
+    chosen: List[AllocationItem] = [
+        items[index] for index in range(n) if best_mask >> index & 1
+    ]
+    return _finalize("exhaustive", problem, chosen)
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of differentially verifying one allocation instance.
+
+    Attributes:
+        num_items: competing intermediate results in the instance.
+        capacity_slots: the knapsack capacity.
+        profits: achieved profit per method (always includes ``dp``; the
+            ``exhaustive`` entry is present when the instance was small
+            enough to enumerate).
+        exhaustive_checked: whether the DP was held to the brute-force
+            optimum (as opposed to dominance only).
+        failures: human-readable description of every broken relation.
+    """
+
+    num_items: int
+    capacity_slots: int
+    profits: Dict[str, int] = field(default_factory=dict)
+    exhaustive_checked: bool = False
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_items": self.num_items,
+            "capacity_slots": self.capacity_slots,
+            "profits": dict(self.profits),
+            "exhaustive_checked": self.exhaustive_checked,
+            "ok": self.ok,
+            "failures": list(self.failures),
+        }
+
+
+def differential_check(
+    problem: AllocationProblem,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+    methods: Optional[List[str]] = None,
+) -> DifferentialReport:
+    """Differentially verify the DP allocator on one instance.
+
+    * ``dp`` must be capacity-feasible;
+    * on instances with at most ``exhaustive_limit`` competing results,
+      ``dp``'s profit must equal the brute-force optimum exactly;
+    * ``dp`` must dominate every capacity-aware baseline and never exceed
+      the capacity-oblivious upper bound.
+    """
+    report = DifferentialReport(
+        num_items=problem.num_items, capacity_slots=problem.capacity_slots
+    )
+    names = (
+        methods
+        if methods is not None
+        else sorted(set(ALLOCATORS) - GRAPH_COUPLED_METHODS)
+    )
+    results: Dict[str, AllocationResult] = {}
+    for name in names:
+        results[name] = ALLOCATORS[name](problem)
+        report.profits[name] = results[name].total_delta_r
+    dp = results.get("dp") or dp_allocate(problem)
+    report.profits.setdefault("dp", dp.total_delta_r)
+
+    if dp.slots_used > problem.capacity_slots:
+        report.failures.append(
+            f"dp is capacity-infeasible: {dp.slots_used} slots used against "
+            f"{problem.capacity_slots}"
+        )
+
+    if problem.num_items <= exhaustive_limit:
+        exhaustive = exhaustive_allocate(problem, limit=exhaustive_limit)
+        report.profits["exhaustive"] = exhaustive.total_delta_r
+        report.exhaustive_checked = True
+        if dp.total_delta_r != exhaustive.total_delta_r:
+            report.failures.append(
+                f"dp profit {dp.total_delta_r} != brute-force optimum "
+                f"{exhaustive.total_delta_r} "
+                f"(n={problem.num_items}, S={problem.capacity_slots})"
+            )
+
+    for name, result in results.items():
+        if name == "dp":
+            continue
+        if name == "oracle":
+            if dp.total_delta_r > result.total_delta_r:
+                report.failures.append(
+                    f"dp profit {dp.total_delta_r} exceeds the capacity-"
+                    f"oblivious upper bound {result.total_delta_r}"
+                )
+        elif result.total_delta_r > dp.total_delta_r:
+            report.failures.append(
+                f"dp profit {dp.total_delta_r} dominated by {name!r} "
+                f"({result.total_delta_r})"
+            )
+    return report

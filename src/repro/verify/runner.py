@@ -1,0 +1,197 @@
+"""Benchmark x allocator verification sweeps.
+
+Ties the three verification instruments together over the paper's
+workloads: for every (benchmark, allocator) pair the full pipeline is run
+and the resulting plan pushed through the :class:`ScheduleValidator`; per
+benchmark the allocation instance is differentially checked against the
+brute-force oracle (or dominance on large instances); and per benchmark a
+seeded fault-injection corpus scores the validator's detection rate.
+
+Used by ``python -m repro.verify`` and by the acceptance tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.allocation import ALLOCATORS, AllocationProblem
+from repro.core.paraconv import ParaConv, ParaConvResult
+from repro.core.retiming import analyze_edges
+from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
+from repro.graph.taskgraph import TaskGraph
+from repro.pim.config import PimConfig
+from repro.verify.mutation import FaultDetectionReport, fault_detection_report
+from repro.verify.oracle import DifferentialReport, differential_check
+from repro.verify.validator import ScheduleValidator
+from repro.verify.violations import VerificationReport
+
+
+@dataclass
+class WorkloadVerification:
+    """Everything verified about one workload on one machine."""
+
+    workload: str
+    reports: Dict[str, VerificationReport] = field(default_factory=dict)
+    differential: Optional[DifferentialReport] = None
+    faults: Optional[FaultDetectionReport] = None
+
+    @property
+    def ok(self) -> bool:
+        if any(not report.ok for report in self.reports.values()):
+            return False
+        if self.differential is not None and not self.differential.ok:
+            return False
+        if self.faults is not None and not self.faults.ok:
+            return False
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "ok": self.ok,
+            "validator": {
+                name: report.as_dict() for name, report in self.reports.items()
+            },
+            "differential": (
+                self.differential.as_dict() if self.differential else None
+            ),
+            "faults": self.faults.as_dict() if self.faults else None,
+        }
+
+
+@dataclass
+class SweepOutcome:
+    """Aggregate of a whole verification sweep."""
+
+    config: PimConfig
+    allocators: List[str]
+    workloads: List[WorkloadVerification] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(w.ok for w in self.workloads)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "allocators": list(self.allocators),
+            "ok": self.ok,
+            "workloads": [w.as_dict() for w in self.workloads],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"verification sweep on {self.config.describe()}",
+            f"allocators: {', '.join(self.allocators)}",
+        ]
+        for workload in self.workloads:
+            status = "ok" if workload.ok else "FAIL"
+            errors = sum(
+                len(r.errors()) for r in workload.reports.values()
+            )
+            warnings = sum(
+                len(r.warnings()) for r in workload.reports.values()
+            )
+            extras = []
+            if workload.differential is not None:
+                mode = (
+                    "exhaustive"
+                    if workload.differential.exhaustive_checked
+                    else "dominance"
+                )
+                verdict = "ok" if workload.differential.ok else "FAIL"
+                extras.append(f"oracle[{mode}]={verdict}")
+            if workload.faults is not None:
+                extras.append(
+                    f"faults={len(workload.faults.detected)}/"
+                    f"{len(workload.faults.detected) + len(workload.faults.missed)}"
+                )
+            lines.append(
+                f"  {workload.workload:<16} {status:<5} "
+                f"errors={errors} warnings={warnings} "
+                + " ".join(extras)
+            )
+        lines.append(f"overall: {'ok' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def verify_workload(
+    graph: TaskGraph,
+    config: PimConfig,
+    allocators: Optional[List[str]] = None,
+    validator: Optional[ScheduleValidator] = None,
+    oracle_limit: int = 16,
+    with_differential: bool = True,
+    with_faults: bool = True,
+    fault_seed: int = 0,
+) -> WorkloadVerification:
+    """Run the full verification battery for one workload.
+
+    The DP plan's width is reused for the other allocators so all of them
+    are validated on the same kernel/grouping decision (isolating the
+    allocation policy, exactly like the ablation experiments).
+    """
+    names = allocators if allocators is not None else sorted(ALLOCATORS)
+    validator = validator or ScheduleValidator()
+    outcome = WorkloadVerification(workload=graph.name)
+
+    # The DP pipeline picks the operating width; the other allocators are
+    # validated at the same width so the sweep isolates allocation policy.
+    dp_plan: ParaConvResult = ParaConv(config, validate=False).run(graph)
+    for name in names:
+        if name == "dp":
+            plan = dp_plan
+        else:
+            plan = ParaConv(
+                config, allocator_name=name, validate=False
+            ).run_at_width(graph, dp_plan.group_width)
+        outcome.reports[name] = validator.validate(plan)
+
+    if with_differential:
+        kernel = dp_plan.schedule.kernel
+        timings = analyze_edges(graph, kernel, config)
+        capacity = config.total_cache_slots // dp_plan.num_groups
+        problem = AllocationProblem.from_timings(timings, capacity)
+        outcome.differential = differential_check(
+            problem, exhaustive_limit=oracle_limit
+        )
+    if with_faults:
+        outcome.faults = fault_detection_report(
+            dp_plan, validator=validator, seed=fault_seed
+        )
+    return outcome
+
+
+def run_verification_sweep(
+    config: Optional[PimConfig] = None,
+    benchmarks: Optional[List[str]] = None,
+    allocators: Optional[List[str]] = None,
+    validator: Optional[ScheduleValidator] = None,
+    oracle_limit: int = 16,
+    with_differential: bool = True,
+    with_faults: bool = True,
+    fault_seed: int = 0,
+) -> SweepOutcome:
+    """Verify benchmarks x allocators on one machine configuration."""
+    config = config or PimConfig()
+    names = benchmarks if benchmarks is not None else list(BENCHMARK_SIZES)
+    allocator_names = (
+        allocators if allocators is not None else sorted(ALLOCATORS)
+    )
+    outcome = SweepOutcome(config=config, allocators=allocator_names)
+    for name in names:
+        graph = synthetic_benchmark(name)
+        outcome.workloads.append(
+            verify_workload(
+                graph,
+                config,
+                allocators=allocator_names,
+                validator=validator,
+                oracle_limit=oracle_limit,
+                with_differential=with_differential,
+                with_faults=with_faults,
+                fault_seed=fault_seed,
+            )
+        )
+    return outcome

@@ -1,0 +1,93 @@
+"""Golden fixture computation and regeneration.
+
+The golden suite pins the full compiled plan for every paper benchmark on
+the default machine: scalar plan metrics (period, ``R_max``, group shape,
+allocation profit, off-chip traffic, analytic latency) plus a SHA-256
+digest of the canonical plan JSON. Any change to the planner that moves
+*any* of these is surfaced as an explicit diff in
+``tests/golden/test_golden_drift.py`` — intentional improvements are then
+blessed by regenerating the fixture:
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+The fixture is deterministic: the whole pipeline is seed-free given the
+synthetic benchmark generator's fixed seeds, so regeneration on any
+machine produces a byte-identical ``benchmarks.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.core.paraconv import ParaConv, ParaConvResult
+from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
+from repro.pim.config import PimConfig
+from repro.runtime.plan_cache import plan_to_dict
+
+#: Where the golden fixture lives, next to this module.
+GOLDEN_PATH = Path(__file__).resolve().parent / "benchmarks.json"
+
+#: Fixture layout version; bump when entry fields change.
+GOLDEN_FORMAT_VERSION = 1
+
+
+def plan_digest(result: ParaConvResult) -> str:
+    """SHA-256 of the canonical JSON form of the full compiled plan."""
+    payload = json.dumps(
+        plan_to_dict(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def golden_entry(result: ParaConvResult) -> Dict[str, Any]:
+    """The pinned facts about one compiled benchmark plan."""
+    allocation = result.allocation
+    return {
+        "graph_fingerprint": result.graph.fingerprint(),
+        "config_fingerprint": result.config.fingerprint(),
+        "period": result.period,
+        "max_retiming": result.max_retiming,
+        "prologue_time": result.prologue_time,
+        "group_width": result.group_width,
+        "num_groups": result.num_groups,
+        "num_cached": len(allocation.cached),
+        "total_delta_r": allocation.total_delta_r,
+        "slots_used": allocation.slots_used,
+        "capacity_slots": allocation.capacity_slots,
+        "offchip_bytes_per_iteration": result.offchip_bytes_per_iteration(),
+        "total_time": result.total_time(),
+        "plan_sha256": plan_digest(result),
+    }
+
+
+def compute_golden(config: PimConfig | None = None) -> Dict[str, Any]:
+    """Compile every paper benchmark and collect its golden entry."""
+    config = config or PimConfig()
+    entries = {
+        name: golden_entry(ParaConv(config).run(synthetic_benchmark(name)))
+        for name in BENCHMARK_SIZES
+    }
+    return {
+        "format_version": GOLDEN_FORMAT_VERSION,
+        "config": config.to_dict(),
+        "benchmarks": entries,
+    }
+
+
+def load_golden() -> Dict[str, Any]:
+    """Read the committed fixture."""
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def main() -> int:
+    payload = compute_golden()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(payload['benchmarks'])} entries to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

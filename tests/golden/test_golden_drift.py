@@ -1,0 +1,70 @@
+"""Golden drift detection for the full planning pipeline.
+
+Every paper benchmark's compiled plan on the default machine is pinned in
+``tests/golden/benchmarks.json`` — scalar metrics *and* the SHA-256 of the
+canonical plan JSON. A failing test here means the planner's output moved;
+if the move is intentional, bless it with::
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+and review the resulting fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.paraconv import ParaConv
+from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
+from repro.pim.config import PimConfig
+
+from tests.golden.regen import (
+    GOLDEN_FORMAT_VERSION,
+    GOLDEN_PATH,
+    golden_entry,
+    load_golden,
+)
+
+REGEN_HINT = "regenerate with: PYTHONPATH=src python -m tests.golden.regen"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.is_file(), f"missing fixture {GOLDEN_PATH}; {REGEN_HINT}"
+    return load_golden()
+
+
+@pytest.fixture(scope="module")
+def config(golden):
+    return PimConfig.from_dict(golden["config"])
+
+
+class TestFixtureShape:
+    def test_format_version(self, golden):
+        assert golden["format_version"] == GOLDEN_FORMAT_VERSION
+
+    def test_covers_every_benchmark(self, golden):
+        assert set(golden["benchmarks"]) == set(BENCHMARK_SIZES), REGEN_HINT
+
+    def test_config_is_default_machine(self, golden):
+        assert PimConfig.from_dict(golden["config"]) == PimConfig()
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARK_SIZES))
+def test_benchmark_plan_matches_golden(name, golden, config):
+    """Recompile the benchmark and diff every pinned fact field-by-field."""
+    expected = golden["benchmarks"][name]
+    actual = golden_entry(ParaConv(config).run(synthetic_benchmark(name)))
+    drifted = {
+        field: (expected[field], actual[field])
+        for field in expected
+        if actual.get(field) != expected[field]
+    }
+    assert not drifted, (
+        f"golden drift on {name!r}: "
+        + ", ".join(
+            f"{field}: golden={want!r} actual={got!r}"
+            for field, (want, got) in sorted(drifted.items())
+        )
+        + f"; {REGEN_HINT}"
+    )

@@ -1,0 +1,123 @@
+"""Brute-force oracle and differential optimality checks."""
+
+import pytest
+
+from repro.core.allocation import (
+    AllocationItem,
+    AllocationProblem,
+    dp_allocate,
+)
+from repro.core.paraconv import ParaConv
+from repro.core.retiming import analyze_edges
+from repro.graph.generators import SyntheticGraphGenerator
+from repro.pim.config import PimConfig
+from repro.verify.oracle import (
+    OracleSizeError,
+    differential_check,
+    exhaustive_allocate,
+)
+
+
+def problem_of(triples, capacity):
+    """triples: (slots, delta_r, deadline) per item."""
+    items = [
+        AllocationItem(key=(i, i + 1), slots=s, delta_r=d, deadline=dl)
+        for i, (s, d, dl) in enumerate(triples)
+    ]
+    items.sort(key=lambda item: (item.deadline, item.key))
+    return AllocationProblem(items=items, capacity_slots=capacity)
+
+
+class TestExhaustive:
+    def test_known_optimum(self):
+        # capacity 10: {6,4} worth 9 beats greedy's density pick {5} + {4}
+        problem = problem_of([(6, 5, 0), (4, 4, 1), (5, 5, 2)], capacity=10)
+        best = exhaustive_allocate(problem)
+        assert best.total_delta_r == 9
+        assert best.slots_used <= 10
+
+    def test_empty_instance(self):
+        problem = AllocationProblem(items=[], capacity_slots=8)
+        best = exhaustive_allocate(problem)
+        assert best.total_delta_r == 0
+        assert best.cached == []
+
+    def test_zero_capacity(self):
+        problem = problem_of([(1, 3, 0)], capacity=0)
+        assert exhaustive_allocate(problem).cached == []
+
+    def test_deterministic_tie_breaking(self):
+        # two disjoint optima of equal profit: fewer-slots wins
+        problem = problem_of([(3, 5, 0), (2, 5, 1)], capacity=3)
+        first = exhaustive_allocate(problem)
+        second = exhaustive_allocate(problem)
+        assert first.cached == second.cached
+        assert first.slots_used == 2  # prefers the smaller footprint
+
+    def test_size_limit_raises(self):
+        problem = problem_of([(1, 1, i) for i in range(20)], capacity=5)
+        with pytest.raises(OracleSizeError):
+            exhaustive_allocate(problem, limit=16)
+
+
+class TestDifferential:
+    def test_clean_instance_passes(self):
+        problem = problem_of([(2, 3, 0), (3, 4, 1), (4, 2, 2)], capacity=6)
+        report = differential_check(problem)
+        assert report.ok, report.failures
+        assert report.exhaustive_checked
+        assert report.profits["dp"] == report.profits["exhaustive"]
+        assert report.profits["dp"] >= report.profits["greedy"]
+        assert report.profits["dp"] <= report.profits["oracle"]
+
+    def test_large_instance_falls_back_to_dominance(self):
+        problem = problem_of(
+            [(1 + i % 3, 1 + i % 5, i) for i in range(24)], capacity=12
+        )
+        report = differential_check(problem, exhaustive_limit=16)
+        assert report.ok, report.failures
+        assert not report.exhaustive_checked
+        assert "exhaustive" not in report.profits
+
+    def test_as_dict_shape(self):
+        problem = problem_of([(2, 3, 0)], capacity=4)
+        payload = differential_check(problem).as_dict()
+        assert payload["ok"] is True
+        assert payload["num_items"] == 1
+        assert "profits" in payload
+
+    def test_suboptimal_dp_would_be_caught(self, monkeypatch):
+        """Planted regression: a dp that caches nothing must be flagged."""
+        import repro.core.allocation as allocation_module
+        from repro.core.allocation import all_edram_allocate
+
+        def broken_dp(problem):
+            result = all_edram_allocate(problem)
+            result.method = "dp"
+            return result
+
+        monkeypatch.setitem(allocation_module.ALLOCATORS, "dp", broken_dp)
+        problem = problem_of([(2, 3, 0), (3, 4, 1)], capacity=6)
+        report = differential_check(problem)
+        assert not report.ok
+        assert any("optimum" in failure for failure in report.failures)
+
+
+class TestDpAgainstOracleOnRealGraphs:
+    """Acceptance: DP == brute force on every graph with few enough IRs."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_small_graph_instances(self, seed):
+        graph = SyntheticGraphGenerator().generate(
+            6 + seed, 5 + seed + seed % 3, seed=seed, name=f"oracle-{seed}"
+        )
+        config = PimConfig(num_pes=8, iterations=100)
+        plan = ParaConv(config).run(graph)
+        timings = analyze_edges(graph, plan.schedule.kernel, config)
+        capacity = config.total_cache_slots // plan.num_groups
+        problem = AllocationProblem.from_timings(timings, capacity)
+        if problem.num_items > 12:
+            pytest.skip("instance larger than the exhaustive corpus bound")
+        dp = dp_allocate(problem)
+        best = exhaustive_allocate(problem)
+        assert dp.total_delta_r == best.total_delta_r
