@@ -74,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--liveness-aware", action="store_true",
         help="use the liveness-corrected allocation (no cache spills)",
     )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the compile pipeline: per-pass timings and the "
+             "width-search explored/pruned breakdown",
+    )
+    parser.add_argument(
+        "--no-prune", action="store_true",
+        help="disable width-search pruning (exhaustive search; useful "
+             "with --explain to see what pruning saves)",
+    )
     return parser
 
 
@@ -92,8 +102,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         config,
         allocator_name=args.allocator,
         liveness_aware=args.liveness_aware,
+        prune_widths=not args.no_prune,
     ).run(graph)
     print(result.summary())
+    if args.explain:
+        print()
+        print(result.explain())
     if args.gantt:
         print()
         print(render_kernel(result.schedule.kernel, num_pes=result.group_width))

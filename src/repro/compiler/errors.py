@@ -1,0 +1,101 @@
+"""Typed errors of the pass-based compile pipeline.
+
+Every failure mode of :mod:`repro.compiler` gets its own exception class so
+callers (and tests) can assert on the *kind* of pipeline misconfiguration
+rather than matching message strings. All of them derive from
+:class:`CompilerError`, which itself derives from
+:class:`~repro.core.schedule.ScheduleError` so existing ``except
+ScheduleError`` guards around the planning pipeline keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.schedule import ScheduleError
+
+
+class CompilerError(ScheduleError):
+    """Base class for every pass-pipeline failure."""
+
+
+class ArtifactError(CompilerError):
+    """A context artifact was read before it existed or illegally mutated.
+
+    Artifacts are write-once between passes: a pass may only overwrite an
+    artifact it explicitly declared in its ``replaces`` contract. Anything
+    else is a pipeline bug and fails loudly here.
+    """
+
+
+class PipelineConfigError(CompilerError):
+    """Base class for statically-detectable pipeline misconfigurations."""
+
+
+class MissingPassError(PipelineConfigError):
+    """A pass requires an artifact that *no* pass in the pipeline produces."""
+
+    def __init__(self, pass_name: str, artifact: str):
+        self.pass_name = pass_name
+        self.artifact = artifact
+        super().__init__(
+            f"pass {pass_name!r} requires artifact {artifact!r}, which no "
+            f"pass in the pipeline produces and which is not an initial "
+            f"artifact — a producing pass is missing"
+        )
+
+
+class DuplicatePassError(PipelineConfigError):
+    """Two passes share a name, or two passes produce the same artifact."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+
+
+class PassOrderError(PipelineConfigError):
+    """A required artifact is produced, but only by a *later* pass."""
+
+    def __init__(self, pass_name: str, artifact: str, producer: str):
+        self.pass_name = pass_name
+        self.artifact = artifact
+        self.producer = producer
+        super().__init__(
+            f"pass {pass_name!r} requires artifact {artifact!r}, which is "
+            f"only produced by the later pass {producer!r} — the pipeline "
+            f"is misordered"
+        )
+
+
+class PassContractError(CompilerError):
+    """A pass's runtime behavior diverged from its declared contract.
+
+    Raised when a pass finishes without producing everything it declared,
+    produces artifacts it never declared, or replaces artifacts outside its
+    ``replaces`` set.
+    """
+
+    def __init__(self, pass_name: str, message: str):
+        self.pass_name = pass_name
+        super().__init__(f"pass {pass_name!r} broke its contract: {message}")
+
+
+class PassInvariantError(CompilerError):
+    """An invariant hook rejected the pipeline state *after* a named pass.
+
+    This is the per-pass observability hook for :mod:`repro.verify`: when a
+    registered invariant check fails, the error names the pass that
+    introduced the violation instead of surfacing a generic validation
+    failure at the end of the pipeline.
+    """
+
+    def __init__(
+        self,
+        pass_name: str,
+        message: str,
+        violations: Optional[Sequence[object]] = None,
+    ):
+        self.pass_name = pass_name
+        self.violations = list(violations) if violations is not None else []
+        super().__init__(
+            f"invariant violated after pass {pass_name!r}: {message}"
+        )

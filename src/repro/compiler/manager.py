@@ -1,0 +1,210 @@
+"""Contract-checked, instrumented execution of compile passes.
+
+:class:`PassManager` is the engine under ``ParaConv``: it statically
+validates a pass pipeline (unique names, every requirement produced by an
+*earlier* pass, no double production), then executes it over a
+:class:`~repro.compiler.context.CompileContext` while
+
+* timing every pass (feeding :class:`~repro.compiler.pipeline.CompileStats`
+  and ultimately ``--explain``),
+* enforcing each pass's artifact contract at runtime (a pass that writes
+  an undeclared artifact, skips a declared one, or replaces outside its
+  ``replaces`` set fails with :class:`PassContractError`),
+* firing registered per-pass invariant hooks — the :mod:`repro.verify`
+  integration point that lets a violation name the pass that introduced
+  it (:class:`PassInvariantError`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+from repro.compiler.context import CompileContext
+from repro.compiler.errors import (
+    DuplicatePassError,
+    MissingPassError,
+    PassContractError,
+    PassInvariantError,
+    PassOrderError,
+)
+from repro.compiler.passes import CompilerPass
+
+#: An invariant hook: inspects the context after its pass ran and raises
+#: (any exception) on violation. The manager wraps the failure into a
+#: :class:`PassInvariantError` naming the pass.
+InvariantHook = Callable[[CompileContext], None]
+
+
+class PassManager:
+    """Validated, observable pipeline of :class:`CompilerPass` stages.
+
+    Args:
+        passes: the pipeline, in execution order.
+        initial_artifacts: artifact names guaranteed present in every
+            context handed to :meth:`run` (e.g. ``graph-valid`` when the
+            width search hoists graph validation out of the loop). Used by
+            the static order validation.
+        hooks: mapping of pass name to invariant hooks fired right after
+            that pass completes (see :mod:`repro.verify.hooks`). Hook
+            failures raise :class:`PassInvariantError` naming the pass.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[CompilerPass],
+        initial_artifacts: Iterable[str] = (),
+        hooks: Optional[Mapping[str, Sequence[InvariantHook]]] = None,
+    ):
+        self.passes: List[CompilerPass] = list(passes)
+        self.initial_artifacts: FrozenSet[str] = frozenset(initial_artifacts)
+        self.hooks: Dict[str, List[InvariantHook]] = {
+            name: list(fns) for name, fns in (hooks or {}).items()
+        }
+        self._validate_pipeline()
+
+    # ------------------------------------------------------------------
+    # static validation
+    # ------------------------------------------------------------------
+    def _validate_pipeline(self) -> None:
+        seen_names: Dict[str, int] = {}
+        for index, pipeline_pass in enumerate(self.passes):
+            name = pipeline_pass.name
+            if name in seen_names:
+                raise DuplicatePassError(
+                    f"duplicate pass name {name!r} at positions "
+                    f"{seen_names[name]} and {index}"
+                )
+            seen_names[name] = index
+
+        # Who produces what, and where.
+        producer_of: Dict[str, str] = {}
+        for pipeline_pass in self.passes:
+            for artifact in pipeline_pass.produces:
+                if artifact in producer_of:
+                    raise DuplicatePassError(
+                        f"artifact {artifact!r} produced by both "
+                        f"{producer_of[artifact]!r} and {pipeline_pass.name!r}"
+                    )
+                if artifact in self.initial_artifacts:
+                    raise DuplicatePassError(
+                        f"artifact {artifact!r} produced by "
+                        f"{pipeline_pass.name!r} is already an initial "
+                        f"artifact"
+                    )
+                producer_of[artifact] = pipeline_pass.name
+
+        # Ordering: every requirement satisfied by an earlier producer.
+        available = set(self.initial_artifacts)
+        for pipeline_pass in self.passes:
+            for artifact in pipeline_pass.requires:
+                if artifact in available:
+                    continue
+                if artifact in producer_of:
+                    raise PassOrderError(
+                        pipeline_pass.name, artifact, producer_of[artifact]
+                    )
+                raise MissingPassError(pipeline_pass.name, artifact)
+            for artifact in pipeline_pass.replaces:
+                if artifact not in available:
+                    raise PassOrderError(
+                        pipeline_pass.name,
+                        artifact,
+                        producer_of.get(artifact, "<nothing>"),
+                    )
+            available.update(pipeline_pass.produces)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pass_names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def describe(self) -> str:
+        """Multi-line pipeline description (used by ``--explain``)."""
+        lines = []
+        for pipeline_pass in self.passes:
+            requires = ", ".join(pipeline_pass.requires) or "-"
+            produces = ", ".join(pipeline_pass.produces) or "-"
+            extra = (
+                f" (replaces {', '.join(pipeline_pass.replaces)})"
+                if pipeline_pass.replaces
+                else ""
+            )
+            lines.append(
+                f"{pipeline_pass.name:<18} {requires} -> {produces}{extra}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, ctx: CompileContext, stats=None) -> CompileContext:
+        """Execute every pass over ``ctx``, in order.
+
+        Args:
+            ctx: the context to compile; must already hold
+                ``initial_artifacts``.
+            stats: optional :class:`~repro.compiler.pipeline.CompileStats`
+                accumulator receiving per-pass wall times.
+        """
+        missing = self.initial_artifacts - set(ctx.artifact_names())
+        if missing:
+            raise PassContractError(
+                self.passes[0].name if self.passes else "<empty>",
+                f"context is missing declared initial artifacts "
+                f"{sorted(missing)}",
+            )
+        for pipeline_pass in self.passes:
+            self._run_one(pipeline_pass, ctx, stats)
+        return ctx
+
+    def _run_one(self, pipeline_pass: CompilerPass, ctx, stats) -> None:
+        name = pipeline_pass.name
+        before = set(ctx.artifact_names())
+        ctx.drain_replaced_log()
+        started = time.perf_counter()
+        pipeline_pass.run(ctx)
+        elapsed = time.perf_counter() - started
+
+        # Runtime contract enforcement.
+        added = set(ctx.artifact_names()) - before
+        declared = set(pipeline_pass.produces)
+        if added != declared:
+            unexpected = sorted(added - declared)
+            absent = sorted(declared - added)
+            detail = []
+            if unexpected:
+                detail.append(f"produced undeclared artifacts {unexpected}")
+            if absent:
+                detail.append(f"did not produce declared artifacts {absent}")
+            raise PassContractError(name, "; ".join(detail))
+        replaced = set(ctx.drain_replaced_log())
+        undeclared = replaced - set(pipeline_pass.replaces)
+        if undeclared:
+            raise PassContractError(
+                name,
+                f"replaced artifacts outside its contract: "
+                f"{sorted(undeclared)}",
+            )
+
+        if stats is not None:
+            stats.record_pass(name, elapsed)
+
+        for hook in self.hooks.get(name, ()):
+            try:
+                hook(ctx)
+            except PassInvariantError:
+                raise
+            except Exception as exc:
+                raise PassInvariantError(name, str(exc)) from exc

@@ -1,0 +1,350 @@
+"""Pipeline configuration, registry and the instrumented width search.
+
+This module is the declarative face of :mod:`repro.compiler`: a
+:class:`PipelineConfig` turns the old ``ParaConv`` constructor branching
+(allocator choice, kernel packing order, liveness mode, validation) into
+*pipeline configuration* — an ordered list of registered passes — and
+:class:`CompileStats` is the per-compilation observability record
+(per-pass wall time, widths explored/pruned) that ``--explain``, the
+serving runtime and the plan cache all surface.
+
+The width search itself lives in :meth:`repro.core.paraconv.ParaConv.run`;
+the pruning rule it applies is :func:`width_lower_bound`, the max of two
+admissible lower bounds on ``total_time = (R_max + ceil(N/J)) * p``:
+
+* the *load-balance* term: the prologue is non-negative and the realized
+  period can never beat the load-balance bound, so
+  ``total_time >= ceil(N / J) * load_balance_bound(graph, width)``;
+* the *transfer-critical-path* term: for any dependency path, summing the
+  schedule's data-arrival inequality ``finish(i) + c_ij <= delta*p +
+  start(j)`` and telescoping ``Σ delta <= R_max`` gives ``(R_max + 1) * p
+  >= Σ (e_v + c_edge)`` — one pipelined iteration cannot beat its own
+  dependence chain *including transfers* — hence ``total_time >=
+  cp_transfer + (ceil(N/J) - 1) * load_balance_bound`` where
+  ``cp_transfer`` prices every edge at its cheapest conceivable transfer
+  ``min(period_floor, cache_transfer)`` (see
+  :func:`transfer_critical_path`).
+
+Any candidate whose bound already meets or exceeds the incumbent best
+total time cannot win (ties prefer wider groups, and candidates are
+enumerated widest-first), so the entire per-width pipeline run is
+skipped. The second term is what makes pruning effective in the
+latency-oriented regime (small ``N``): narrow groups stretch the clamp on
+every transfer, so their dependence chains alone already exceed a wide
+incumbent's total.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.compiler.errors import PipelineConfigError
+from repro.compiler.manager import PassManager
+from repro.compiler.passes import (
+    AllocatePass,
+    AnalyzeEdgesPass,
+    CompactKernelPass,
+    CompilerPass,
+    EmitSchedulePass,
+    LivenessReweightPass,
+    SolveRetimingPass,
+    ValidateGraphPass,
+    ValidateSchedulePass,
+    ZeroDrPrepassPass,
+)
+from repro.graph.taskgraph import TaskGraph
+from repro.pim.config import PimConfig
+
+#: Registered pass constructors by canonical name. Custom pipelines (tests,
+#: experiments) assemble from here; the standard pipeline is built by
+#: :meth:`PipelineConfig.build_passes`.
+PASS_REGISTRY: Dict[str, Callable[..., CompilerPass]] = {
+    "validate-graph": ValidateGraphPass,
+    "compact-kernel": CompactKernelPass,
+    "analyze-edges": AnalyzeEdgesPass,
+    "zero-dr-prepass": ZeroDrPrepassPass,
+    "dp-allocate": AllocatePass,
+    "liveness-reweight": LivenessReweightPass,
+    "solve-retiming": SolveRetimingPass,
+    "emit-schedule": EmitSchedulePass,
+    "validate-schedule": ValidateSchedulePass,
+}
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+@dataclass
+class CompileStats:
+    """Per-compilation breakdown: where the compile time went.
+
+    Attributes:
+        pass_seconds: cumulative wall seconds per pass name (summed over
+            every width the search explored).
+        pass_runs: number of times each pass executed.
+        widths_explored: candidate widths fully compiled, in search order.
+        widths_pruned: candidate widths skipped by the lower-bound rule.
+        per_width_seconds: wall seconds spent compiling each explored width.
+        best_width: the winning group width (set by the search).
+        pruning_enabled: whether the lower-bound pruning was active.
+        total_seconds: end-to-end wall time of the compile entry point.
+    """
+
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
+    pass_runs: Dict[str, int] = field(default_factory=dict)
+    widths_explored: List[int] = field(default_factory=list)
+    widths_pruned: List[int] = field(default_factory=list)
+    per_width_seconds: Dict[int, float] = field(default_factory=dict)
+    best_width: Optional[int] = None
+    pruning_enabled: bool = True
+    total_seconds: float = 0.0
+
+    # -- recording ------------------------------------------------------
+    def record_pass(self, name: str, seconds: float) -> None:
+        self.pass_seconds[name] = self.pass_seconds.get(name, 0.0) + seconds
+        self.pass_runs[name] = self.pass_runs.get(name, 0) + 1
+
+    def record_width(self, width: int, seconds: float) -> None:
+        self.widths_explored.append(width)
+        self.per_width_seconds[width] = seconds
+
+    def record_pruned(self, width: int) -> None:
+        self.widths_pruned.append(width)
+
+    # -- interrogation --------------------------------------------------
+    @property
+    def num_explored(self) -> int:
+        return len(self.widths_explored)
+
+    @property
+    def num_pruned(self) -> int:
+        return len(self.widths_pruned)
+
+    @property
+    def pass_seconds_total(self) -> float:
+        return sum(self.pass_seconds.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dump with deterministic key order."""
+        return {
+            "pass_seconds": {
+                name: self.pass_seconds[name]
+                for name in sorted(self.pass_seconds)
+            },
+            "pass_runs": {
+                name: self.pass_runs[name] for name in sorted(self.pass_runs)
+            },
+            "widths_explored": list(self.widths_explored),
+            "widths_pruned": list(self.widths_pruned),
+            "per_width_seconds": {
+                str(width): self.per_width_seconds[width]
+                for width in sorted(self.per_width_seconds)
+            },
+            "best_width": self.best_width,
+            "pruning_enabled": self.pruning_enabled,
+            "total_seconds": self.total_seconds,
+        }
+
+    def explain(self) -> str:
+        """Human-readable per-pass breakdown (the ``--explain`` body)."""
+        lines = [
+            f"{'pass':<20} {'runs':>5} {'total ms':>10} {'mean ms':>9}"
+        ]
+        for name in self.pass_seconds:  # insertion = execution order
+            runs = self.pass_runs[name]
+            total_ms = self.pass_seconds[name] * 1e3
+            mean_ms = total_ms / runs if runs else 0.0
+            lines.append(
+                f"{name:<20} {runs:>5} {total_ms:>10.3f} {mean_ms:>9.3f}"
+            )
+        explored = ", ".join(str(w) for w in self.widths_explored) or "-"
+        pruned = ", ".join(str(w) for w in self.widths_pruned) or "-"
+        lines.append(
+            f"widths explored     : {explored} "
+            f"({self.num_explored} compiled)"
+        )
+        lines.append(
+            f"widths pruned       : {pruned} ({self.num_pruned} skipped, "
+            f"pruning {'on' if self.pruning_enabled else 'off'})"
+        )
+        if self.best_width is not None:
+            lines.append(f"best width          : {self.best_width}")
+        lines.append(
+            f"compile wall time   : {self.total_seconds * 1e3:.3f} ms "
+            f"({self.pass_seconds_total * 1e3:.3f} ms inside passes)"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineConfig:
+    """Declarative pipeline configuration (replaces constructor branching).
+
+    Attributes:
+        allocator: a plain allocator callable, an
+            :class:`~repro.core.allocation.AllocatorFactory`, or a factory
+            class — resolved per run by the ``dp-allocate`` pass.
+        kernel_order: kernel packing order (``topological`` or ``lpt``).
+        liveness_aware: insert the ``liveness-reweight`` pass.
+        validate: run kernel/schedule validation passes.
+    """
+
+    allocator: Union[Callable, object]
+    kernel_order: str = "topological"
+    liveness_aware: bool = False
+    validate: bool = True
+
+    def build_width_passes(self) -> List[CompilerPass]:
+        """The per-width pipeline (everything after ``validate-graph``)."""
+        passes: List[CompilerPass] = [
+            CompactKernelPass(order=self.kernel_order, validate=self.validate),
+            AnalyzeEdgesPass(),
+            ZeroDrPrepassPass(),
+            AllocatePass(self.allocator),
+        ]
+        if self.liveness_aware:
+            passes.append(LivenessReweightPass())
+        passes.append(SolveRetimingPass())
+        passes.append(EmitSchedulePass())
+        if self.validate:
+            passes.append(ValidateSchedulePass())
+        return passes
+
+    def build_passes(self) -> List[CompilerPass]:
+        """The full pipeline, ``validate-graph`` included."""
+        return [ValidateGraphPass(), *self.build_width_passes()]
+
+    def build_manager(
+        self,
+        full: bool = True,
+        hooks=None,
+    ) -> PassManager:
+        """A validated :class:`PassManager` for this configuration.
+
+        Args:
+            full: include ``validate-graph``; when false, the manager
+                expects contexts forked from a validated base (the width
+                search's hoisted mode) and declares ``graph-valid`` as an
+                initial artifact.
+            hooks: optional per-pass invariant hooks (see
+                :mod:`repro.verify.hooks`).
+        """
+        if full:
+            return PassManager(self.build_passes(), hooks=hooks)
+        return PassManager(
+            self.build_width_passes(),
+            initial_artifacts=("graph-valid",),
+            hooks=hooks,
+        )
+
+
+def build_pass(name: str, **kwargs) -> CompilerPass:
+    """Instantiate a registered pass by name (typed error on unknowns)."""
+    try:
+        factory = PASS_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(PASS_REGISTRY))
+        raise PipelineConfigError(
+            f"unknown pass {name!r}; registered: {known}"
+        ) from None
+    return factory(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# width-search pruning
+# ----------------------------------------------------------------------
+def transfer_critical_path(
+    graph: TaskGraph,
+    config: PimConfig,
+    period_floor: int,
+) -> int:
+    """Longest dependency chain priced with best-case transfers.
+
+    Classic DAG longest-path DP where a vertex contributes its execution
+    time and an edge contributes ``min(period_floor, cache_transfer)`` —
+    the cheapest transfer the schedule could conceivably realize for that
+    intermediate result, since the emitted transfer time is
+    ``min(p, t_placement)`` with ``p >= period_floor`` and ``t_placement
+    >= t_cache`` (cache is the fast tier). The returned value therefore
+    lower-bounds ``(R_max + 1) * p`` for *any* legal schedule whose
+    period is at least ``period_floor``: summing the data-arrival
+    inequality ``finish(i) + c_ij <= delta * p + start(j)`` along the
+    path and telescoping ``sum(delta) <= R_max`` leaves ``(R_max + 1) *
+    p >= sum(e_v + c_edge)``.
+
+    Args:
+        graph: validated task graph.
+        config: machine description (prices the cache transfers).
+        period_floor: an admissible lower bound on the schedule period at
+            the candidate width (the load-balance bound).
+
+    Returns:
+        The maximum over all dependency paths of
+        ``sum(execution_time) + sum(min(period_floor, cache_transfer))``.
+    """
+    longest: Dict[int, int] = {}
+    for op_id in graph.topological_order():
+        exec_time = graph.operation(op_id).execution_time
+        incoming = 0
+        for edge in graph.in_edges(op_id):
+            price = min(
+                period_floor,
+                config.cache_transfer_units(edge.size_bytes),
+            )
+            incoming = max(incoming, longest[edge.producer] + price)
+        longest[op_id] = incoming + exec_time
+    return max(longest.values()) if longest else 0
+
+
+def width_lower_bound(
+    graph: TaskGraph,
+    width: int,
+    num_groups: int,
+    iterations: int,
+    total_work: Optional[int] = None,
+    max_execution_time: Optional[int] = None,
+    config: Optional[PimConfig] = None,
+    cp_transfer: Optional[int] = None,
+) -> int:
+    """Lower bound on ``total_time`` at one candidate width.
+
+    ``total_time = R_max * p + ceil(N / J) * p`` with ``R_max >= 0`` and
+    ``p >= load_balance_bound``, so the *load-balance* term
+    ``ceil(N / J) * max(ceil(W / width), c_max)`` is always admissible.
+
+    When a machine ``config`` is supplied the bound is sharpened with the
+    *transfer-critical-path* term: ``(R_max + 1) * p`` dominates every
+    dependency chain priced at best-case transfers (see
+    :func:`transfer_critical_path`), hence ``total_time = (R_max + 1) * p
+    + (ceil(N / J) - 1) * p >= cp + (ceil(N / J) - 1) *
+    load_balance_bound``. The final bound is the max of both terms.
+
+    ``total_work``/``max_execution_time``/``cp_transfer`` may be passed
+    precomputed (the search hoists and memoizes them) to keep the bound
+    O(1) per candidate.
+    """
+    work = graph.total_work() if total_work is None else total_work
+    cmax = (
+        graph.max_execution_time()
+        if max_execution_time is None
+        else max_execution_time
+    )
+    if width < 1 or num_groups < 1 or iterations < 1:
+        raise PipelineConfigError(
+            "width, num_groups and iterations must all be >= 1"
+        )
+    bound_period = max(math.ceil(work / width), cmax)
+    groups_rounds = math.ceil(iterations / num_groups)
+    bound = groups_rounds * bound_period
+    if cp_transfer is None and config is not None:
+        cp_transfer = transfer_critical_path(graph, config, bound_period)
+    if cp_transfer is not None:
+        bound = max(
+            bound, cp_transfer + (groups_rounds - 1) * bound_period
+        )
+    return bound

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.retiming import EdgeTiming, RetimingError
 from repro.pim.memory import Placement
@@ -38,6 +38,74 @@ class AllocationError(RetimingError):
     Subclasses :class:`RetimingError` so existing callers that guard the
     analysis pipeline with ``except RetimingError`` keep working.
     """
+
+
+class AllocatorFactory:
+    """Explicit marker for allocators that need per-run construction.
+
+    Most allocators are plain callables ``problem -> AllocationResult``.
+    Some (the critical-path-aware iterative extension) additionally need
+    the graph topology and the Section 3.2 edge analysis, which only exist
+    *inside* a pipeline run. Those register as factories: either
+
+    * a **class** subclassing :class:`AllocatorFactory` whose constructor
+      is ``(graph, timings)`` and whose instances are the allocator, or
+    * an **instance** of an :class:`AllocatorFactory` subclass overriding
+      :meth:`build`.
+
+    The pipeline resolves both shapes through :func:`resolve_allocator`.
+    This replaces the old ``isinstance(allocator, type)`` heuristic, which
+    treated *every* class as a ``(graph, timings)`` factory and therefore
+    silently miscalled allocator classes with other constructor shapes.
+    """
+
+    def build(
+        self,
+        graph: Any,
+        timings: Mapping[EdgeKey, EdgeTiming],
+    ) -> "Allocator":
+        """Construct the per-run allocator; default rebinds the class."""
+        return type(self)(graph, timings)  # type: ignore[call-arg]
+
+
+#: A cache-allocation strategy: AllocationProblem -> AllocationResult.
+Allocator = Callable[["AllocationProblem"], "AllocationResult"]
+
+
+def resolve_allocator(
+    allocator: Any,
+    graph: Any,
+    timings: Mapping[EdgeKey, EdgeTiming],
+) -> Allocator:
+    """Resolve a registry entry / user-supplied allocator to a callable.
+
+    * ``AllocatorFactory`` subclass (the class itself): instantiated as
+      ``allocator(graph, timings)``.
+    * ``AllocatorFactory`` instance: resolved via ``.build(graph, timings)``
+      — so a factory instance is *rebound to the current run's graph*
+      instead of being silently misused across graphs.
+    * any other callable (function or callable-class *instance*): used
+      directly, untouched.
+    * any other *class*: rejected with a typed error instead of being
+      guessed at (the old behavior called it with ``(graph, timings)``).
+    """
+    if isinstance(allocator, type):
+        if issubclass(allocator, AllocatorFactory):
+            return allocator(graph, timings)  # type: ignore[call-arg]
+        raise AllocationError(
+            f"allocator class {allocator.__name__!r} is not an "
+            f"AllocatorFactory; pass an instance, or subclass "
+            f"AllocatorFactory to opt into per-run (graph, timings) "
+            f"construction"
+        )
+    if isinstance(allocator, AllocatorFactory):
+        return allocator.build(graph, timings)
+    if not callable(allocator):
+        raise AllocationError(
+            f"allocator {allocator!r} is neither callable nor an "
+            f"AllocatorFactory"
+        )
+    return allocator
 
 
 @dataclass(frozen=True)

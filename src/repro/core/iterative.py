@@ -31,6 +31,7 @@ from repro.core.allocation import (
     AllocationItem,
     AllocationProblem,
     AllocationResult,
+    AllocatorFactory,
     _finalize,
 )
 from repro.core.retiming import EdgeTiming
@@ -67,14 +68,18 @@ def _longest_path_edges(
     return r_max, path
 
 
-class IterativeAllocator:
+class IterativeAllocator(AllocatorFactory):
     """Callable allocator with access to the graph's path structure.
 
     Unlike the knapsack allocators, minimizing ``R_max`` needs the graph
     topology, so this allocator is constructed per run by the pipeline
     (see :meth:`ParaConv.run` with ``allocator_name="iterative"`` -- the
-    registry entry is a factory resolved by the pipeline with the current
-    graph and timings).
+    registry entry is the class itself, an explicit
+    :class:`~repro.core.allocation.AllocatorFactory` resolved by the
+    pipeline with the current graph and timings). An already-constructed
+    *instance* passed as an allocator is rebound to the run's graph via
+    :meth:`build` (preserving ``max_rounds``), never silently reused
+    across graphs.
     """
 
     def __init__(
@@ -86,6 +91,12 @@ class IterativeAllocator:
         self.graph = graph
         self.timings = timings
         self.max_rounds = max_rounds
+
+    def build(
+        self, graph: TaskGraph, timings: Mapping[EdgeKey, EdgeTiming]
+    ) -> "IterativeAllocator":
+        """Rebind this allocator to the current run's graph and analysis."""
+        return IterativeAllocator(graph, timings, max_rounds=self.max_rounds)
 
     def __call__(self, problem: AllocationProblem) -> AllocationResult:
         problem.validate()
@@ -127,8 +138,10 @@ class IterativeAllocator:
 def register_iterative() -> None:
     """Expose the factory under the "iterative" registry name.
 
-    The pipeline special-cases factories that need (graph, timings); the
-    registry stores the class itself as a marker.
+    The registry stores the class itself — an explicit
+    :class:`~repro.core.allocation.AllocatorFactory` subclass, which the
+    pipeline's ``dp-allocate`` pass resolves with the run's (graph,
+    timings) via :func:`repro.core.allocation.resolve_allocator`.
     """
     ALLOCATORS.setdefault("iterative", IterativeAllocator)
 

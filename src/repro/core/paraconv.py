@@ -1,4 +1,4 @@
-"""The Para-CONV pipeline (paper Section 3).
+"""The Para-CONV pipeline (paper Section 3), as a pass pipeline.
 
 End-to-end flow, mirroring Section 3.3.3's construction:
 
@@ -16,14 +16,36 @@ End-to-end flow, mirroring Section 3.3.3's construction:
 6. propagate the per-edge retiming requirements into the minimal legal
    vertex retiming, yielding ``R_max``, the prologue and the full periodic
    schedule.
+
+Since PR 3 the stages are *named compiler passes* executed by
+:class:`repro.compiler.PassManager` over an explicit
+:class:`repro.compiler.CompileContext` — see :mod:`repro.compiler.passes`
+for the stage table. :class:`ParaConv` is the front-end: it turns its
+knobs into a :class:`repro.compiler.PipelineConfig`, hoists width-invariant
+work (graph validation, ASAP levels) out of the width search, prunes
+candidate widths whose admissible lower bound (load-balance and
+transfer-critical-path terms) cannot beat the incumbent,
+and attaches a :class:`repro.compiler.CompileStats` breakdown to every
+result (surfaced by ``python -m repro … --explain`` and the serving
+runtime).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence
 
+from repro.compiler.context import CompileContext
+from repro.compiler.manager import InvariantHook, PassManager
+from repro.compiler.passes import ValidateGraphPass
+from repro.compiler.pipeline import (
+    CompileStats,
+    PipelineConfig,
+    transfer_critical_path,
+    width_lower_bound,
+)
 from repro.core.allocation import (
     ALLOCATORS,
     AllocationProblem,
@@ -31,18 +53,8 @@ from repro.core.allocation import (
     dp_allocate,
 )
 from repro.core.cases import RetimingCase, case_census
-from repro.core.retiming import analyze_edges, solve_retiming
-from repro.core.schedule import (
-    PeriodicSchedule,
-    ScheduleError,
-    validate_kernel,
-    validate_periodic_schedule,
-)
-from repro.core.scheduler import (
-    candidate_group_widths,
-    compact_kernel_schedule,
-    load_balance_bound,
-)
+from repro.core.schedule import PeriodicSchedule, ScheduleError
+from repro.core.scheduler import candidate_group_widths, load_balance_bound
 from repro.graph.taskgraph import TaskGraph
 from repro.pim.config import PimConfig
 from repro.pim.memory import Placement
@@ -56,7 +68,10 @@ class ParaConvResult:
 
     ``group_width`` PEs execute one iteration's kernel; ``num_groups``
     such groups run interleaved iterations concurrently, sharing the
-    aggregate on-chip cache equally.
+    aggregate on-chip cache equally. ``compile_stats`` (when present)
+    records where the compile time went — per-pass wall seconds and the
+    width search's explored/pruned candidates; it is observability
+    metadata only and never serialized into the plan payload.
     """
 
     graph: TaskGraph
@@ -66,6 +81,9 @@ class ParaConvResult:
     case_histogram: Dict[RetimingCase, int]
     group_width: int
     num_groups: int
+    compile_stats: Optional[CompileStats] = field(
+        default=None, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     # paper metrics
@@ -136,15 +154,28 @@ class ParaConvResult:
         ]
         return "\n".join(lines)
 
+    def explain(self) -> str:
+        """Pass-pipeline and width-search breakdown (``--explain``)."""
+        if self.compile_stats is None:
+            return "(no compile stats recorded for this plan)"
+        return self.compile_stats.explain()
+
 
 class ParaConv:
     """Task-level data allocation framework for convolutional connections.
+
+    A thin front-end over the :mod:`repro.compiler` pass pipeline: the
+    constructor knobs become a :class:`~repro.compiler.PipelineConfig`, so
+    allocator choice, kernel packing order and the liveness mode are
+    pipeline configuration rather than branches in a monolithic ``run``.
 
     Args:
         config: machine description (PE count, cache capacity, eDRAM ratio).
         allocator: cache-allocation strategy; the paper's dynamic program by
             default, swappable for the ablation baselines in
-            :mod:`repro.core.allocation` (or by registry name).
+            :mod:`repro.core.allocation` (or by registry name). May be a
+            plain callable or an
+            :class:`~repro.core.allocation.AllocatorFactory`.
         kernel_order: packing order of the compacted kernel
             ("topological" or "lpt"; ablation knob).
         liveness_aware: weight each cache candidate by its concurrent
@@ -153,6 +184,16 @@ class ParaConv:
             gap in the paper's accounting (see repro.core.liveness).
         validate: run the full semantic validator on the produced schedule
             (cheap; disable only in tight parameter sweeps).
+        prune_widths: apply the lower-bound pruning rule in the width
+            search — the max of the load-balance and
+            transfer-critical-path admissible bounds (see
+            :func:`repro.compiler.width_lower_bound`). Pruning never
+            changes the chosen plan — it only skips candidates that
+            provably cannot win — so it is on by default; disable it to
+            measure the exhaustive-search baseline.
+        invariant_hooks: optional per-pass invariant hooks (pass name ->
+            checks) forwarded to the :class:`~repro.compiler.PassManager`;
+            see :func:`repro.verify.hooks.compile_invariant_hooks`.
     """
 
     def __init__(
@@ -163,6 +204,8 @@ class ParaConv:
         kernel_order: str = "topological",
         liveness_aware: bool = False,
         validate: bool = True,
+        prune_widths: bool = True,
+        invariant_hooks: Optional[Mapping[str, Sequence[InvariantHook]]] = None,
     ):
         if allocator is not None and allocator_name is not None:
             raise ValueError("pass either allocator or allocator_name, not both")
@@ -175,11 +218,22 @@ class ParaConv:
                     f"unknown allocator {allocator_name!r}; known: {known}"
                 ) from None
         self.config = config
-        self.allocator: Allocator = allocator or dp_allocate
+        self.allocator = allocator if allocator is not None else dp_allocate
         self.kernel_order = kernel_order
         self.liveness_aware = liveness_aware
         self.validate = validate
+        self.prune_widths = prune_widths
+        self.invariant_hooks = invariant_hooks
+        self.pipeline = PipelineConfig(
+            allocator=self.allocator,
+            kernel_order=kernel_order,
+            liveness_aware=liveness_aware,
+            validate=validate,
+        )
 
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
     def run(self, graph: TaskGraph) -> ParaConvResult:
         """Execute the full pipeline, maximizing application throughput.
 
@@ -189,90 +243,141 @@ class ParaConv:
         group, iterations replicated across groups) and the assignment
         with the smallest total execution time over the configured
         iteration count wins; ties prefer wider groups (lower latency and
-        shorter prologue).
+        shorter prologue) via the explicit ``(total_time, -width)`` key,
+        independent of candidate enumeration order.
+
+        Width-invariant work (graph validation, ASAP levels, work sums,
+        the transfer critical path per period floor) is hoisted out of
+        the loop, and candidates whose lower bound — the max of the
+        load-balance and transfer-critical-path terms (see
+        :func:`repro.compiler.width_lower_bound`) — cannot beat the
+        incumbent best are pruned without compiling, both measurable in
+        the attached ``compile_stats`` and both guaranteed not to change
+        the produced plan.
         """
-        graph.validate()
+        started = time.perf_counter()
+        stats = CompileStats(pruning_enabled=self.prune_widths)
+
+        base = CompileContext(graph=graph, config=self.config)
+        PassManager(
+            [ValidateGraphPass()], hooks=self.invariant_hooks
+        ).run(base, stats)
+        manager = self.pipeline.build_manager(
+            full=False, hooks=self.invariant_hooks
+        )
+
+        work = base.shared_total_work()
+        cmax = base.shared_max_execution_time()
+        iterations = self.config.iterations
+        # transfer_critical_path depends on the candidate only through its
+        # load-balance period floor; distinct widths often share a floor
+        # (the c_max clamp), so memoize per floor in the shared store.
+        cp_memo: Dict[int, int] = base.shared.setdefault("cp_transfer", {})
+
+        def cp_for(period_floor: int) -> int:
+            if period_floor not in cp_memo:
+                cp_memo[period_floor] = transfer_critical_path(
+                    graph, self.config, period_floor
+                )
+            return cp_memo[period_floor]
+
         best: Optional[ParaConvResult] = None
+        best_key = None
         for width in candidate_group_widths(self.config.num_pes):
-            result = self.run_at_width(graph, width)
-            if best is None or result.total_time() < best.total_time():
-                best = result
+            num_groups = max(1, self.config.num_pes // width)
+            if self.prune_widths and best is not None:
+                floor = max(math.ceil(work / width), cmax)
+                bound = width_lower_bound(
+                    graph,
+                    width,
+                    num_groups,
+                    iterations,
+                    total_work=work,
+                    max_execution_time=cmax,
+                    cp_transfer=cp_for(floor),
+                )
+                # The incumbent is wider (candidates are enumerated widest
+                # first) and ties prefer wider groups, so a candidate whose
+                # lower bound merely *equals* the incumbent's total time
+                # cannot win either.
+                if bound >= best.total_time():
+                    stats.record_pruned(width)
+                    continue
+            width_started = time.perf_counter()
+            ctx = base.fork_for_width(width)
+            manager.run(ctx, stats)
+            result = self._assemble(ctx)
+            stats.record_width(width, time.perf_counter() - width_started)
+            key = (result.total_time(), -width)
+            if best_key is None or key < best_key:
+                best, best_key = result, key
         assert best is not None
+        stats.best_width = best.group_width
+        stats.total_seconds = time.perf_counter() - started
+        best.compile_stats = stats
         return best
 
     def run_at_width(self, graph: TaskGraph, width: int) -> ParaConvResult:
         """Execute the pipeline with a fixed PE-group width."""
-        graph.validate()
-        config = self.config
-        if not 1 <= width <= config.num_pes:
-            raise ScheduleError(
-                f"group width {width} outside [1, {config.num_pes}]"
-            )
-        num_groups = max(1, config.num_pes // width)
-
-        # Step 2: objective schedule (compacted kernel, Figure 3(b)).
-        kernel = compact_kernel_schedule(graph, width, order=self.kernel_order)
-        if self.validate:
-            validate_kernel(graph, kernel, width)
-
-        # Step 3: extra-data-movement analysis (Section 3.2).
-        timings = analyze_edges(graph, kernel, config)
-
-        # Steps 4-5: zero-ΔR pre-pass + dynamic programming (Section 3.3).
-        # Concurrent groups split the aggregate cache evenly.
-        capacity = config.total_cache_slots // num_groups
-        allocator = self.allocator
-        if isinstance(allocator, type):
-            # Factory allocators (e.g. the iterative extension) need the
-            # graph topology and the edge analysis; instantiate per run.
-            allocator = allocator(graph, timings)
-
-        def solve(problem):
-            allocation = allocator(problem)
-            deltas = {
-                key: timing.delta_for(allocation.placements[key])
-                for key, timing in timings.items()
-            }
-            return allocation, solve_retiming(graph, deltas)
-
-        allocation, solution = solve(
-            AllocationProblem.from_timings(timings, capacity)
+        started = time.perf_counter()
+        stats = CompileStats(pruning_enabled=False)
+        ctx = CompileContext(graph=graph, config=self.config, width=width)
+        manager = self.pipeline.build_manager(
+            full=True, hooks=self.invariant_hooks
         )
-        if self.liveness_aware:
-            # Second pass: reweight each candidate by its *realized*
-            # live-instance count (R(i) - R(j) + 1 from the first pass) so
-            # steady-state peak occupancy respects the capacity.
-            from repro.core.liveness import liveness_weighted_problem
+        width_started = time.perf_counter()
+        manager.run(ctx, stats)
+        result = self._assemble(ctx)
+        stats.record_width(width, time.perf_counter() - width_started)
+        stats.best_width = width
+        stats.total_seconds = time.perf_counter() - started
+        result.compile_stats = stats
+        return result
 
-            realized = {
-                edge.key: solution.vertex_retiming[edge.producer]
-                - solution.vertex_retiming[edge.consumer]
-                for edge in graph.edges()
-            }
-            allocation, solution = solve(
-                liveness_weighted_problem(timings, capacity, realized)
-            )
-        transfer_times = {
-            key: timing.transfer_for(allocation.placements[key])
-            for key, timing in timings.items()
-        }
-        schedule = PeriodicSchedule(
-            graph=graph,
-            kernel=kernel,
-            retiming=solution.vertex_retiming,
-            edge_retiming=solution.edge_retiming,
-            placements=dict(allocation.placements),
-            transfer_times=transfer_times,
+    # ------------------------------------------------------------------
+    # partial-pipeline API (shared-prefix compilation)
+    # ------------------------------------------------------------------
+    def analysis_context(self, graph: TaskGraph, width: int) -> CompileContext:
+        """Run the allocator-independent prefix once, return the context.
+
+        Executes ``validate-graph → compact-kernel → analyze-edges →
+        zero-dr-prepass`` at a fixed width. The returned context can be
+        :meth:`~repro.compiler.CompileContext.fork`-ed once per allocator
+        and completed with :meth:`run_from_context`, so sweeps that compare
+        allocation policies (the ablation harness) share the kernel and
+        the edge analysis instead of recomputing them per strategy.
+        """
+        ctx = CompileContext(graph=graph, config=self.config, width=width)
+        prefix = [p for p in self.pipeline.build_passes()
+                  if p.name in ("validate-graph", "compact-kernel",
+                                "analyze-edges", "zero-dr-prepass")]
+        PassManager(prefix, hooks=self.invariant_hooks).run(ctx)
+        return ctx
+
+    def run_from_context(self, ctx: CompileContext) -> ParaConvResult:
+        """Complete a prefix context (see :meth:`analysis_context`)."""
+        suffix = [p for p in self.pipeline.build_width_passes()
+                  if p.name not in ("compact-kernel", "analyze-edges",
+                                    "zero-dr-prepass")]
+        manager = PassManager(
+            suffix,
+            initial_artifacts=("graph-valid", "kernel", "timings", "problem"),
+            hooks=self.invariant_hooks,
         )
-        if self.validate:
-            validate_periodic_schedule(schedule)
+        manager.run(ctx)
+        return self._assemble(ctx)
 
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _assemble(self, ctx: CompileContext) -> ParaConvResult:
+        """Build the result record from a fully-compiled context."""
         return ParaConvResult(
-            graph=graph,
-            config=config,
-            schedule=schedule,
-            allocation=allocation,
-            case_histogram=case_census(timings),
-            group_width=width,
-            num_groups=num_groups,
+            graph=ctx.graph,
+            config=ctx.config,
+            schedule=ctx.get("schedule"),
+            allocation=ctx.get("allocation"),
+            case_histogram=case_census(ctx.get("timings")),
+            group_width=ctx.width,
+            num_groups=ctx.num_groups,
         )

@@ -38,7 +38,10 @@ def load_balance_bound(graph: TaskGraph, num_pes: int) -> int:
 
 
 def compact_kernel_schedule(
-    graph: TaskGraph, num_pes: int, order: str = "topological"
+    graph: TaskGraph,
+    num_pes: int,
+    order: str = "topological",
+    levels: Optional[Dict[int, int]] = None,
 ) -> KernelSchedule:
     """Pack one dependency-free iteration onto ``num_pes`` PEs.
 
@@ -54,13 +57,18 @@ def compact_kernel_schedule(
     paper's allocation problem optimizes. ``order="lpt"``
     (longest-processing-time first) packs tighter on pathological execution
     -time mixes and is kept for ablation.
+
+    ``levels`` may carry precomputed ASAP levels (width-invariant) so the
+    width search pays the level analysis once per graph instead of once
+    per candidate width; when omitted it is computed here, identically.
     """
     if num_pes < 1:
         raise ScheduleError("num_pes must be >= 1")
     if order == "topological":
-        from repro.graph.analysis import asap_levels
+        if levels is None:
+            from repro.graph.analysis import asap_levels
 
-        levels = asap_levels(graph)
+            levels = asap_levels(graph)
         ordered = sorted(
             graph.operations(),
             key=lambda op: (levels[op.op_id], -op.execution_time, op.op_id),

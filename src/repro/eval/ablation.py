@@ -64,12 +64,21 @@ def run_ablation(
     for name in names:
         graph = load_workload(name)
         cells: Dict[str, AblationCell] = {}
+        # Fixed full-array mapping so every strategy solves the same
+        # allocation instance (the width optimizer would otherwise pick
+        # different operating points per strategy). The allocator-
+        # independent prefix — graph validation, kernel compaction, edge
+        # analysis, zero-ΔR prepass — is compiled ONCE per benchmark and
+        # forked per strategy, so the sweep only re-runs the passes that
+        # actually differ (dp-allocate onward). Each strategy's plan is
+        # bit-identical to a from-scratch ``run_at_width`` (the prefix
+        # passes are deterministic and allocator-blind).
+        shared = ParaConv(config, allocator_name=strategies[0]).analysis_context(
+            graph, pes
+        )
         for strategy in strategies:
-            # Fixed full-array mapping so every strategy solves the same
-            # allocation instance (the width optimizer would otherwise
-            # pick different operating points per strategy).
-            result = ParaConv(config, allocator_name=strategy).run_at_width(
-                graph, pes
+            result = ParaConv(config, allocator_name=strategy).run_from_context(
+                shared.fork()
             )
             cells[strategy] = AblationCell(
                 total_time=result.total_time(),

@@ -110,10 +110,24 @@ def cmd_warmup(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
     )
     print(report.render())
+    breakdown = _pass_breakdown(cache)
+    if breakdown:
+        print(breakdown)
     if args.disk:
         print(f"plans persisted to {args.disk} "
               f"({len(cache.disk_digests())} on disk)")
     return 0
+
+
+def _pass_breakdown(cache: PlanCache) -> str:
+    """Cumulative compile-pass wall time accumulated by a plan cache."""
+    pass_seconds = cache.stats.pass_seconds
+    if not pass_seconds:
+        return ""
+    lines = ["compile pass breakdown (cumulative):"]
+    for name in sorted(pass_seconds, key=lambda n: -pass_seconds[n]):
+        lines.append(f"  {name:<20} {pass_seconds[name] * 1e3:9.3f} ms")
+    return "\n".join(lines)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -172,6 +186,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     print()
     print(server.stats_report())
+    breakdown = _pass_breakdown(cache)
+    if breakdown:
+        print(breakdown)
     return 0
 
 

@@ -25,6 +25,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "percentile",
+    "record_compile_stats",
 ]
 
 
@@ -180,8 +181,28 @@ class MetricsRegistry:
                 },
             }
 
+    def record_compile_stats(self, stats: Any) -> None:
+        """Fold one compile's per-pass breakdown into the registry.
+
+        ``stats`` is duck-typed against
+        :class:`repro.compiler.pipeline.CompileStats` (``pass_seconds``,
+        ``num_explored``, ``num_pruned``, ``total_seconds``) so this module
+        never imports the compiler package. Passing ``None`` is a no-op —
+        plans hydrated from the disk cache carry no compile stats.
+        """
+        if stats is None:
+            return
+        for pass_name, seconds in sorted(stats.pass_seconds.items()):
+            self.histogram(f"compile.pass.{pass_name}.seconds").observe(seconds)
+        self.counter("compile.widths_explored").inc(stats.num_explored)
+        self.counter("compile.widths_pruned").inc(stats.num_pruned)
+        self.histogram("compile.total.seconds").observe(stats.total_seconds)
+
     def render(self) -> str:
-        """Human-readable multi-line report (the ``stats`` subcommand)."""
+        """Human-readable multi-line report (the ``stats`` subcommand).
+
+        Compile-pass histograms recorded via :meth:`record_compile_stats`
+        show up here under ``compile.pass.<name>.seconds``."""
         snap = self.snapshot()
         lines: List[str] = []
         for name, value in snap["counters"].items():
@@ -199,3 +220,8 @@ class MetricsRegistry:
             else:
                 lines.append(f"histogram {name:<32} count=0")
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def record_compile_stats(registry: MetricsRegistry, stats: Any) -> None:
+    """Module-level alias for :meth:`MetricsRegistry.record_compile_stats`."""
+    registry.record_compile_stats(stats)

@@ -24,7 +24,7 @@ import json
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -185,6 +185,20 @@ class CacheStats:
     #: disk payloads that parsed but failed invariant verification
     #: (only counted when the cache was built with ``verify_on_load``).
     verify_failures: int = 0
+    #: cumulative per-pass compile wall time, summed over every plan this
+    #: cache compiled (from each plan's
+    #: :class:`~repro.compiler.pipeline.CompileStats`); plans hydrated from
+    #: disk contribute nothing — they were never compiled here.
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def record_compile_stats(self, stats: Any) -> None:
+        """Accumulate one compile's per-pass breakdown (``None`` ignored)."""
+        if stats is None:
+            return
+        for pass_name, seconds in stats.pass_seconds.items():
+            self.pass_seconds[pass_name] = (
+                self.pass_seconds.get(pass_name, 0.0) + seconds
+            )
 
     @property
     def lookups(self) -> int:
@@ -204,6 +218,9 @@ class CacheStats:
             "hit_rate": self.hit_rate,
             "compile_seconds": self.compile_seconds,
             "verify_failures": self.verify_failures,
+            "pass_seconds": {
+                name: self.pass_seconds[name] for name in sorted(self.pass_seconds)
+            },
         }
 
 
@@ -305,6 +322,7 @@ class PlanCache:
         elapsed = time.perf_counter() - started
         with self._lock:
             self.stats.compile_seconds += elapsed
+            self.stats.record_compile_stats(getattr(plan, "compile_stats", None))
             self._insert(key.digest, plan, write_disk=True)
         return plan
 

@@ -19,9 +19,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.paraconv import ParaConv, ParaConvResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.compiler.pipeline import CompileStats
+    from repro.runtime.metrics import MetricsRegistry
 from repro.graph.taskgraph import TaskGraph
 from repro.pim.config import PimConfig
 from repro.pim.energy import EnergyModel, EnergyReport
@@ -84,6 +88,12 @@ class InferenceSession:
             ever served; a plan with invariant errors raises
             :class:`~repro.verify.violations.VerificationError` instead of
             silently producing wrong latencies.
+        metrics: optional :class:`~repro.runtime.metrics.MetricsRegistry`;
+            when provided, every *actual* compile records its per-pass
+            wall-time breakdown and width-search counters
+            (``compile.pass.<name>.seconds``, ``compile.widths_explored``,
+            ``compile.widths_pruned``) into the registry. Cache hits record
+            nothing — no compilation happened.
     """
 
     def __init__(
@@ -96,6 +106,7 @@ class InferenceSession:
         cache: Optional[PlanCache] = None,
         num_vaults: int = 32,
         verify: bool = False,
+        metrics: Optional["MetricsRegistry"] = None,
     ):
         from repro.core.allocation import ALLOCATORS
 
@@ -114,6 +125,7 @@ class InferenceSession:
         self.cache = cache
         self.num_vaults = num_vaults
         self.verify = verify
+        self.metrics = metrics
         self._plan: Optional[ParaConvResult] = None
         self._executor: Optional[ScheduleExecutor] = None
         #: wall seconds the last :meth:`compile` call took (0 for a pure
@@ -121,6 +133,10 @@ class InferenceSession:
         self.last_compile_seconds: float = 0.0
         #: number of times this session actually ran the planner.
         self.compilations: int = 0
+        #: :class:`~repro.compiler.pipeline.CompileStats` from the last
+        #: compile this session *performed* (``None`` after a cache hit or
+        #: before the first compile).
+        self.last_compile_stats: Optional["CompileStats"] = None
 
     # ------------------------------------------------------------------
     # compilation
@@ -161,16 +177,27 @@ class InferenceSession:
 
             def _compile() -> ParaConvResult:
                 self.compilations += 1
-                return self._build_pipeline().run(self.graph)
+                plan = self._build_pipeline().run(self.graph)
+                self._record_compile(plan)
+                return plan
 
+            self.last_compile_stats = None
             self._plan = self.cache.get_or_compile(key, _compile)
         else:
             self.compilations += 1
+            self.last_compile_stats = None
             self._plan = self._build_pipeline().run(self.graph)
+            self._record_compile(self._plan)
         if self.verify:
             self._verify_plan(self._plan)
         self.last_compile_seconds = time.perf_counter() - started
         return self._plan
+
+    def _record_compile(self, plan: ParaConvResult) -> None:
+        """Stash + publish the per-pass breakdown of a real compile."""
+        self.last_compile_stats = plan.compile_stats
+        if self.metrics is not None:
+            self.metrics.record_compile_stats(plan.compile_stats)
 
     def _verify_plan(self, plan: ParaConvResult) -> None:
         """Gate a freshly compiled/loaded plan on the paper's invariants."""
@@ -227,6 +254,17 @@ class InferenceSession:
     def total_time(self, iterations: int) -> int:
         """Analytic ``R_max*p + ceil(N/J)*p`` for a batch of ``N``."""
         return self.plan.total_time(iterations)
+
+    def explain_compile(self) -> str:
+        """Per-pass timing table for the last compile this session ran.
+
+        Mirrors ``python -m repro ... --explain`` for the serving path.
+        Returns a placeholder line when the plan came from the cache (or
+        from disk) and therefore carries no compile stats.
+        """
+        if self.last_compile_stats is None:
+            return "(no compile stats: plan served from cache)"
+        return self.last_compile_stats.explain()
 
     def summary(self) -> str:
         plan = self.plan

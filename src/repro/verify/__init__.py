@@ -18,6 +18,14 @@ over the paper's benchmarks; ``python -m repro.verify`` is the CLI front
 end and CI gate.
 """
 
+from repro.verify.hooks import (
+    check_allocation_feasible,
+    check_kernel_feasible,
+    check_retiming_legal,
+    check_schedule_semantics,
+    check_theorem_bounds,
+    compile_invariant_hooks,
+)
 from repro.verify.mutation import (
     MUTATORS,
     FaultDetectionReport,
@@ -69,7 +77,13 @@ __all__ = [
     "VerificationReport",
     "Violation",
     "WorkloadVerification",
+    "check_allocation_feasible",
+    "check_kernel_feasible",
+    "check_retiming_legal",
+    "check_schedule_semantics",
+    "check_theorem_bounds",
     "clone_result",
+    "compile_invariant_hooks",
     "differential_check",
     "exhaustive_allocate",
     "fault_detection_report",

@@ -138,7 +138,14 @@ def verify_workload(
 
     # The DP pipeline picks the operating width; the other allocators are
     # validated at the same width so the sweep isolates allocation policy.
-    dp_plan: ParaConvResult = ParaConv(config, validate=False).run(graph)
+    # The DP compile runs under the per-pass invariant hooks, so a pipeline
+    # regression surfaces as a PassInvariantError *naming the broken pass*
+    # (the whole-plan validator below only sees the end product).
+    from repro.verify.hooks import compile_invariant_hooks
+
+    dp_plan: ParaConvResult = ParaConv(
+        config, validate=False, invariant_hooks=compile_invariant_hooks()
+    ).run(graph)
     for name in names:
         if name == "dp":
             plan = dp_plan

@@ -1,0 +1,207 @@
+"""PassManager contracts: static pipeline validation, artifact immutability,
+runtime contract enforcement and invariant hooks."""
+
+import pytest
+
+from repro.compiler import (
+    ArtifactError,
+    CompileContext,
+    CompilerPass,
+    CompileStats,
+    DuplicatePassError,
+    MissingPassError,
+    PassContractError,
+    PassInvariantError,
+    PassManager,
+    PassOrderError,
+)
+from repro.pim.config import PimConfig
+
+
+def make_pass(name, requires=(), produces=(), replaces=(), body=None):
+    """Tiny concrete pass for pipeline-shape tests."""
+
+    class _Pass(CompilerPass):
+        pass
+
+    _Pass.__name__ = f"Test_{name.replace('-', '_')}"
+    p = _Pass()
+    p.name = name
+    p.requires = tuple(requires)
+    p.produces = tuple(produces)
+    p.replaces = tuple(replaces)
+    if body is None:
+        def body(ctx):
+            for artifact in p.produces:
+                ctx.put(artifact, name)
+    p.run = body
+    return p
+
+
+@pytest.fixture
+def ctx(figure2_graph):
+    return CompileContext(
+        graph=figure2_graph, config=PimConfig(num_pes=4), width=2
+    )
+
+
+class TestStaticValidation:
+    def test_duplicate_pass_name_rejected(self):
+        with pytest.raises(DuplicatePassError):
+            PassManager([
+                make_pass("a", produces=("x",)),
+                make_pass("a", produces=("y",)),
+            ])
+
+    def test_duplicate_producer_rejected(self):
+        with pytest.raises(DuplicatePassError):
+            PassManager([
+                make_pass("a", produces=("x",)),
+                make_pass("b", produces=("x",)),
+            ])
+
+    def test_producing_an_initial_artifact_rejected(self):
+        with pytest.raises(DuplicatePassError):
+            PassManager(
+                [make_pass("a", produces=("x",))],
+                initial_artifacts=("x",),
+            )
+
+    def test_missing_requirement_is_typed(self):
+        with pytest.raises(MissingPassError) as info:
+            PassManager([make_pass("a", requires=("never-made",))])
+        assert "never-made" in str(info.value)
+        assert "a" in str(info.value)
+
+    def test_misordered_pipeline_names_producer(self):
+        consumer = make_pass("use-x", requires=("x",))
+        producer = make_pass("make-x", produces=("x",))
+        with pytest.raises(PassOrderError) as info:
+            PassManager([consumer, producer])
+        message = str(info.value)
+        assert "use-x" in message and "make-x" in message
+        # The same passes in the right order validate cleanly.
+        manager = PassManager([producer, consumer])
+        assert manager.pass_names == ["make-x", "use-x"]
+
+    def test_replacing_unavailable_artifact_rejected(self):
+        with pytest.raises(PassOrderError):
+            PassManager([make_pass("a", replaces=("x",))])
+
+    def test_initial_artifacts_satisfy_requirements(self):
+        manager = PassManager(
+            [make_pass("a", requires=("x",), produces=("y",))],
+            initial_artifacts=("x",),
+        )
+        assert manager.pass_names == ["a"]
+
+
+class TestRuntimeContracts:
+    def test_missing_initial_artifact_at_run_time(self, ctx):
+        manager = PassManager(
+            [make_pass("a", requires=("x",))], initial_artifacts=("x",)
+        )
+        with pytest.raises(PassContractError):
+            manager.run(ctx)
+
+    def test_undeclared_production_rejected(self, ctx):
+        rogue = make_pass(
+            "rogue", produces=("x",),
+            body=lambda c: (c.put("x", 1), c.put("sneaky", 2)),
+        )
+        with pytest.raises(PassContractError) as info:
+            PassManager([rogue]).run(ctx)
+        assert "sneaky" in str(info.value)
+
+    def test_unfulfilled_production_rejected(self, ctx):
+        lazy = make_pass("lazy", produces=("x",), body=lambda c: None)
+        with pytest.raises(PassContractError) as info:
+            PassManager([lazy]).run(ctx)
+        assert "x" in str(info.value)
+
+    def test_undeclared_replacement_rejected(self, ctx):
+        maker = make_pass("maker", produces=("x",))
+        clobber = make_pass(
+            "clobber", requires=("x",), body=lambda c: c.replace("x", 99)
+        )
+        with pytest.raises(PassContractError) as info:
+            PassManager([maker, clobber]).run(ctx)
+        assert "clobber" in str(info.value)
+
+    def test_declared_replacement_allowed(self, ctx):
+        maker = make_pass("maker", produces=("x",))
+        swap = make_pass(
+            "swap", requires=("x",), replaces=("x",),
+            body=lambda c: c.replace("x", 99),
+        )
+        PassManager([maker, swap]).run(ctx)
+        assert ctx.get("x") == 99
+
+    def test_stats_record_every_pass(self, ctx):
+        stats = CompileStats()
+        manager = PassManager([
+            make_pass("a", produces=("x",)),
+            make_pass("b", requires=("x",), produces=("y",)),
+        ])
+        manager.run(ctx, stats)
+        assert stats.pass_runs == {"a": 1, "b": 1}
+        assert set(stats.pass_seconds) == {"a", "b"}
+
+
+class TestInvariantHooks:
+    def test_failing_hook_names_the_pass(self, ctx):
+        def angry_hook(_ctx):
+            raise ValueError("kernel overlaps on PE 0")
+
+        manager = PassManager(
+            [make_pass("compact", produces=("x",))],
+            hooks={"compact": [angry_hook]},
+        )
+        with pytest.raises(PassInvariantError) as info:
+            manager.run(ctx)
+        assert info.value.pass_name == "compact"
+        assert "kernel overlaps" in str(info.value)
+
+    def test_hooks_only_fire_for_their_pass(self, ctx):
+        fired = []
+        manager = PassManager(
+            [
+                make_pass("a", produces=("x",)),
+                make_pass("b", requires=("x",), produces=("y",)),
+            ],
+            hooks={"b": [lambda c: fired.append(sorted(c.artifact_names()))]},
+        )
+        manager.run(ctx)
+        assert fired == [["x", "y"]]
+
+
+class TestContextImmutability:
+    def test_put_is_write_once(self, ctx):
+        ctx.put("x", 1)
+        with pytest.raises(ArtifactError):
+            ctx.put("x", 2)
+        assert ctx.get("x") == 1
+
+    def test_get_before_produce_is_typed(self, ctx):
+        with pytest.raises(ArtifactError):
+            ctx.get("nothing")
+
+    def test_replace_requires_existence(self, ctx):
+        with pytest.raises(ArtifactError):
+            ctx.replace("nothing", 1)
+
+    def test_fork_isolates_artifacts_but_shares_precomputation(self, ctx):
+        ctx.put("x", 1)
+        ctx.shared_total_work()
+        child = ctx.fork_for_width(4)
+        child.put("y", 2)
+        assert not ctx.has("y")
+        assert child.get("x") == 1
+        assert child.shared is ctx.shared
+
+    def test_base_context_has_no_width_facts(self, figure2_graph):
+        base = CompileContext(graph=figure2_graph, config=PimConfig(num_pes=4))
+        with pytest.raises(ArtifactError):
+            base.num_groups
+        with pytest.raises(ArtifactError):
+            base.fork()

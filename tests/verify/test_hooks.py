@@ -1,0 +1,157 @@
+"""Per-pass invariant hooks: clean compiles pass, planted violations are
+caught and attributed to the pass that introduced them."""
+
+import pytest
+
+from repro.compiler import CompileContext, PassInvariantError
+from repro.core.allocation import AllocationResult, dp_allocate
+from repro.core.paraconv import ParaConv
+from repro.core.retiming import EdgeTiming
+from repro.pim.config import PimConfig
+from repro.pim.memory import Placement
+from repro.verify import compile_invariant_hooks
+from repro.verify.hooks import (
+    check_allocation_feasible,
+    check_retiming_legal,
+    check_theorem_bounds,
+)
+
+
+class TestCleanCompiles:
+    def test_hooks_cover_only_known_passes(self):
+        from repro.compiler import PASS_REGISTRY
+
+        hooks = compile_invariant_hooks()
+        assert set(hooks) <= set(PASS_REGISTRY)
+        assert all(callable(fn) for fns in hooks.values() for fn in fns)
+
+    def test_full_search_under_hooks(self, figure2_graph, small_config):
+        hooked = ParaConv(
+            small_config, invariant_hooks=compile_invariant_hooks()
+        ).run(figure2_graph)
+        bare = ParaConv(small_config).run(figure2_graph)
+        assert hooked.total_time() == bare.total_time()
+        assert hooked.group_width == bare.group_width
+
+    def test_liveness_pipeline_under_hooks(self, figure2_graph, small_config):
+        ParaConv(
+            small_config,
+            liveness_aware=True,
+            invariant_hooks=compile_invariant_hooks(),
+        ).run(figure2_graph)
+
+
+class TestViolationAttribution:
+    def test_overcapacity_allocation_names_dp_allocate(
+        self, figure2_graph, small_config
+    ):
+        def greedy_liar(problem):
+            honest = dp_allocate(problem)
+            return AllocationResult(
+                method="liar",
+                placements=honest.placements,
+                cached=honest.cached,
+                total_delta_r=honest.total_delta_r,
+                slots_used=honest.capacity_slots + 1,  # planted violation
+                capacity_slots=honest.capacity_slots,
+            )
+
+        pipeline = ParaConv(
+            small_config,
+            allocator=greedy_liar,
+            invariant_hooks=compile_invariant_hooks(),
+        )
+        with pytest.raises(PassInvariantError) as info:
+            pipeline.run_at_width(figure2_graph, 2)
+        assert info.value.pass_name == "dp-allocate"
+        assert "slots" in str(info.value)
+
+    def test_profit_mismatch_is_caught(self, figure2_graph, small_config):
+        def profit_liar(problem):
+            honest = dp_allocate(problem)
+            return AllocationResult(
+                method="liar",
+                placements=honest.placements,
+                cached=honest.cached,
+                total_delta_r=honest.total_delta_r + 5,
+                slots_used=honest.slots_used,
+                capacity_slots=honest.capacity_slots,
+            )
+
+        pipeline = ParaConv(
+            small_config,
+            allocator=profit_liar,
+            invariant_hooks=compile_invariant_hooks(),
+        )
+        with pytest.raises(PassInvariantError) as info:
+            pipeline.run_at_width(figure2_graph, 2)
+        assert info.value.pass_name == "dp-allocate"
+
+
+def _ctx_with(figure2_graph, artifacts):
+    ctx = CompileContext(
+        graph=figure2_graph, config=PimConfig(num_pes=4), width=2
+    )
+    for name, value in artifacts.items():
+        ctx.put(name, value)
+    return ctx
+
+
+class TestUnitChecks:
+    def test_theorem_bound_violation_detected(self, figure2_graph):
+        class FakeKernel:
+            period = 4
+
+        bad = EdgeTiming(
+            key=(0, 1), transfer_cache=1, transfer_edram=2,
+            delta_cache=0, delta_edram=3,  # > Theorem 3.1 bound
+            slots=1, deadline=0,
+        )
+        ctx = _ctx_with(
+            figure2_graph, {"kernel": FakeKernel(), "timings": {(0, 1): bad}}
+        )
+        with pytest.raises(ValueError, match="Theorem 3.1"):
+            check_theorem_bounds(ctx)
+
+    def test_inverted_hierarchy_detected(self, figure2_graph):
+        class FakeKernel:
+            period = 4
+
+        bad = EdgeTiming(
+            key=(0, 1), transfer_cache=3, transfer_edram=2,
+            delta_cache=0, delta_edram=1,
+            slots=1, deadline=0,
+        )
+        ctx = _ctx_with(
+            figure2_graph, {"kernel": FakeKernel(), "timings": {(0, 1): bad}}
+        )
+        with pytest.raises(ValueError, match="inverted"):
+            check_theorem_bounds(ctx)
+
+    def test_illegal_edge_retiming_detected(self, figure2_graph):
+        class FakeSolution:
+            vertex_retiming = {0: 1, 1: 0}
+            edge_retiming = {(0, 1): 5}  # outside [R(j), R(i)] = [0, 1]
+
+        ctx = _ctx_with(figure2_graph, {"retiming": FakeSolution()})
+        with pytest.raises(ValueError, match="legal band"):
+            check_retiming_legal(ctx)
+
+    def test_unknown_cached_edge_detected(self, figure2_graph, small_config):
+        honest = ParaConv(small_config).run_at_width(figure2_graph, 2)
+        timings = {
+            key: None for key in honest.allocation.placements
+        }
+        tampered = AllocationResult(
+            method="liar",
+            placements=honest.allocation.placements,
+            cached=[(99, 100)],
+            total_delta_r=0,
+            slots_used=0,
+            capacity_slots=honest.allocation.capacity_slots,
+        )
+        ctx = _ctx_with(
+            figure2_graph, {"allocation": tampered, "timings": timings}
+        )
+        with pytest.raises(ValueError, match="unknown edge"):
+            check_allocation_feasible(ctx)
