@@ -13,7 +13,6 @@ from repro.core.paraconv import ParaConv
 from repro.core.retiming import analyze_edges, solve_retiming
 from repro.core.scheduler import compact_kernel_schedule
 from repro.graph.generators import SyntheticGraphGenerator, synthetic_benchmark
-from repro.pim.config import PimConfig
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,147 @@
+"""Benchmark A8: simulation latency — steady-state engine vs full unroll.
+
+The steady-state engine fingerprints the simulated machine at round
+boundaries and, once the fingerprint recurs, fast-forwards the remaining
+converged rounds in O(1) (counters advance by the measured per-cycle
+delta, the machine state and pending events shift uniformly in time).
+At the paper's ``N = 1000`` on the LeNet-5 partition at 64 PEs the run
+converges within a handful of rounds, so nearly the whole horizon is
+spliced and the simulation costs roughly the transient.
+
+Mirrors ``benchmarks/test_compile.py``: equivalence and convergence
+checks always run (fast-forward must never change any aggregate), while
+the wall-time ratio is only asserted on hosts that opt in via
+``REPRO_ENFORCE_SIM_SPEEDUP=1`` (CI's sim-latency smoke step).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.cnn.workloads import load_workload
+from repro.core.paraconv import ParaConv
+from repro.pim.config import PimConfig
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.modes import SimMode
+from repro.sim.sinks import CountingSink, NullSink, RingBufferSink
+
+#: The widest PE configuration the evaluation sweeps (Section 4.1).
+WIDEST_PES = 64
+
+#: The paper's steady-state iteration count.
+ITERATIONS = 1000
+
+#: Median-of-N timing keeps the ratio stable on noisy CI hosts.
+TIMING_REPEATS = 7
+
+#: The committed speedup floor (ISSUE acceptance: >= 2x in CI; measured
+#: speedups on converging workloads are far higher).
+SPEEDUP_FLOOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def sim_machine() -> PimConfig:
+    return PimConfig(num_pes=WIDEST_PES, iterations=ITERATIONS)
+
+
+@pytest.fixture(scope="module")
+def plan(sim_machine):
+    return ParaConv(sim_machine).run(load_workload("lenet5"))
+
+
+def _median_execute_seconds(sim_machine, plan, mode) -> float:
+    samples = []
+    for _ in range(TIMING_REPEATS):
+        executor = ScheduleExecutor(sim_machine, mode=mode)
+        started = time.perf_counter()
+        executor.execute(plan, iterations=ITERATIONS, sink=NullSink())
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@pytest.mark.paper_artifact("sim-latency")
+def test_fast_forward_preserves_every_aggregate(sim_machine, plan):
+    """Steady-state and full-unroll signatures are identical at N=1000."""
+    full = ScheduleExecutor(sim_machine, mode=SimMode.FULL_UNROLL).execute(
+        plan, iterations=ITERATIONS, sink=NullSink()
+    )
+    steady = ScheduleExecutor(sim_machine, mode=SimMode.STEADY_STATE).execute(
+        plan, iterations=ITERATIONS, sink=NullSink()
+    )
+    assert steady.aggregate_signature() == full.aggregate_signature()
+
+
+@pytest.mark.paper_artifact("sim-latency")
+def test_fast_forward_actually_engages(sim_machine, plan):
+    """Convergence happens within the transient — this is where the
+    speedup comes from: nearly the whole horizon is spliced."""
+    steady = ScheduleExecutor(sim_machine, mode=SimMode.STEADY_STATE).execute(
+        plan, iterations=ITERATIONS, sink=NullSink()
+    )
+    assert steady.converged_round is not None
+    assert steady.converged_period is not None
+    assert steady.rounds_fast_forwarded >= ITERATIONS * 9 // 10
+    assert steady.steady_fingerprint is not None
+
+
+@pytest.mark.paper_artifact("sim-latency")
+def test_trace_memory_stays_bounded(sim_machine, plan):
+    """Bounded sinks keep O(k) records at paper-scale N while the
+    aggregates still account for every instance."""
+    ring = RingBufferSink(capacity=128)
+    trace = ScheduleExecutor(sim_machine, mode=SimMode.STEADY_STATE).execute(
+        plan, iterations=ITERATIONS, sink=ring
+    )
+    assert trace.num_instances == plan.graph.num_vertices * ITERATIONS
+    assert len(trace.records) <= 128
+    assert len(trace.transfers) <= 128
+
+    counting = CountingSink()
+    ScheduleExecutor(sim_machine, mode=SimMode.STEADY_STATE).execute(
+        plan, iterations=ITERATIONS, sink=counting
+    )
+    assert counting.instances_total == plan.graph.num_vertices * ITERATIONS
+    assert counting.fast_forwards >= 1
+
+
+@pytest.mark.paper_artifact("sim-latency")
+def test_steady_state_speedup(sim_machine, plan, capsys):
+    """Median wall time, steady vs full unroll, at the paper's N.
+
+    Always measured and printed; the >= 2x floor is asserted only under
+    ``REPRO_ENFORCE_SIM_SPEEDUP=1``.
+    """
+    steady_s = _median_execute_seconds(sim_machine, plan, SimMode.STEADY_STATE)
+    full_s = _median_execute_seconds(sim_machine, plan, SimMode.FULL_UNROLL)
+    speedup = full_s / steady_s
+
+    with capsys.disabled():
+        print()
+        print(
+            f"simulation, lenet5 @ {WIDEST_PES} PEs, N={ITERATIONS}: "
+            f"steady {steady_s * 1e3:.2f} ms, "
+            f"full {full_s * 1e3:.2f} ms, "
+            f"speedup {speedup:.1f}x"
+        )
+
+    if os.environ.get("REPRO_ENFORCE_SIM_SPEEDUP"):
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"steady-state engine only {speedup:.2f}x faster than the full "
+            f"unroll (floor {SPEEDUP_FLOOR}x): steady {steady_s * 1e3:.2f} ms "
+            f"vs full {full_s * 1e3:.2f} ms"
+        )
+
+
+@pytest.mark.paper_artifact("sim-latency")
+def test_steady_execute_wall_time(benchmark, sim_machine, plan):
+    """pytest-benchmark timing of the production (steady) engine."""
+    trace = benchmark.pedantic(
+        lambda: ScheduleExecutor(
+            sim_machine, mode=SimMode.STEADY_STATE
+        ).execute(plan, iterations=ITERATIONS, sink=NullSink()),
+        rounds=5,
+        iterations=1,
+    )
+    assert trace.rounds_fast_forwarded > 0

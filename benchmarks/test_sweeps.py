@@ -4,7 +4,6 @@ Checks the comparison's conclusions hold across the paper's stated
 parameter envelopes: vault latency 2-10x and the 100-300 KB cache band.
 """
 
-import pytest
 
 from repro.eval.sweep import (
     render_sweep,
@@ -12,7 +11,6 @@ from repro.eval.sweep import (
     sweep_edram_factor,
     sweep_graph_scale,
 )
-from repro.pim.config import PimConfig
 
 
 def test_edram_factor_sweep(benchmark, quick_machine, capsys):

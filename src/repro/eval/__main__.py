@@ -55,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="eDRAM latency factor relative to cache (paper range 2-10)",
     )
     parser.add_argument(
+        "--sim-mode", choices=("full", "steady"), default=None,
+        help="discrete-event engine for simulation-backed experiments: "
+        "'steady' fingerprints the machine state and fast-forwards "
+        "converged rounds (default for validation), 'full' is the "
+        "event-by-event oracle; for latency/table2/sweeps the flag also "
+        "enables executor-measured columns",
+    )
+    parser.add_argument(
         "--out", default="paraconv_report.md",
         help="output path for the 'report' experiment",
     )
@@ -91,6 +99,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if "table2" in wants:
         sections.append(render_table2(run_table2(config, benchmarks=args.benchmarks)))
+        if args.sim_mode is not None:
+            from repro.eval.table2 import (
+                render_table2_realized,
+                run_table2_realized,
+            )
+
+            sections.append(render_table2_realized(run_table2_realized(
+                config, benchmarks=args.benchmarks, sim_mode=args.sim_mode,
+            )))
     if "figure5" in wants:
         sections.append(render_figure5(run_figure5(config, benchmarks=args.benchmarks)))
     if "figure6" in wants:
@@ -99,15 +116,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         sections.append(render_ablation(run_ablation(config, benchmarks=args.benchmarks)))
     if "validation" in wants:
         kwargs = {"benchmarks": args.benchmarks} if args.benchmarks else {}
-        sections.append(render_validation(run_validation(config, **kwargs)))
+        sections.append(render_validation(run_validation(
+            config, sim_mode=args.sim_mode or "steady", **kwargs
+        )))
     if "energy" in wants:
         sections.append(render_energy(run_energy(config, benchmarks=args.benchmarks)))
     if "latency" in wants:
         from repro.eval.latency import render_latency, run_latency
 
-        sections.append(
-            render_latency(run_latency(config, benchmarks=args.benchmarks))
-        )
+        sections.append(render_latency(run_latency(
+            config, benchmarks=args.benchmarks, sim_mode=args.sim_mode,
+        )))
     if "heterogeneity" in wants:
         from repro.eval.heterogeneity import (
             render_heterogeneity,
@@ -135,15 +154,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
         sections.append(render_sweep(
-            sweep_edram_factor(config=config), "eDRAM factor",
+            sweep_edram_factor(config=config, sim_mode=args.sim_mode),
+            "eDRAM factor",
             "Sensitivity: vault latency factor (paper envelope 2-10x)",
         ))
         sections.append(render_sweep(
-            sweep_cache_capacity(config=config), "bytes/PE",
+            sweep_cache_capacity(config=config, sim_mode=args.sim_mode),
+            "bytes/PE",
             "Sensitivity: per-PE cache capacity",
         ))
         sections.append(render_sweep(
-            sweep_graph_scale(config=config), "|V|",
+            sweep_graph_scale(config=config, sim_mode=args.sim_mode),
+            "|V|",
             "Scalability: synthetic graph size",
         ))
     if "workloads" in wants:

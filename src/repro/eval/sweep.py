@@ -11,13 +11,19 @@ The paper's evaluation mentions scalability (synthetic graphs with over
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.core.baseline import SpartaScheduler
-from repro.core.paraconv import ParaConv
+from repro.core.paraconv import ParaConv, ParaConvResult
 from repro.eval.reporting import format_table
 from repro.graph.generators import GeneratorParams, SyntheticGraphGenerator
 from repro.pim.config import PimConfig
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.modes import SimMode
+from repro.sim.sinks import NullSink
+
+#: optional simulation knob shared by every sweep below.
+SimModeArg = Union[str, SimMode, None]
 
 
 @dataclass(frozen=True)
@@ -29,6 +35,8 @@ class SweepPoint:
     sparta_time: int
     max_retiming: int
     num_cached: int
+    #: executor-measured makespan (None: simulation not requested).
+    realized_time: Optional[int] = None
 
     @property
     def improvement_percent(self) -> float:
@@ -37,11 +45,27 @@ class SweepPoint:
         return (self.sparta_time - self.paraconv_time) / self.sparta_time * 100.0
 
 
+def _maybe_simulate(
+    machine: PimConfig,
+    para: ParaConvResult,
+    sim_mode: SimModeArg,
+    sim_iterations: int,
+) -> Optional[int]:
+    """Realized makespan from the executor, or None when not requested."""
+    if sim_mode is None:
+        return None
+    executor = ScheduleExecutor(machine, mode=SimMode.from_name(sim_mode))
+    trace = executor.execute(para, iterations=sim_iterations, sink=NullSink())
+    return trace.realized_makespan
+
+
 def sweep_graph_scale(
     sizes: Sequence[int] = (50, 100, 200, 400, 800),
     edge_factor: float = 2.6,
     config: Optional[PimConfig] = None,
     seed: int = 7,
+    sim_mode: SimModeArg = None,
+    sim_iterations: int = 50,
 ) -> List[SweepPoint]:
     """Improvement vs synthetic-graph size (scalability experiment)."""
     machine = config or PimConfig(num_pes=32)
@@ -59,6 +83,9 @@ def sweep_graph_scale(
                 sparta_time=sparta.total_time(),
                 max_retiming=para.max_retiming,
                 num_cached=para.num_cached,
+                realized_time=_maybe_simulate(
+                    machine, para, sim_mode, sim_iterations
+                ),
             )
         )
     return points
@@ -68,6 +95,8 @@ def sweep_edram_factor(
     graph_name: str = "shortest-path",
     factors: Sequence[int] = (2, 4, 6, 8, 10),
     config: Optional[PimConfig] = None,
+    sim_mode: SimModeArg = None,
+    sim_iterations: int = 50,
 ) -> List[SweepPoint]:
     """Improvement vs the eDRAM latency factor (2-10x per the paper)."""
     from repro.cnn.workloads import load_workload
@@ -87,6 +116,9 @@ def sweep_edram_factor(
                 sparta_time=sparta.total_time(),
                 max_retiming=para.max_retiming,
                 num_cached=para.num_cached,
+                realized_time=_maybe_simulate(
+                    machine, para, sim_mode, sim_iterations
+                ),
             )
         )
     return points
@@ -96,6 +128,8 @@ def sweep_cache_capacity(
     graph_name: str = "shortest-path",
     capacities: Sequence[int] = (0, 1024, 2048, 4096, 8192, 16384),
     config: Optional[PimConfig] = None,
+    sim_mode: SimModeArg = None,
+    sim_iterations: int = 50,
 ) -> List[SweepPoint]:
     """Improvement vs per-PE cache bytes (0 = pure eDRAM machine)."""
     from repro.cnn.workloads import load_workload
@@ -115,18 +149,28 @@ def sweep_cache_capacity(
                 sparta_time=sparta.total_time(),
                 max_retiming=para.max_retiming,
                 num_cached=para.num_cached,
+                realized_time=_maybe_simulate(
+                    machine, para, sim_mode, sim_iterations
+                ),
             )
         )
     return points
 
 
 def render_sweep(points: Sequence[SweepPoint], knob_name: str, title: str) -> str:
+    simulated = any(point.realized_time is not None for point in points)
     headers = [knob_name, "Para-CONV", "SPARTA", "IMP%", "R_max", "cached"]
-    body = [
-        [
+    if simulated:
+        headers.append("realized")
+    body = []
+    for point in points:
+        line: List[object] = [
             point.knob, point.paraconv_time, point.sparta_time,
             point.improvement_percent, point.max_retiming, point.num_cached,
         ]
-        for point in points
-    ]
+        if simulated:
+            line.append(
+                "-" if point.realized_time is None else point.realized_time
+            )
+        body.append(line)
     return format_table(headers, body, title=title)

@@ -12,13 +12,16 @@ discusses the discrepancy.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cnn.workloads import PAPER_BENCHMARKS, load_workload
 from repro.core.paraconv import ParaConv
 from repro.eval.paper_data import PAPER_TABLE2
 from repro.eval.reporting import format_table
 from repro.pim.config import PAPER_PE_SWEEP, PimConfig
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.modes import SimMode
+from repro.sim.sinks import NullSink
 
 
 @dataclass(frozen=True)
@@ -71,6 +74,84 @@ def run_table2(
             )
         )
     return rows
+
+
+@dataclass(frozen=True)
+class RealizedPrologueRow:
+    """Executor-measured counterpart of one Table 2 row.
+
+    Kept separate from :class:`Table2Row` so the golden Table 2 artifact
+    schema stays frozen; the analytic prologue share is cross-checked
+    against the discrete-event executor, which the steady-state engine
+    makes affordable even at the paper's ``N``.
+    """
+
+    benchmark: str
+    pes: int
+    analytic_total: int
+    realized_total: int
+    prologue_time: int
+    converged_round: Optional[int]
+
+    @property
+    def realized_prologue_fraction(self) -> float:
+        if self.realized_total == 0:
+            return 0.0
+        return self.prologue_time / self.realized_total
+
+
+def run_table2_realized(
+    base_config: Optional[PimConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    pe_counts: Sequence[int] = PAPER_PE_SWEEP,
+    iterations: int = 100,
+    sim_mode: Union[str, SimMode] = SimMode.STEADY_STATE,
+) -> List[RealizedPrologueRow]:
+    """Cross-check Table 2's prologue accounting on the executor."""
+    config = base_config or PimConfig()
+    mode = SimMode.from_name(sim_mode)
+    names = list(benchmarks) if benchmarks is not None else list(PAPER_BENCHMARKS)
+    rows: List[RealizedPrologueRow] = []
+    for name in names:
+        graph = load_workload(name)
+        for pes in pe_counts:
+            machine = config.with_pes(pes)
+            result = ParaConv(machine).run_at_width(graph, pes)
+            executor = ScheduleExecutor(machine, mode=mode)
+            trace = executor.execute(
+                result, iterations=iterations, sink=NullSink()
+            )
+            rows.append(
+                RealizedPrologueRow(
+                    benchmark=name,
+                    pes=pes,
+                    analytic_total=trace.analytic_makespan,
+                    realized_total=trace.realized_makespan,
+                    prologue_time=result.prologue_time,
+                    converged_round=trace.converged_round,
+                )
+            )
+    return rows
+
+
+def render_table2_realized(rows: Sequence[RealizedPrologueRow]) -> str:
+    headers = [
+        "benchmark", "PEs", "analytic", "realized", "prologue",
+        "realized pro%", "conv round",
+    ]
+    body = [
+        [
+            r.benchmark, r.pes, r.analytic_total, r.realized_total,
+            r.prologue_time, r.realized_prologue_fraction * 100.0,
+            "-" if r.converged_round is None else r.converged_round,
+        ]
+        for r in rows
+    ]
+    return format_table(
+        headers, body,
+        title="Table 2 cross-check: realized prologue share on the "
+        "discrete-event executor",
+    )
 
 
 def render_table2(rows: Sequence[Table2Row]) -> str:

@@ -12,7 +12,7 @@ compares *shapes*. This module makes that comparison quantitative:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.eval.paper_data import PAPER_TABLE1, paper_reduction
 from repro.eval.table1 import Table1Row

@@ -35,11 +35,15 @@ class Crossbar:
     instant both ports are free and holds them until completion.
     """
 
-    def __init__(self, num_inputs: int, num_outputs: int):
+    def __init__(self, num_inputs: int, num_outputs: int,
+                 keep_records: bool = True):
         if num_inputs < 1 or num_outputs < 1:
             raise ConfigurationError("crossbar needs >= 1 port on each side")
         self.num_inputs = num_inputs
         self.num_outputs = num_outputs
+        #: set False for long simulations: the per-transfer record list is
+        #: O(number of transfers) and exists for traces and tests only.
+        self.keep_records = keep_records
         self._input_free = [0] * num_inputs
         self._output_free = [0] * num_outputs
         self.records: List[TransferRecord] = []
@@ -59,9 +63,10 @@ class Crossbar:
         finish = start + duration
         self._input_free[source] = finish
         self._output_free[destination] = finish
-        self.records.append(
-            TransferRecord(source, destination, size_bytes, start, finish)
-        )
+        if self.keep_records:
+            self.records.append(
+                TransferRecord(source, destination, size_bytes, start, finish)
+            )
         return start, finish
 
     def port_pressure(self) -> Dict[str, int]:
@@ -70,6 +75,22 @@ class Crossbar:
             "max_input_busy_until": max(self._input_free),
             "max_output_busy_until": max(self._output_free),
         }
+
+    def shift_time(self, delta: int) -> None:
+        """Translate every port clock forward by ``delta`` time units."""
+        if delta < 0:
+            raise ConfigurationError("time shift must be >= 0")
+        self._input_free = [t + delta for t in self._input_free]
+        self._output_free = [t + delta for t in self._output_free]
+
+    def relative_state(
+        self, reference: int
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Port busy-times relative to ``reference`` (idle clamps to 0)."""
+        return (
+            tuple(max(t - reference, 0) for t in self._input_free),
+            tuple(max(t - reference, 0) for t in self._output_free),
+        )
 
     def reset(self) -> None:
         self._input_free = [0] * self.num_inputs

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Tuple
+from typing import Deque, Iterator, List, Optional, Tuple
 
 from repro.pim.config import ConfigurationError, PimConfig
 from repro.pim.stats import TrafficStats
@@ -39,6 +39,9 @@ class Fifo:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __iter__(self) -> Iterator[FifoEntry]:
+        return iter(self._entries)
+
     @property
     def full(self) -> bool:
         return len(self._entries) >= self.depth
@@ -54,6 +57,20 @@ class Fifo:
         if not self._entries:
             raise ConfigurationError("FIFO underflow")
         return self._entries.popleft()
+
+    def pop_matching(self, key: Tuple[int, int]) -> Optional[FifoEntry]:
+        """Remove and return the oldest entry staged for ``key``.
+
+        Returns ``None`` when no entry for that key is queued (the datum
+        degraded to a direct cache/eDRAM read because the FIFO was full
+        at arrival time). Unlike :meth:`pop`, this never discards an
+        entry belonging to a different edge.
+        """
+        for index, entry in enumerate(self._entries):
+            if entry.key == key:
+                del self._entries[index]
+                return entry
+        return None
 
     def clear(self) -> None:
         self._entries.clear()
@@ -112,6 +129,31 @@ class ProcessingEngine:
         self._busy_units += duration
         return start, finish
 
+    def shift_time(self, delta: int) -> None:
+        """Translate this PE's clock forward by ``delta`` time units.
+
+        Used by the steady-state engine's fast-forward splice: shifting
+        every absolute clock in the machine by the same constant is an
+        exact time translation of the simulation.
+        """
+        if delta < 0:
+            raise ConfigurationError("time shift must be >= 0")
+        self._free_at += delta
+
+    def relative_state(self, reference: int) -> Tuple[int, Tuple[Tuple[Tuple[int, int], int], ...]]:
+        """Behaviour-relevant state relative to ``reference`` time.
+
+        The free-at clock is clamped at zero: a PE idle *before* the
+        reference behaves identically no matter how long it has been
+        idle, because every future reservation starts at or after the
+        reference. The pFIFO content matters (occupancy gates pushes,
+        entries are popped by edge key), so it is part of the state.
+        """
+        return (
+            max(self._free_at - reference, 0),
+            tuple((entry.key, entry.size_bytes) for entry in self.pfifo),
+        )
+
     def reset(self) -> None:
         self._free_at = 0
         self._busy_units = 0
@@ -147,6 +189,11 @@ class PEArray:
         for pe in self.pes:
             merged = merged.merged_with(pe.stats)
         return merged
+
+    def shift_time(self, delta: int) -> None:
+        """Translate every PE clock forward by ``delta`` time units."""
+        for pe in self.pes:
+            pe.shift_time(delta)
 
     def reset(self) -> None:
         for pe in self.pes:

@@ -81,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission-queue bound (default 64)")
     bench.add_argument("--window", type=positive_int, default=8,
                        help="batching window (default 8)")
+    bench.add_argument("--sim-mode", choices=("full", "steady"),
+                       default="steady",
+                       help="discrete-event engine: 'steady' fingerprints "
+                       "the machine and fast-forwards converged rounds "
+                       "(default), 'full' is the event-by-event oracle")
     bench.add_argument("--json", action="store_true",
                        help="emit a machine-readable JSON report")
 
@@ -143,6 +148,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         max_queue=args.queue,
         batch_window=args.window,
         allocator=args.allocator,
+        sim_mode=args.sim_mode,
     )
     rejected = 0
     for _ in range(args.requests):
@@ -158,6 +164,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     sim = server.metrics.histogram("sim_latency_units")
     wall = server.metrics.histogram("wall_latency_seconds")
     throughput = server.throughput_summary()
+    counters = server.metrics.snapshot()["counters"]
+    engine = {
+        "sim_mode": args.sim_mode,
+        "batches_converged": counters.get("sim_batches_converged", 0),
+        "rounds_fast_forwarded": counters.get("sim_rounds_fast_forwarded", 0),
+    }
     if args.json:
         print(json.dumps({
             "workload": args.workload,
@@ -166,6 +178,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "sim_latency_units": sim.summary(),
             "wall_latency_seconds": wall.summary(),
             "throughput": throughput,
+            "engine": engine,
             "plan_cache": cache.stats.as_dict(),
         }, indent=2))
         return 0
@@ -183,6 +196,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(
         f"  throughput          : {throughput['sim_throughput']:.4f} inf/unit "
         f"simulated, {throughput['wall_throughput']:.1f} inf/s wall"
+    )
+    print(
+        f"  engine              : {engine['sim_mode']} "
+        f"({engine['batches_converged']:.0f} batches converged, "
+        f"{engine['rounds_fast_forwarded']:.0f} rounds fast-forwarded)"
     )
     print()
     print(server.stats_report())

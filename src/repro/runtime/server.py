@@ -39,6 +39,7 @@ from repro.pim.config import PimConfig
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.plan_cache import PlanCache
 from repro.runtime.session import BatchResult, InferenceSession
+from repro.sim.modes import SimMode
 
 
 class QueueFullError(RuntimeError):
@@ -109,6 +110,9 @@ class BatchingServer:
             injectable for deterministic tests.
         graph_loader: workload-name resolver (:func:`load_workload` by
             default); injectable so tests can serve synthetic graphs.
+        sim_mode: discrete-event engine for every session this server
+            creates (``steady`` by default — large batches cost roughly
+            the transient; ``full`` forces the event-by-event oracle).
     """
 
     def __init__(
@@ -121,6 +125,7 @@ class BatchingServer:
         num_vaults: int = 32,
         clock: Optional[Callable[[], float]] = None,
         graph_loader: Optional[Callable[[str], TaskGraph]] = None,
+        sim_mode: "SimMode | str" = SimMode.STEADY_STATE,
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -134,6 +139,7 @@ class BatchingServer:
         self.num_vaults = num_vaults
         self.clock = clock if clock is not None else time.perf_counter
         self.graph_loader = graph_loader if graph_loader is not None else load_workload
+        self.sim_mode = SimMode.from_name(sim_mode)
         self.metrics = MetricsRegistry()
         self._queue: Deque[InferenceRequest] = deque()
         self._sessions: Dict[str, _WorkloadState] = {}
@@ -214,6 +220,7 @@ class BatchingServer:
                     allocator=self.allocator,
                     cache=self.cache,
                     num_vaults=self.num_vaults,
+                    sim_mode=self.sim_mode,
                 )
             )
             self._sessions[workload] = state
@@ -258,6 +265,14 @@ class BatchingServer:
         self.metrics.counter("inferences_served").inc(total_iterations)
         self.metrics.counter("sim_units_busy").inc(batch_result.realized_makespan)
         self.metrics.counter("cache_spills").inc(batch_result.cache_spills)
+        # Steady-state engine observability: how much simulated work the
+        # fingerprint fast-forward saved this server so far.
+        if batch_result.rounds_fast_forwarded:
+            self.metrics.counter("sim_rounds_fast_forwarded").inc(
+                batch_result.rounds_fast_forwarded
+            )
+        if batch_result.converged_round is not None:
+            self.metrics.counter("sim_batches_converged").inc()
         self._results.extend(results)
         return results
 

@@ -32,6 +32,8 @@ from repro.pim.energy import EnergyModel, EnergyReport
 from repro.pim.stats import TrafficStats
 from repro.runtime.plan_cache import PlanCache, plan_key_for
 from repro.sim.executor import ExecutionTrace, ScheduleExecutor
+from repro.sim.modes import SimMode
+from repro.sim.sinks import NullSink
 
 
 @dataclass(frozen=True)
@@ -51,6 +53,13 @@ class BatchResult:
     cache_spills: int
     max_lateness: int
     wall_seconds: float
+    #: engine used for this batch (``"full"`` or ``"steady"``).
+    sim_mode: str = SimMode.STEADY_STATE.value
+    #: round at which the steady-state engine converged (None: never, or
+    #: the full-unroll engine was used).
+    converged_round: Optional[int] = None
+    #: rounds the engine skipped via the O(1) fast-forward splice.
+    rounds_fast_forwarded: int = 0
 
     @property
     def sim_throughput(self) -> float:
@@ -94,6 +103,13 @@ class InferenceSession:
             (``compile.pass.<name>.seconds``, ``compile.widths_explored``,
             ``compile.widths_pruned``) into the registry. Cache hits record
             nothing — no compilation happened.
+        sim_mode: discrete-event engine for the serving path.
+            ``SimMode.STEADY_STATE`` (the default) fingerprints the
+            machine at round boundaries and fast-forwards converged rounds
+            in O(1), so large-``N`` batches cost roughly the transient;
+            ``SimMode.FULL_UNROLL`` is the event-by-event oracle. Both
+            produce identical aggregate results (the acceptance tests pin
+            this), so serving defaults to the fast engine.
     """
 
     def __init__(
@@ -107,6 +123,7 @@ class InferenceSession:
         num_vaults: int = 32,
         verify: bool = False,
         metrics: Optional["MetricsRegistry"] = None,
+        sim_mode: Union[str, SimMode] = SimMode.STEADY_STATE,
     ):
         from repro.core.allocation import ALLOCATORS
 
@@ -126,6 +143,7 @@ class InferenceSession:
         self.num_vaults = num_vaults
         self.verify = verify
         self.metrics = metrics
+        self.sim_mode = SimMode.from_name(sim_mode)
         self._plan: Optional[ParaConvResult] = None
         self._executor: Optional[ScheduleExecutor] = None
         #: wall seconds the last :meth:`compile` call took (0 for a pure
@@ -225,9 +243,15 @@ class InferenceSession:
         """
         plan = self.plan
         if self._executor is None:
-            self._executor = ScheduleExecutor(self.config, num_vaults=self.num_vaults)
+            self._executor = ScheduleExecutor(
+                self.config, num_vaults=self.num_vaults, mode=self.sim_mode
+            )
         started = time.perf_counter()
-        trace = self._executor.execute(plan, iterations=iterations)
+        # Serving needs aggregates only: a NullSink keeps per-instance
+        # records out of memory no matter how large the batch is.
+        trace = self._executor.execute(
+            plan, iterations=iterations, sink=NullSink()
+        )
         wall = time.perf_counter() - started
         return self._batch_result(trace, energy_model, wall)
 
@@ -246,6 +270,9 @@ class InferenceSession:
             cache_spills=trace.cache_spills,
             max_lateness=trace.max_lateness,
             wall_seconds=wall_seconds,
+            sim_mode=trace.sim_mode.value,
+            converged_round=trace.converged_round,
+            rounds_fast_forwarded=trace.rounds_fast_forwarded,
         )
 
     # ------------------------------------------------------------------
@@ -285,17 +312,21 @@ def direct_batch(
     allocator: str = "dp",
     num_vaults: int = 32,
     energy_model: Optional[EnergyModel] = None,
+    sim_mode: Union[str, SimMode] = SimMode.FULL_UNROLL,
 ) -> BatchResult:
     """The uncached reference path: plan, execute, report.
 
     Exists so tests (and users migrating from the one-shot pipeline) can
     compare the session path against a from-scratch run with identical
-    semantics.
+    semantics. Defaults to the full-unroll oracle engine precisely
+    because it is the reference: comparing a steady-state session batch
+    against a full-unroll direct batch exercises the fast-forward
+    equivalence guarantee end to end.
     """
     result = ParaConv(config, allocator_name=allocator).run(graph)
     started = time.perf_counter()
-    trace = ScheduleExecutor(config, num_vaults=num_vaults).execute(
-        result, iterations=iterations
-    )
+    trace = ScheduleExecutor(
+        config, num_vaults=num_vaults, mode=SimMode.from_name(sim_mode)
+    ).execute(result, iterations=iterations)
     wall = time.perf_counter() - started
     return InferenceSession._batch_result(trace, energy_model, wall)

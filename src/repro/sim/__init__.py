@@ -10,15 +10,36 @@ DESIGN.md) compares the two.
 
 from repro.sim.engine import Event, EventQueue, SimulationError
 from repro.sim.executor import ExecutionTrace, ScheduleExecutor, simulate_sparta
+from repro.sim.modes import SimMode
+from repro.sim.sinks import (
+    CountingSink,
+    FastForwardNotice,
+    InMemorySink,
+    NullSink,
+    RingBufferSink,
+    SamplingWindowSink,
+    TraceSink,
+)
+from repro.sim.state import EventTag, MachineState
 from repro.sim.trace import InstanceRecord, TransferKind
 
 __all__ = [
+    "CountingSink",
     "Event",
     "EventQueue",
+    "EventTag",
     "ExecutionTrace",
+    "FastForwardNotice",
+    "InMemorySink",
     "InstanceRecord",
+    "MachineState",
+    "NullSink",
+    "RingBufferSink",
+    "SamplingWindowSink",
     "ScheduleExecutor",
+    "SimMode",
     "SimulationError",
+    "TraceSink",
     "TransferKind",
     "simulate_sparta",
 ]

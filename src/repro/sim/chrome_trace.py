@@ -4,26 +4,54 @@ Open the produced file in ``chrome://tracing`` (or Perfetto) to inspect a
 simulated run visually: one row per PE plus one per vault-bound transfer
 stream, complete ("X") events with microsecond-scaled timestamps (one
 schedule time unit = 1 us by default).
+
+Long runs don't need full traces: pass ``window=(start, end)`` to export
+only the records overlapping one half-open time slice, or run the
+executor with a :class:`~repro.sim.sinks.SamplingWindowSink` so the
+records outside the window are never retained in the first place. The
+two compose -- a windowed export of a window-sampled trace equals the
+same window applied to a full-unroll trace.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.sim.executor import ExecutionTrace
+from repro.sim.sinks import Window
 from repro.sim.trace import TransferKind
 
 
+def _in_window(start: int, finish: int, window: Optional[Window]) -> bool:
+    """Half-open overlap test matching ``SamplingWindowSink`` semantics."""
+    if window is None:
+        return True
+    if finish == start:  # instantaneous: membership, not overlap
+        finish = start + 1
+    begin, end = window
+    return start < end and finish > begin
+
+
 def trace_to_events(
-    trace: ExecutionTrace, unit_us: float = 1.0
+    trace: ExecutionTrace,
+    unit_us: float = 1.0,
+    window: Optional[Window] = None,
 ) -> List[Dict[str, Any]]:
-    """Convert a trace to a list of Chrome trace-event dictionaries."""
+    """Convert a trace to a list of Chrome trace-event dictionaries.
+
+    ``window`` restricts the export to records whose interval overlaps
+    the half-open ``[start, end)`` slice (in schedule time units).
+    """
     if unit_us <= 0:
         raise ValueError("unit_us must be positive")
+    if window is not None and window[1] <= window[0]:
+        raise ValueError(f"empty window [{window[0]}, {window[1]})")
     events: List[Dict[str, Any]] = []
     for record in trace.records:
+        if not _in_window(record.start, record.finish, window):
+            continue
         events.append(
             {
                 "name": f"V{record.op_id}^{record.iteration}",
@@ -43,6 +71,8 @@ def trace_to_events(
     for transfer in trace.transfers:
         if transfer.completed <= transfer.issued:
             continue  # zero-latency on-chip moves clutter the view
+        if not _in_window(transfer.issued, transfer.completed, window):
+            continue
         row = "cache-path" if transfer.kind is TransferKind.CACHE else "eDRAM"
         events.append(
             {
@@ -60,16 +90,25 @@ def trace_to_events(
 
 
 def write_chrome_trace(
-    trace: ExecutionTrace, path: Union[str, Path], unit_us: float = 1.0
+    trace: ExecutionTrace,
+    path: Union[str, Path],
+    unit_us: float = 1.0,
+    window: Optional[Window] = None,
 ) -> None:
     """Write the trace as a ``chrome://tracing`` compatible JSON file."""
     payload = {
-        "traceEvents": trace_to_events(trace, unit_us),
+        "traceEvents": trace_to_events(trace, unit_us, window=window),
         "displayTimeUnit": "ms",
         "otherData": {
             "iterations": trace.iterations,
             "analytic_makespan": trace.analytic_makespan,
             "realized_makespan": trace.realized_makespan,
+            "sim_mode": trace.sim_mode.value,
+            "converged_round": trace.converged_round,
+            "rounds_simulated": trace.rounds_simulated,
+            "rounds_fast_forwarded": trace.rounds_fast_forwarded,
         },
     }
+    if window is not None:
+        payload["otherData"]["window"] = list(window)
     Path(path).write_text(json.dumps(payload))

@@ -1,9 +1,26 @@
 """Minimal discrete-event simulation engine.
 
 A deterministic heap-based event queue: events carry a timestamp, a
-priority (for same-time ordering) and a callback. Determinism matters --
-the executor's traces are compared across runs in tests -- so ties are
-broken by (priority, sequence number), never by callback identity.
+priority (for same-time ordering), an optional *content key* and a
+callback. Determinism matters -- the executor's traces are compared
+across runs in tests -- so ties are broken by ``(priority, key,
+sequence number)``, never by callback identity.
+
+The content key exists for the steady-state engine: when two events share
+a timestamp and a priority, a content key makes their order a function of
+*what they are* (for the executor: the instance or edge they touch)
+rather than of when they were enqueued. That property is what lets the
+steady-state executor splice a converged machine state forward in time
+(rebuilding the pending-event heap with fresh sequence numbers) without
+perturbing the processing order. Events scheduled without a key keep the
+legacy guarantee: same-timestamp, same-priority events fire in schedule
+order.
+
+Events may also carry an opaque ``tag`` describing their payload; the
+engine never inspects it, but :meth:`EventQueue.pending_events` exposes
+the queued events (in processing order) so callers can fingerprint or
+rebuild the in-flight set -- the machinery behind
+:class:`repro.sim.state.MachineState`.
 """
 
 from __future__ import annotations
@@ -11,7 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -20,12 +37,19 @@ class SimulationError(RuntimeError):
 
 @dataclass(order=True)
 class Event:
-    """One scheduled callback. Ordering: time, then priority, then FIFO."""
+    """One scheduled callback. Ordering: time, priority, key, then FIFO."""
 
     time: int
     priority: int
+    #: content key for deterministic same-time ordering; the default
+    #: ``()`` sorts before every non-empty key, preserving the legacy
+    #: schedule-order behaviour for untagged events.
+    key: Tuple[int, ...]
     sequence: int
     callback: Callable[[], None] = field(compare=False)
+    #: opaque payload describing the event (used by the steady-state
+    #: executor to fingerprint and rebuild the in-flight set).
+    tag: Any = field(compare=False, default=None)
 
 
 class EventQueue:
@@ -45,17 +69,39 @@ class EventQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
     def schedule(
-        self, time: int, callback: Callable[[], None], priority: int = 0
+        self,
+        time: int,
+        callback: Callable[[], None],
+        priority: int = 0,
+        key: Tuple[int, ...] = (),
+        tag: Any = None,
     ) -> Event:
         """Enqueue ``callback`` at ``time`` (must not be in the past)."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}, simulation time is {self._now}"
             )
-        event = Event(time, priority, next(self._counter), callback)
+        event = Event(time, priority, key, next(self._counter), callback, tag)
         heapq.heappush(self._heap, event)
         return event
+
+    def pending_events(self) -> List[Event]:
+        """Snapshot of the queued events, in processing order."""
+        return sorted(self._heap)
+
+    def clear_pending(self) -> List[Event]:
+        """Remove and return every queued event (in processing order).
+
+        Used by the steady-state executor's fast-forward splice: the
+        in-flight set is drained, time-shifted, and re-scheduled.
+        """
+        events = sorted(self._heap)
+        self._heap.clear()
+        return events
 
     def step(self) -> bool:
         """Process one event; returns False when the queue is empty."""

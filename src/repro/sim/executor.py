@@ -1,6 +1,6 @@
 """Execute a Para-CONV periodic schedule on the machine model.
 
-The executor materializes every operation instance of ``N`` logical
+The executor simulates the operation instances of ``N`` logical
 iterations plus the prologue, respecting the retimed dependency structure:
 instance ``l`` of operation ``i`` runs in round ``l + R_max - R(i)`` at its
 kernel offset, and the intermediate result of edge ``(i, j)`` flows from
@@ -21,50 +21,122 @@ Instances start no earlier than their nominal time ``(round-1)*p + s_i``;
 any *lateness* beyond it means an analytic-model premise did not hold on
 the simulated machine (typically vault contention). The validation
 experiment asserts the observed lateness stays small.
+
+Two simulation modes (:class:`~repro.sim.modes.SimMode`):
+
+* ``FULL_UNROLL`` -- the oracle. Every instance is simulated event by
+  event. Iterations are still *materialized lazily* (one round ahead of
+  the frontier), so dependency bookkeeping stays ``O(V * R_max)`` even
+  though the event count is ``O(V * N)``.
+* ``STEADY_STATE`` -- the paper's periodicity, exploited. The engine
+  simulates round by round; at each round boundary past the prologue it
+  takes the :class:`~repro.sim.state.MachineState` canonical form. When
+  two consecutive boundaries match (modulo the constant offsets ``p`` in
+  time and ``1`` in iteration index), the simulation is provably periodic:
+  the remaining ``N - k`` full rounds are fast-forwarded in O(1) by
+  replaying the converged per-round stats delta and splicing every clock
+  forward ``(N - k) * p`` time units, then only the epilogue (the final
+  ``R_max`` partial rounds) is simulated. Aggregate statistics are
+  *identical* to the full unroll -- ``repro.verify.differential_sim``
+  asserts it across the benchmark suite.
+
+Record retention is delegated to a pluggable
+:class:`~repro.sim.sinks.TraceSink`, so trace memory is bounded
+regardless of ``N``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.paraconv import ParaConvResult
 from repro.core.baseline import SpartaResult
+from repro.core.paraconv import ParaConvResult
 from repro.pim.config import PimConfig
 from repro.pim.energy import EnergyModel, EnergyReport
 from repro.pim.interconnect import Crossbar
 from repro.pim.memory import MemorySystem, Placement
-from repro.pim.pe import PEArray
+from repro.pim.pe import FifoEntry, PEArray
 from repro.pim.stats import TrafficStats
 from repro.sim.engine import EventQueue, SimulationError
+from repro.sim.modes import SimMode
+from repro.sim.sinks import FastForwardNotice, InMemorySink, TraceSink
+from repro.sim.state import EdgeKey, EventTag, InstanceKey, MachineState
 from repro.sim.trace import InstanceRecord, TransferKind, TransferRecord
 
-EdgeKey = Tuple[int, int]
-InstanceKey = Tuple[int, int]  # (op_id, logical iteration)
+__all__ = [
+    "EdgeKey",
+    "ExecutionTrace",
+    "InstanceKey",
+    "ScheduleExecutor",
+    "SimMode",
+    "simulate_sparta",
+]
+
+#: Event priorities: arrivals before starts before productions at a tie.
+_PRIO_ARRIVE = 0
+_PRIO_START = 1
+_PRIO_PRODUCE = 2
 
 
 @dataclass
 class ExecutionTrace:
-    """Everything measured while executing a schedule."""
+    """Everything measured while executing a schedule.
+
+    Per-record data (``records``/``transfers``) lives in the pluggable
+    ``sink`` and may be sampled or dropped; the aggregate counters below
+    are maintained incrementally and are *exact* in every mode -- they
+    are what the steady-state fast-forward replays and what the
+    differential check compares against the full unroll.
+    """
 
     config: PimConfig
     iterations: int
     analytic_makespan: int
     realized_makespan: int
-    records: List[InstanceRecord] = field(default_factory=list)
-    transfers: List[TransferRecord] = field(default_factory=list)
+    sink: TraceSink = field(default_factory=InMemorySink)
     stats: TrafficStats = field(default_factory=TrafficStats)
     cache_peak_slots: int = 0
     cache_spills: int = 0
     events_processed: int = 0
+    # --- exact aggregates (sink-independent) ---------------------------
+    num_instances: int = 0
+    num_transfers: int = 0
+    busy_units: int = 0
+    lateness_total: int = 0
+    lateness_max: int = 0
+    pes_used: Set[int] = field(default_factory=set)
+    # --- steady-state observability ------------------------------------
+    sim_mode: SimMode = SimMode.FULL_UNROLL
+    #: round boundary at which the machine fingerprint converged.
+    converged_round: Optional[int] = None
+    #: detected steady-state period, in rounds (1 = the paper's exact
+    #: round-to-round repetition; >1 = a longer limit cycle).
+    converged_period: Optional[int] = None
+    #: rounds actually simulated event by event.
+    rounds_simulated: int = 0
+    #: converged rounds replayed analytically (0 in full-unroll mode).
+    rounds_fast_forwarded: int = 0
+    #: digest of the converged machine state (None before convergence).
+    steady_fingerprint: Optional[str] = None
+
+    @property
+    def records(self) -> List[InstanceRecord]:
+        """Instance records the sink retained (all of them by default)."""
+        return self.sink.instances()
+
+    @property
+    def transfers(self) -> List[TransferRecord]:
+        """Transfer records the sink retained (all of them by default)."""
+        return self.sink.transfers()
 
     @property
     def max_lateness(self) -> int:
-        return max((r.lateness for r in self.records), default=0)
+        return self.lateness_max
 
     @property
     def total_lateness(self) -> int:
-        return sum(r.lateness for r in self.records)
+        return self.lateness_total
 
     @property
     def slowdown(self) -> float:
@@ -77,189 +149,349 @@ class ExecutionTrace:
         """Aggregate busy fraction over the realized makespan."""
         if self.realized_makespan == 0:
             return 0.0
-        busy = sum(r.finish - r.start for r in self.records)
-        width = len({r.pe for r in self.records}) or 1
-        return busy / (self.realized_makespan * width)
+        width = len(self.pes_used) or 1
+        return self.busy_units / (self.realized_makespan * width)
 
     def energy(self, model: Optional[EnergyModel] = None) -> EnergyReport:
         return (model or EnergyModel()).estimate(self.stats, self.config)
 
+    def aggregate_signature(self) -> Dict[str, object]:
+        """The exact aggregates, as one comparable mapping.
+
+        Two traces of the same schedule are equivalent -- regardless of
+        sim mode or sink -- iff their signatures match. This is the
+        object the ``differential_simulate`` verification check compares.
+        """
+        return {
+            "iterations": self.iterations,
+            "analytic_makespan": self.analytic_makespan,
+            "realized_makespan": self.realized_makespan,
+            "stats": self.stats.as_dict(),
+            "cache_peak_slots": self.cache_peak_slots,
+            "cache_spills": self.cache_spills,
+            "events_processed": self.events_processed,
+            "num_instances": self.num_instances,
+            "num_transfers": self.num_transfers,
+            "busy_units": self.busy_units,
+            "lateness_total": self.lateness_total,
+            "lateness_max": self.lateness_max,
+            "pes_used": tuple(sorted(self.pes_used)),
+            "energy_total_pj": self.energy().total_pj,
+        }
+
+
+@dataclass(frozen=True)
+class _BoundarySnapshot:
+    """Monotone counters at a round boundary (for per-round deltas)."""
+
+    trace_stats: Tuple[int, ...]
+    memory_stats: Tuple[int, ...]
+    cache_spills: int
+    num_instances: int
+    num_transfers: int
+    busy_units: int
+    lateness_total: int
+    events_processed: int
+
+    def delta(self, earlier: "_BoundarySnapshot") -> tuple:
+        """Counter increments since ``earlier``, as one comparable tuple.
+
+        Equal deltas across a candidate period are a cheap *necessary*
+        condition for periodicity; the engine uses them to decide when
+        computing the (much more expensive) exact canonical form is
+        worth it.
+        """
+        return (
+            tuple(a - b for a, b in zip(self.trace_stats, earlier.trace_stats)),
+            tuple(a - b for a, b in zip(self.memory_stats, earlier.memory_stats)),
+            self.cache_spills - earlier.cache_spills,
+            self.num_instances - earlier.num_instances,
+            self.num_transfers - earlier.num_transfers,
+            self.busy_units - earlier.busy_units,
+            self.lateness_total - earlier.lateness_total,
+            self.events_processed - earlier.events_processed,
+        )
+
 
 class ScheduleExecutor:
-    """Discrete-event executor for :class:`ParaConvResult` schedules."""
+    """Discrete-event executor for :class:`ParaConvResult` schedules.
 
-    def __init__(self, config: PimConfig, num_vaults: int = 16):
+    Args:
+        config: machine description.
+        num_vaults: eDRAM vault count of the stacked memory.
+        mode: :class:`SimMode` -- ``FULL_UNROLL`` (oracle, default) or
+            ``STEADY_STATE`` (fingerprint convergence + O(1)
+            fast-forward). Aggregates are identical either way.
+        sink: where per-record trace data goes; defaults to a fresh
+            unbounded :class:`~repro.sim.sinks.InMemorySink` per run.
+        steady_max_period: longest limit cycle (in rounds) the
+            steady-state detector looks for. 1 checks only the paper's
+            exact round-to-round repetition; larger values also catch
+            oscillations introduced by transient cache spills.
+        steady_confirm_budget: how many failed exact confirmations the
+            detector tolerates before it stops looking, bounding the
+            fingerprint overhead on runs that never settle.
+    """
+
+    def __init__(
+        self,
+        config: PimConfig,
+        num_vaults: int = 16,
+        mode: SimMode = SimMode.FULL_UNROLL,
+        sink: Optional[TraceSink] = None,
+        steady_max_period: int = 8,
+        steady_confirm_budget: int = 8,
+    ):
+        if steady_max_period < 1:
+            raise SimulationError("steady_max_period must be >= 1")
+        if steady_confirm_budget < 1:
+            raise SimulationError("steady_confirm_budget must be >= 1")
         self.config = config
         self.num_vaults = num_vaults
+        self.mode = SimMode.from_name(mode)
+        self._sink = sink
+        self.steady_max_period = steady_max_period
+        self.steady_confirm_budget = steady_confirm_budget
 
-    def execute(self, result: ParaConvResult, iterations: int = 20) -> ExecutionTrace:
+    def execute(
+        self,
+        result: ParaConvResult,
+        iterations: int = 20,
+        sink: Optional[TraceSink] = None,
+    ) -> ExecutionTrace:
         """Run ``iterations`` logical iterations of one PE group."""
         if iterations < 1:
             raise SimulationError("iterations must be >= 1")
-        schedule = result.schedule
-        graph = result.graph
-        kernel = schedule.kernel
-        period = schedule.period
-        r_max = schedule.max_retiming
+        run_sink = sink if sink is not None else (
+            self._sink if self._sink is not None else InMemorySink()
+        )
+        run = _ExecutorRun(
+            self.config, self.num_vaults, result, iterations,
+            self.mode, run_sink,
+            max_period=self.steady_max_period,
+            confirm_budget=self.steady_confirm_budget,
+        )
+        return run.execute()
+
+
+class _ExecutorRun:
+    """One executor invocation: machine state + event handlers + loop."""
+
+    def __init__(
+        self,
+        config: PimConfig,
+        num_vaults: int,
+        result: ParaConvResult,
+        iterations: int,
+        mode: SimMode,
+        sink: TraceSink,
+        max_period: int = 8,
+        confirm_budget: int = 8,
+    ):
+        self.config = config
+        self.result = result
+        self.iterations = iterations
+        self.mode = mode
+        self.schedule = result.schedule
+        self.graph = result.graph
+        self.kernel = self.schedule.kernel
+        self.period = self.schedule.period
+        self.r_max = self.schedule.max_retiming
         width = result.group_width
 
-        queue = EventQueue()
-        pes = PEArray(self.config.with_pes(width))
-        memory = MemorySystem(self.config, num_vaults=self.num_vaults)
+        memory = MemorySystem(config, num_vaults=num_vaults)
         # Per-group cache share, as the allocator assumed.
         memory.cache.capacity_slots = max(
             memory.cache.capacity_slots // result.num_groups, 0
         )
-        crossbar = Crossbar(num_inputs=width, num_outputs=self.num_vaults)
-        trace = ExecutionTrace(
-            config=self.config,
+        self.state = MachineState(
+            pes=PEArray(config.with_pes(width)),
+            memory=memory,
+            crossbar=Crossbar(
+                num_inputs=width, num_outputs=num_vaults, keep_records=False
+            ),
+            queue=EventQueue(),
+        )
+        self.trace = ExecutionTrace(
+            config=config,
             iterations=iterations,
-            analytic_makespan=r_max * period + iterations * period,
+            analytic_makespan=self.r_max * self.period
+            + iterations * self.period,
             realized_makespan=0,
+            sink=sink,
+            sim_mode=mode,
+        )
+        #: next logical iteration to materialize (1-based).
+        self._next_iteration = 1
+        #: running maximum finish time over all emitted instances.
+        self._max_finish = 0
+        self._converged = False
+        # --- steady-state detector configuration -----------------------
+        self.max_period = max_period
+        self.confirm_budget = confirm_budget
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _dispatch(self, tag: EventTag) -> None:
+        if tag.kind == "arrive":
+            self._data_arrived(tag)
+        elif tag.kind == "start":
+            self._attempt_start((tag.op_id, tag.iteration))
+        elif tag.kind == "produce":
+            self._produce((tag.op_id, tag.iteration))
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {tag.kind!r}")
+
+    def _schedule_event(self, time: int, tag: EventTag, priority: int) -> None:
+        """Schedule a tagged event with its content-derived tie-break key.
+
+        The key makes same-time ordering a function of event identity
+        (iteration, operation, edge), never of enqueue order -- the
+        property the fast-forward splice relies on when it rebuilds the
+        in-flight set with fresh sequence numbers.
+        """
+        key = (tag.iteration, tag.op_id) + tag.edge
+        self.state.queue.schedule(
+            time, lambda: self._dispatch(tag), priority, key=key, tag=tag
         )
 
-        # --- instance bookkeeping -------------------------------------
-        pending: Dict[InstanceKey, int] = {}
-        max_avail: Dict[InstanceKey, int] = {}
-        nominal: Dict[InstanceKey, int] = {}
-        cache_live: Dict[Tuple[EdgeKey, int], int] = {}
+    # ------------------------------------------------------------------
+    # instance lifecycle
+    # ------------------------------------------------------------------
+    def _round_of(self, op_id: int, iteration: int) -> int:
+        return iteration + self.r_max - self.schedule.retiming[op_id]
 
-        def round_of(op_id: int, iteration: int) -> int:
-            return iteration + r_max - schedule.retiming[op_id]
+    def _materialize(self, iteration: int) -> None:
+        """Create the dependency bookkeeping for one logical iteration.
 
-        instances: List[InstanceKey] = []
-        for op in graph.operations():
-            for iteration in range(1, iterations + 1):
-                key = (op.op_id, iteration)
-                instances.append(key)
-                nominal[key] = (round_of(op.op_id, iteration) - 1) * period + (
-                    kernel.start(op.op_id)
+        Source instances are scheduled at their nominal starts; dependent
+        instances wait in ``pending`` until every in-edge delivered.
+        """
+        state = self.state
+        for op in self.graph.operations():
+            key = (op.op_id, iteration)
+            nominal = (
+                self._round_of(op.op_id, iteration) - 1
+            ) * self.period + self.kernel.start(op.op_id)
+            state.nominal[key] = nominal
+            degree = self.graph.in_degree(op.op_id)
+            if degree == 0:
+                self._schedule_event(
+                    nominal,
+                    EventTag("start", op.op_id, iteration),
+                    _PRIO_START,
                 )
-                # Dependencies: in-edges whose producer instance exists.
-                deps = sum(
-                    1
-                    for _edge in graph.in_edges(op.op_id)
-                )
-                pending[key] = deps
-                max_avail[key] = 0
+            else:
+                state.pending[key] = degree
+                state.max_avail[key] = 0
 
-        # --- event handlers --------------------------------------------
-        from repro.pim.pe import FifoEntry
-
-        def data_arrived(
-            consumer: InstanceKey, when: int, edge_key: EdgeKey = None,
-            size_bytes: int = 0,
-        ) -> None:
-            max_avail[consumer] = max(max_avail[consumer], when)
-            pending[consumer] -= 1
-            # Stage the datum in the consumer PE's pFIFO (occupancy stats;
-            # a full FIFO degrades to a direct cache/eDRAM read).
-            if edge_key is not None:
-                pe = pes[kernel.pe_of(consumer[0])]
-                if not pe.pfifo.full:
-                    pe.pfifo.push(FifoEntry(edge_key, size_bytes))
-                    trace.stats.fifo_pushes += 1
-            if pending[consumer] == 0:
-                start_at = max(nominal[consumer], max_avail[consumer], queue.now)
-                queue.schedule(start_at, lambda c=consumer: attempt_start(c), 1)
-
-        def attempt_start(key: InstanceKey) -> None:
-            op_id, iteration = key
-            op = graph.operation(op_id)
-            pe = pes[kernel.pe_of(op_id)]
-            # Consume the pFIFO entries staged for this instance.
-            for _ in range(graph.in_degree(op_id)):
-                if len(pe.pfifo):
-                    pe.pfifo.pop()
-            start, finish = pe.reserve(queue.now, op.execution_time)
-            trace.records.append(
-                InstanceRecord(
-                    op_id=op_id,
-                    iteration=iteration,
-                    pe=pe.pe_id,
-                    nominal_start=nominal[key],
-                    start=start,
-                    finish=finish,
-                )
+    def _data_arrived(self, tag: EventTag) -> None:
+        state = self.state
+        consumer: InstanceKey = (tag.op_id, tag.iteration)
+        when = state.queue.now
+        state.max_avail[consumer] = max(state.max_avail[consumer], when)
+        state.pending[consumer] -= 1
+        # Stage the datum in the consumer PE's pFIFO (occupancy stats;
+        # a full FIFO degrades to a direct cache/eDRAM read).
+        pe = state.pes[self.kernel.pe_of(tag.op_id)]
+        if not pe.pfifo.full:
+            pe.pfifo.push(FifoEntry(tag.edge, tag.size_bytes))
+            self.trace.stats.fifo_pushes += 1
+        if state.pending[consumer] == 0:
+            start_at = max(
+                state.nominal[consumer], state.max_avail[consumer],
+                state.queue.now,
             )
-            trace.stats.alu_ops += max(op.work, op.execution_time)
-            # Consume: free cache slots held by in-edges.
-            for edge in graph.in_edges(op_id):
-                live = (edge.key, iteration)
-                if live in cache_live:
-                    memory.cache.remove(live)
-                    del cache_live[live]
-            queue.schedule(finish, lambda k=key: produce(k), 2)
+            del state.pending[consumer]
+            del state.max_avail[consumer]
+            self._schedule_event(
+                start_at,
+                EventTag("start", tag.op_id, tag.iteration),
+                _PRIO_START,
+            )
 
-        def produce(key: InstanceKey) -> None:
-            op_id, iteration = key
-            finish = queue.now
-            for edge in graph.out_edges(op_id):
-                if not 1 <= iteration <= iterations:
-                    continue
-                consumer = (edge.consumer, iteration)
-                placement = schedule.placements[edge.key]
-                if placement is Placement.CACHE:
-                    slots = self.config.slots_required(edge.size_bytes)
-                    if memory.cache.fits(slots):
-                        memory.cache.insert((edge.key, iteration), slots)
-                        cache_live[(edge.key, iteration)] = slots
-                        trace.cache_peak_slots = max(
-                            trace.cache_peak_slots, memory.cache.used_slots
-                        )
-                        memory.record_cache_transfer(edge.size_bytes)
-                        arrival = finish + self.config.cache_transfer_units(
-                            edge.size_bytes
-                        )
-                        trace.transfers.append(
-                            TransferRecord(
-                                edge.key, iteration, TransferKind.CACHE,
-                                edge.size_bytes, finish, arrival,
-                            )
-                        )
-                        queue.schedule(
-                            arrival,
-                            lambda c=consumer, t=arrival, k=edge.key,
-                            b=edge.size_bytes: data_arrived(c, t, k, b),
-                            0,
-                        )
-                        continue
-                    trace.cache_spills += 1  # transient overflow: spill
-                arrival = self._edram_roundtrip(
-                    edge.key, edge.size_bytes, finish,
-                    kernel.pe_of(op_id), kernel.pe_of(edge.consumer),
-                    memory, crossbar,
-                )
-                trace.transfers.append(
-                    TransferRecord(
-                        edge.key, iteration, TransferKind.EDRAM,
-                        edge.size_bytes, finish, arrival,
+    def _attempt_start(self, key: InstanceKey) -> None:
+        state = self.state
+        trace = self.trace
+        op_id, iteration = key
+        op = self.graph.operation(op_id)
+        pe = state.pes[self.kernel.pe_of(op_id)]
+        # Consume the pFIFO entries staged for this instance -- by edge
+        # key, so a neighbour instance's staged datum is never stolen.
+        for edge in self.graph.in_edges(op_id):
+            pe.pfifo.pop_matching(edge.key)
+        start, finish = pe.reserve(state.queue.now, op.execution_time)
+        nominal = state.nominal.pop(key)
+        record = InstanceRecord(
+            op_id=op_id,
+            iteration=iteration,
+            pe=pe.pe_id,
+            nominal_start=nominal,
+            start=start,
+            finish=finish,
+        )
+        trace.sink.record_instance(record)
+        trace.num_instances += 1
+        trace.busy_units += finish - start
+        lateness = start - nominal
+        trace.lateness_total += lateness
+        trace.lateness_max = max(trace.lateness_max, lateness)
+        trace.pes_used.add(pe.pe_id)
+        trace.stats.alu_ops += max(op.work, op.execution_time)
+        self._max_finish = max(self._max_finish, finish)
+        # Consume: free cache slots held by in-edges.
+        for edge in self.graph.in_edges(op_id):
+            live = (edge.key, iteration)
+            if live in state.cache_live:
+                state.memory.cache.remove(live)
+                del state.cache_live[live]
+        self._schedule_event(
+            finish, EventTag("produce", op_id, iteration), _PRIO_PRODUCE
+        )
+
+    def _emit_transfer(self, transfer: TransferRecord) -> None:
+        self.trace.sink.record_transfer(transfer)
+        self.trace.num_transfers += 1
+
+    def _produce(self, key: InstanceKey) -> None:
+        state = self.state
+        trace = self.trace
+        op_id, iteration = key
+        finish = state.queue.now
+        for edge in self.graph.out_edges(op_id):
+            consumer_tag = EventTag(
+                "arrive", edge.consumer, iteration, edge.key, edge.size_bytes
+            )
+            placement = self.schedule.placements[edge.key]
+            if placement is Placement.CACHE:
+                slots = self.config.slots_required(edge.size_bytes)
+                if state.memory.cache.fits(slots):
+                    state.memory.cache.insert((edge.key, iteration), slots)
+                    state.cache_live[(edge.key, iteration)] = slots
+                    trace.cache_peak_slots = max(
+                        trace.cache_peak_slots, state.memory.cache.used_slots
                     )
-                )
-                queue.schedule(
-                    arrival,
-                    lambda c=consumer, t=arrival, k=edge.key,
-                    b=edge.size_bytes: data_arrived(c, t, k, b),
-                    0,
-                )
-
-        # --- kick off ----------------------------------------------------
-        for key in instances:
-            if pending[key] == 0:
-                queue.schedule(nominal[key], lambda k=key: attempt_start(k), 1)
-
-        queue.run()
-        executed = len(trace.records)
-        expected = graph.num_vertices * iterations
-        if executed != expected:
-            raise SimulationError(
-                f"executed {executed} instances, expected {expected}; "
-                "dependency deadlock in the schedule"
+                    state.memory.record_cache_transfer(edge.size_bytes)
+                    arrival = finish + self.config.cache_transfer_units(
+                        edge.size_bytes
+                    )
+                    self._emit_transfer(TransferRecord(
+                        edge.key, iteration, TransferKind.CACHE,
+                        edge.size_bytes, finish, arrival,
+                    ))
+                    self._schedule_event(arrival, consumer_tag, _PRIO_ARRIVE)
+                    continue
+                trace.cache_spills += 1  # transient overflow: spill
+            arrival = self._edram_roundtrip(
+                edge.key, edge.size_bytes, finish,
+                self.kernel.pe_of(op_id), self.kernel.pe_of(edge.consumer),
             )
-        trace.realized_makespan = max(r.finish for r in trace.records)
-        trace.stats = trace.stats.merged_with(memory.stats)
-        trace.events_processed = queue.processed
-        return trace
+            self._emit_transfer(TransferRecord(
+                edge.key, iteration, TransferKind.EDRAM,
+                edge.size_bytes, finish, arrival,
+            ))
+            self._schedule_event(arrival, consumer_tag, _PRIO_ARRIVE)
 
     def _edram_roundtrip(
         self,
@@ -268,8 +500,6 @@ class ScheduleExecutor:
         finish: int,
         producer_pe: int,
         consumer_pe: int,
-        memory: MemorySystem,
-        crossbar: Crossbar,
     ) -> int:
         """Prefetch an intermediate result through the stacked memory.
 
@@ -283,6 +513,8 @@ class ScheduleExecutor:
         share of the transfer (not its latency), so independent transfers
         overlap as on real hardware.
         """
+        memory = self.state.memory
+        crossbar = self.state.crossbar
         vault = memory.vault_for(edge_key)
         latency = self.config.edram_transfer_units(size_bytes)
         service = vault.access_time(size_bytes)
@@ -296,18 +528,243 @@ class ScheduleExecutor:
         memory.record_edram_transfer(size_bytes)
         return arrival
 
+    # ------------------------------------------------------------------
+    # steady-state machinery
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> _BoundarySnapshot:
+        trace = self.trace
+        return _BoundarySnapshot(
+            trace_stats=tuple(trace.stats.as_dict().values()),
+            memory_stats=tuple(self.state.memory.stats.as_dict().values()),
+            cache_spills=trace.cache_spills,
+            num_instances=trace.num_instances,
+            num_transfers=trace.num_transfers,
+            busy_units=trace.busy_units,
+            lateness_total=trace.lateness_total,
+            events_processed=self.state.queue.processed,
+        )
+
+    def _fast_forward(
+        self,
+        boundary_round: int,
+        repetitions: int,
+        period_rounds: int,
+        current: _BoundarySnapshot,
+        previous: _BoundarySnapshot,
+    ) -> None:
+        """Replay ``repetitions`` converged limit cycles analytically.
+
+        ``previous`` is the snapshot ``period_rounds`` boundaries before
+        ``current``; their counter delta covers one full cycle. Counters
+        advance by ``repetitions`` times that delta; every absolute
+        clock, timestamp and iteration label is spliced forward -- an
+        exact translation of the simulation, so the subsequent epilogue
+        simulation continues bit-for-bit as if every skipped round had
+        been executed.
+        """
+        state = self.state
+        trace = self.trace
+        rounds = repetitions * period_rounds
+        time_shift = rounds * self.period
+
+        # 1. Counter replay: the converged per-cycle delta, M times.
+        stats_keys = list(trace.stats.as_dict())
+        for index, name in enumerate(stats_keys):
+            delta = current.trace_stats[index] - previous.trace_stats[index]
+            setattr(trace.stats, name,
+                    getattr(trace.stats, name) + repetitions * delta)
+        memory_keys = list(state.memory.stats.as_dict())
+        for index, name in enumerate(memory_keys):
+            delta = current.memory_stats[index] - previous.memory_stats[index]
+            setattr(state.memory.stats, name,
+                    getattr(state.memory.stats, name) + repetitions * delta)
+        instances_skipped = repetitions * (
+            current.num_instances - previous.num_instances
+        )
+        transfers_skipped = repetitions * (
+            current.num_transfers - previous.num_transfers
+        )
+        trace.cache_spills += repetitions * (
+            current.cache_spills - previous.cache_spills
+        )
+        trace.num_instances += instances_skipped
+        trace.num_transfers += transfers_skipped
+        trace.busy_units += repetitions * (
+            current.busy_units - previous.busy_units
+        )
+        trace.lateness_total += repetitions * (
+            current.lateness_total - previous.lateness_total
+        )
+        self._events_skipped = repetitions * (
+            current.events_processed - previous.events_processed
+        )
+        self._max_finish += time_shift
+
+        # 2. Timestamp splice: translate the machine and the in-flight
+        # event set forward; relabel live iterations.
+        state.shift(time_shift, rounds)
+        for event in state.queue.clear_pending():
+            shifted = event.tag.shifted(rounds)
+            self._schedule_event(
+                event.time + time_shift, shifted, event.priority
+            )
+        self._next_iteration += rounds
+
+        # 3. Bookkeeping for observability and the sink.
+        trace.converged_round = boundary_round
+        trace.converged_period = period_rounds
+        trace.rounds_fast_forwarded = rounds
+        trace.steady_fingerprint = state.fingerprint(
+            boundary_round * self.period, boundary_round
+        )
+        trace.sink.on_fast_forward(FastForwardNotice(
+            rounds=rounds,
+            time_shift=time_shift,
+            iteration_shift=rounds,
+            instances_skipped=instances_skipped,
+            transfers_skipped=transfers_skipped,
+        ))
+
+    # ------------------------------------------------------------------
+    # steady-state detection (two-phase)
+    # ------------------------------------------------------------------
+    def _candidate_period(
+        self, boundary_round: int, snapshots: Dict[int, _BoundarySnapshot]
+    ) -> Optional[int]:
+        """Smallest ``q`` whose counter deltas look ``q``-periodic.
+
+        Cheap necessary condition: the per-round counter increments over
+        the last ``q`` rounds must equal the increments over the ``q``
+        rounds before. Only then is the exact (expensive) canonical-form
+        confirmation attempted.
+        """
+        r = boundary_round
+        for q in range(1, self.max_period + 1):
+            if r - 2 * q < self.r_max + 1:
+                break  # comparison window would reach into the prologue
+            if all(
+                (r - i in snapshots and r - i - q in snapshots
+                 and r - i - 1 in snapshots and r - i - q - 1 in snapshots
+                 and snapshots[r - i].delta(snapshots[r - i - 1])
+                 == snapshots[r - i - q].delta(snapshots[r - i - q - 1]))
+                for i in range(q)
+            ):
+                return q
+        return None
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def execute(self) -> ExecutionTrace:
+        state = self.state
+        trace = self.trace
+        n = self.iterations
+        self._events_skipped = 0
+        boundary_round = 0
+        detecting = (
+            self.mode is SimMode.STEADY_STATE and n > self.r_max + 3
+        )
+        #: recent boundary counters (cheap; pruned to a sliding window).
+        snapshots: Dict[int, _BoundarySnapshot] = {}
+        #: canonical forms computed during a confirmation phase.
+        canonicals: Dict[int, tuple] = {}
+        confirm_q: Optional[int] = None
+        confirm_from = 0
+        failed_confirms = 0
+
+        while state.queue or self._next_iteration <= n:
+            boundary_round += 1
+            if self._next_iteration <= min(boundary_round, n):
+                self._materialize(self._next_iteration)
+                self._next_iteration += 1
+            boundary_time = boundary_round * self.period
+            state.queue.run(until=boundary_time - 1)
+            trace.rounds_simulated += 1
+            if not detecting or self._converged or boundary_round > n:
+                continue
+
+            # Phase 0 (every boundary, cheap): counter snapshot.
+            snapshots[boundary_round] = self._snapshot()
+            window = 2 * self.max_period + 2
+            snapshots.pop(boundary_round - window, None)
+
+            if confirm_q is not None:
+                # Phase 2: exact confirmation of the candidate period.
+                canonical = state.canonical(boundary_time, boundary_round)
+                canonicals[boundary_round] = canonical
+                reference = canonicals.get(boundary_round - confirm_q)
+                if reference is not None and canonical == reference:
+                    self._converged = True
+                    repetitions = (n - boundary_round) // confirm_q
+                    if repetitions > 0:
+                        self._fast_forward(
+                            boundary_round, repetitions, confirm_q,
+                            snapshots[boundary_round],
+                            snapshots[boundary_round - confirm_q],
+                        )
+                        boundary_round += repetitions * confirm_q
+                    else:
+                        trace.converged_round = boundary_round
+                        trace.converged_period = confirm_q
+                        trace.steady_fingerprint = state.fingerprint(
+                            boundary_time, boundary_round
+                        )
+                    snapshots.clear()
+                    canonicals.clear()
+                    confirm_q = None
+                elif boundary_round - confirm_from >= 2 * confirm_q:
+                    # Two full candidate cycles without an exact match:
+                    # the cheap signal was a coincidence.
+                    confirm_q = None
+                    canonicals.clear()
+                    failed_confirms += 1
+                    if failed_confirms >= self.confirm_budget:
+                        detecting = False  # stop paying for fingerprints
+                        snapshots.clear()
+            elif boundary_round >= self.r_max + 2:
+                # Phase 1: arm a confirmation when deltas look periodic.
+                q = self._candidate_period(boundary_round, snapshots)
+                if q is not None and n - boundary_round > q:
+                    confirm_q = q
+                    confirm_from = boundary_round
+                    canonicals[boundary_round] = state.canonical(
+                        boundary_time, boundary_round
+                    )
+
+        executed = trace.num_instances
+        expected = self.graph.num_vertices * n
+        if executed != expected:
+            raise SimulationError(
+                f"executed {executed} instances, expected {expected}; "
+                "dependency deadlock in the schedule"
+            )
+        trace.realized_makespan = self._max_finish
+        trace.stats = trace.stats.merged_with(state.memory.stats)
+        trace.events_processed = state.queue.processed + self._events_skipped
+        return trace
+
 
 def simulate_sparta(
-    result: SpartaResult, iterations: int = 20, num_vaults: int = 16
+    result: SpartaResult,
+    iterations: int = 20,
+    num_vaults: int = 16,
+    mode: SimMode = SimMode.FULL_UNROLL,
+    sink: Optional[TraceSink] = None,
 ) -> ExecutionTrace:
     """Execute a SPARTA schedule: iterations back-to-back on one group.
 
     The stalled occupancies are already folded into the kernel, so the
     executor only validates resource feasibility and accumulates traffic:
     every eDRAM-placed in-edge of an operation counts as a demand fetch.
+
+    SPARTA has no cross-iteration machine state at all (each iteration is
+    a verbatim repetition of the kernel), so ``STEADY_STATE`` mode emits
+    the first iteration's records, then replays the per-iteration stats
+    delta ``N - 1`` times -- O(V) for any ``N``.
     """
     if iterations < 1:
         raise SimulationError("iterations must be >= 1")
+    mode = SimMode.from_name(mode)
     graph = result.graph
     kernel = result.kernel
     config = result.config
@@ -318,23 +775,47 @@ def simulate_sparta(
         iterations=iterations,
         analytic_makespan=iterations * length,
         realized_makespan=iterations * length,
+        sink=sink if sink is not None else InMemorySink(),
+        sim_mode=mode,
     )
-    for iteration in range(1, iterations + 1):
+    simulated = 1 if mode is SimMode.STEADY_STATE else iterations
+    for iteration in range(1, simulated + 1):
         base = (iteration - 1) * length
         for op in graph.operations():
             start = base + kernel.start(op.op_id)
             finish = base + kernel.finish(op.op_id)
-            trace.records.append(
-                InstanceRecord(
-                    op.op_id, iteration, kernel.pe_of(op.op_id),
-                    start, start, finish,
-                )
-            )
+            trace.sink.record_instance(InstanceRecord(
+                op.op_id, iteration, kernel.pe_of(op.op_id),
+                start, start, finish,
+            ))
+            trace.num_instances += 1
+            trace.busy_units += finish - start
+            trace.pes_used.add(kernel.pe_of(op.op_id))
             trace.stats.alu_ops += max(op.work, op.execution_time)
         for edge in graph.edges():
             if result.placements[edge.key] is Placement.CACHE:
                 memory.record_cache_transfer(edge.size_bytes)
             else:
                 memory.record_edram_transfer(edge.size_bytes)
+    trace.rounds_simulated = simulated
+    if mode is SimMode.STEADY_STATE and iterations > 1:
+        skipped = iterations - 1
+        per_iteration_instances = trace.num_instances
+        for name, value in list(trace.stats.as_dict().items()):
+            setattr(trace.stats, name, value * iterations)
+        for name, value in list(memory.stats.as_dict().items()):
+            setattr(memory.stats, name, value * iterations)
+        trace.num_instances *= iterations
+        trace.busy_units *= iterations
+        trace.converged_round = 1
+        trace.converged_period = 1
+        trace.rounds_fast_forwarded = skipped
+        trace.sink.on_fast_forward(FastForwardNotice(
+            rounds=skipped,
+            time_shift=skipped * length,
+            iteration_shift=skipped,
+            instances_skipped=skipped * per_iteration_instances,
+            transfers_skipped=0,
+        ))
     trace.stats = trace.stats.merged_with(memory.stats)
     return trace

@@ -1,0 +1,202 @@
+"""Pluggable trace sinks: where the executor's per-instance records go.
+
+The executor used to append every :class:`InstanceRecord` and
+:class:`TransferRecord` to unbounded lists, making trace memory ``O(V*N)``
+in the iteration count. A :class:`TraceSink` decouples record *emission*
+from record *retention* so memory stays bounded regardless of ``N``:
+
+==================== =====================================================
+sink                 retention policy
+==================== =====================================================
+:class:`InMemorySink` everything (the legacy behaviour; the default)
+:class:`RingBufferSink` the most recent ``capacity`` records of each kind
+:class:`SamplingWindowSink` records overlapping configured time windows
+:class:`CountingSink` nothing -- counts only (incl. fast-forwarded work)
+:class:`NullSink`    nothing at all
+==================== =====================================================
+
+When the steady-state engine fast-forwards converged rounds it never
+materializes the skipped records; instead it notifies the sink once via
+:meth:`TraceSink.on_fast_forward` with a :class:`FastForwardNotice`
+summarizing what was skipped, so counting sinks stay exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Sequence, Tuple
+
+from repro.sim.trace import InstanceRecord, TransferRecord
+
+#: A half-open sampling window ``[start, end)`` in simulation time units.
+Window = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FastForwardNotice:
+    """Summary of work the steady-state engine skipped in one splice."""
+
+    #: number of converged rounds replayed analytically.
+    rounds: int
+    #: simulation-time shift applied to the machine state (``rounds * p``).
+    time_shift: int
+    #: logical-iteration shift applied to instance keys (``rounds``).
+    iteration_shift: int
+    #: instance records that were *not* emitted (one kernel per round).
+    instances_skipped: int
+    #: transfer records that were *not* emitted.
+    transfers_skipped: int
+
+
+class TraceSink:
+    """Base sink: receives records, decides what to retain.
+
+    The default implementation retains nothing; subclasses override the
+    hooks they care about. ``instances()``/``transfers()`` return whatever
+    the sink retained (possibly empty), in emission order.
+    """
+
+    def record_instance(self, record: InstanceRecord) -> None:
+        """One executed operation instance."""
+
+    def record_transfer(self, transfer: TransferRecord) -> None:
+        """One intermediate-result movement."""
+
+    def on_fast_forward(self, notice: FastForwardNotice) -> None:
+        """Steady-state engine skipped ``notice.rounds`` converged rounds."""
+
+    def instances(self) -> List[InstanceRecord]:
+        return []
+
+    def transfers(self) -> List[TransferRecord]:
+        return []
+
+
+class NullSink(TraceSink):
+    """Drop everything; aggregates on the trace are the only output.
+
+    The serving runtime uses this: per-request latency comes from the
+    trace's aggregate counters, so retaining records would be pure
+    memory overhead on a long-lived server.
+    """
+
+
+class InMemorySink(TraceSink):
+    """Retain every record -- the legacy unbounded behaviour."""
+
+    def __init__(self) -> None:
+        self._instances: List[InstanceRecord] = []
+        self._transfers: List[TransferRecord] = []
+
+    def record_instance(self, record: InstanceRecord) -> None:
+        self._instances.append(record)
+
+    def record_transfer(self, transfer: TransferRecord) -> None:
+        self._transfers.append(transfer)
+
+    def instances(self) -> List[InstanceRecord]:
+        return self._instances
+
+    def transfers(self) -> List[TransferRecord]:
+        return self._transfers
+
+
+class RingBufferSink(TraceSink):
+    """Retain the most recent ``capacity`` records of each kind."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._instances: Deque[InstanceRecord] = deque(maxlen=capacity)
+        self._transfers: Deque[TransferRecord] = deque(maxlen=capacity)
+
+    def record_instance(self, record: InstanceRecord) -> None:
+        self._instances.append(record)
+
+    def record_transfer(self, transfer: TransferRecord) -> None:
+        self._transfers.append(transfer)
+
+    def instances(self) -> List[InstanceRecord]:
+        return list(self._instances)
+
+    def transfers(self) -> List[TransferRecord]:
+        return list(self._transfers)
+
+
+class SamplingWindowSink(TraceSink):
+    """Retain records overlapping the configured half-open time windows.
+
+    A record is retained when its ``[start, finish)`` (or ``[issued,
+    completed)``) interval intersects any window; instantaneous records
+    (``finish == start``) are retained when their instant lies inside a
+    window. This is the slice semantics :func:`repro.sim.chrome_trace.
+    trace_to_events` applies when given a ``window=`` argument, so a
+    windowed export from this sink matches the corresponding slice of a
+    full-unroll export.
+    """
+
+    def __init__(self, windows: Sequence[Window]):
+        if not windows:
+            raise ValueError("need at least one sampling window")
+        for start, end in windows:
+            if end <= start:
+                raise ValueError(f"empty window [{start}, {end})")
+        self.windows: Tuple[Window, ...] = tuple(windows)
+        self._instances: List[InstanceRecord] = []
+        self._transfers: List[TransferRecord] = []
+
+    def _overlaps(self, start: int, finish: int) -> bool:
+        if finish == start:  # instantaneous: membership, not overlap
+            finish = start + 1
+        return any(start < end and finish > begin
+                   for begin, end in self.windows)
+
+    def record_instance(self, record: InstanceRecord) -> None:
+        if self._overlaps(record.start, record.finish):
+            self._instances.append(record)
+
+    def record_transfer(self, transfer: TransferRecord) -> None:
+        if self._overlaps(transfer.issued, transfer.completed):
+            self._transfers.append(transfer)
+
+    def instances(self) -> List[InstanceRecord]:
+        return self._instances
+
+    def transfers(self) -> List[TransferRecord]:
+        return self._transfers
+
+
+class CountingSink(TraceSink):
+    """Count records without retaining them.
+
+    ``instances_total``/``transfers_total`` include fast-forwarded work,
+    so the counts match what a full unroll would have emitted.
+    """
+
+    def __init__(self) -> None:
+        self.instances_emitted = 0
+        self.transfers_emitted = 0
+        self.instances_skipped = 0
+        self.transfers_skipped = 0
+        self.fast_forwards = 0
+
+    @property
+    def instances_total(self) -> int:
+        return self.instances_emitted + self.instances_skipped
+
+    @property
+    def transfers_total(self) -> int:
+        return self.transfers_emitted + self.transfers_skipped
+
+    def record_instance(self, record: InstanceRecord) -> None:
+        self.instances_emitted += 1
+
+    def record_transfer(self, transfer: TransferRecord) -> None:
+        self.transfers_emitted += 1
+
+    def on_fast_forward(self, notice: FastForwardNotice) -> None:
+        self.fast_forwards += 1
+        self.instances_skipped += notice.instances_skipped
+        self.transfers_skipped += notice.transfers_skipped

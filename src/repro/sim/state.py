@@ -1,0 +1,177 @@
+"""Explicit machine-state abstraction for the steady-state engine.
+
+:class:`MachineState` bundles everything that determines the *future* of
+a simulated run: PE busy clocks and pFIFO contents, vault service clocks,
+crossbar port clocks, live cache slots, the per-instance dependency
+bookkeeping, and the in-flight event set. Two operations make the
+steady-state fast-forward sound:
+
+* :meth:`MachineState.canonical` expresses the whole state *relative* to
+  a round boundary (times relative to ``r * p``, logical iterations
+  relative to ``r``). When the canonical states at two consecutive
+  boundaries are equal, the simulation provably repeats with period ``p``
+  and iteration shift 1 from there on -- the paper's steady state,
+  observed rather than assumed.
+* :meth:`MachineState.shift` translates every absolute clock and
+  iteration index forward by a constant, which is an exact relabeling of
+  the simulation. The executor uses it to splice the converged state from
+  round ``k`` to round ``N`` and then simulate only the epilogue.
+
+Clamping rule: clocks that lag the reference are clamped to zero in the
+canonical form because every future event fires at or after the
+reference, so a resource idle since ``T - 3`` and one idle since ``T - 9``
+behave identically. Nominal start times of not-yet-started instances are
+*not* clamped -- they feed the lateness accounting -- so convergence is
+declared conservatively.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.pim.interconnect import Crossbar
+from repro.pim.memory import MemorySystem
+from repro.pim.pe import PEArray
+from repro.sim.engine import EventQueue
+
+EdgeKey = Tuple[int, int]
+InstanceKey = Tuple[int, int]  # (op_id, logical iteration)
+
+
+@dataclass(frozen=True)
+class EventTag:
+    """Structured payload of one executor event.
+
+    The executor schedules every event with a tag so the in-flight set
+    can be fingerprinted (relativized) and rebuilt (shifted) without
+    inspecting callback closures.
+    """
+
+    kind: str  # "arrive" | "start" | "produce"
+    op_id: int
+    iteration: int
+    edge: Tuple[int, int] = (-1, -1)
+    size_bytes: int = 0
+
+    def shifted(self, iterations: int) -> "EventTag":
+        """The same event, relabelled ``iterations`` iterations later."""
+        return EventTag(
+            self.kind, self.op_id, self.iteration + iterations,
+            self.edge, self.size_bytes,
+        )
+
+
+@dataclass
+class MachineState:
+    """All mutable simulation state of one executor run."""
+
+    pes: PEArray
+    memory: MemorySystem
+    crossbar: Crossbar
+    queue: EventQueue
+    #: live cache slots: (edge key, iteration) -> slots held.
+    cache_live: Dict[Tuple[EdgeKey, int], int] = field(default_factory=dict)
+    #: unarrived in-edge count per materialized, not-yet-ready instance.
+    pending: Dict[InstanceKey, int] = field(default_factory=dict)
+    #: latest data-arrival time per pending instance.
+    max_avail: Dict[InstanceKey, int] = field(default_factory=dict)
+    #: static nominal start per materialized, not-yet-started instance.
+    nominal: Dict[InstanceKey, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # canonical form / fingerprint
+    # ------------------------------------------------------------------
+    def canonical(self, reference_time: int, reference_iteration: int) -> tuple:
+        """The state relative to a round boundary, as a comparable tuple.
+
+        Equal canonical forms at consecutive boundaries imply the
+        simulation is periodic from the earlier boundary onward (every
+        component that can influence a future event is included; sorted
+        where the underlying container order is irrelevant, in
+        processing order where it is not).
+        """
+        t = reference_time
+        r = reference_iteration
+        pe_state = tuple(pe.relative_state(t) for pe in self.pes.pes)
+        vault_state = tuple(v.relative_busy(t) for v in self.memory.vaults)
+        crossbar_state = self.crossbar.relative_state(t)
+        cache_state = tuple(sorted(
+            (edge, iteration - r, slots)
+            for (edge, iteration), slots in self.cache_live.items()
+        ))
+        pending_state = tuple(sorted(
+            (op_id, iteration - r, count,
+             max(self.max_avail[(op_id, iteration)] - t, 0))
+            for (op_id, iteration), count in self.pending.items()
+        ))
+        nominal_state = tuple(sorted(
+            (op_id, iteration - r, start - t)
+            for (op_id, iteration), start in self.nominal.items()
+        ))
+        event_state = tuple(
+            (
+                event.time - t,
+                event.priority,
+                event.tag.kind,
+                event.tag.op_id,
+                event.tag.iteration - r,
+                event.tag.edge,
+                event.tag.size_bytes,
+            )
+            for event in self.queue.pending_events()
+        )
+        return (
+            pe_state,
+            vault_state,
+            crossbar_state,
+            self.memory.cache.used_slots,
+            cache_state,
+            pending_state,
+            nominal_state,
+            event_state,
+        )
+
+    def fingerprint(
+        self, reference_time: int, reference_iteration: int
+    ) -> str:
+        """Stable digest of :meth:`canonical` (for logs and traces)."""
+        canon = self.canonical(reference_time, reference_iteration)
+        return hashlib.sha256(repr(canon).encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # time/iteration translation (fast-forward splice)
+    # ------------------------------------------------------------------
+    def shift(self, time_delta: int, iteration_delta: int) -> None:
+        """Translate clocks and iteration labels forward, in place.
+
+        The event queue is *not* touched here: rebuilding events needs
+        the executor's dispatcher (callbacks are derived from tags), so
+        the executor drains, shifts and re-schedules them itself.
+        """
+        if time_delta < 0 or iteration_delta < 0:
+            raise ValueError("fast-forward shifts must be >= 0")
+        self.pes.shift_time(time_delta)
+        self.memory.shift_time(time_delta)
+        self.crossbar.shift_time(time_delta)
+        self.memory.cache.relabel({
+            (edge, iteration): (edge, iteration + iteration_delta)
+            for (edge, iteration) in self.cache_live
+        })
+        self.cache_live = {
+            (edge, iteration + iteration_delta): slots
+            for (edge, iteration), slots in self.cache_live.items()
+        }
+        self.pending = {
+            (op_id, iteration + iteration_delta): count
+            for (op_id, iteration), count in self.pending.items()
+        }
+        self.max_avail = {
+            (op_id, iteration + iteration_delta): when + time_delta
+            for (op_id, iteration), when in self.max_avail.items()
+        }
+        self.nominal = {
+            (op_id, iteration + iteration_delta): start + time_delta
+            for (op_id, iteration), start in self.nominal.items()
+        }

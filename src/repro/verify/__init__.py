@@ -18,6 +18,13 @@ over the paper's benchmarks; ``python -m repro.verify`` is the CLI front
 end and CI gate.
 """
 
+from repro.verify.differential_sim import (
+    DEFAULT_SIM_ITERATIONS,
+    SimDifferentialReport,
+    SimMismatch,
+    differential_simulate,
+    sim_differential_battery,
+)
 from repro.verify.hooks import (
     check_allocation_feasible,
     check_kernel_feasible,
@@ -65,7 +72,10 @@ __all__ = [
     "CAPACITY_OBLIVIOUS_METHODS",
     "CHECK_CATALOG",
     "DEFAULT_EXHAUSTIVE_LIMIT",
+    "DEFAULT_SIM_ITERATIONS",
     "DifferentialReport",
+    "SimDifferentialReport",
+    "SimMismatch",
     "FaultDetectionReport",
     "InjectedFault",
     "MUTATORS",
@@ -85,10 +95,12 @@ __all__ = [
     "clone_result",
     "compile_invariant_hooks",
     "differential_check",
+    "differential_simulate",
     "exhaustive_allocate",
     "fault_detection_report",
     "inject_faults",
     "run_verification_sweep",
+    "sim_differential_battery",
     "verify_result",
     "verify_workload",
     "worst_of",

@@ -7,6 +7,7 @@ Usage::
     python -m repro.verify --allocators dp greedy --pes 32
     python -m repro.verify --strict-liveness     # escalate liveness warnings
     python -m repro.verify --no-oracle --no-mutations
+    python -m repro.verify --sim --sim-iterations 1 20 1000  # engine check
     python -m repro.verify --list-checks         # print the check catalog
     python -m repro.verify --json                # machine-readable output
 
@@ -76,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the oracle-differential stage")
     parser.add_argument("--no-mutations", action="store_true",
                         help="skip the fault-injection stage")
+    parser.add_argument("--sim", action="store_true",
+                        help="differentially verify the steady-state "
+                             "simulation engine against the full unroll "
+                             "(every aggregate must match exactly)")
+    parser.add_argument("--sim-iterations", type=positive_int, nargs="+",
+                        metavar="N", default=None,
+                        help="batch sizes for the --sim stage "
+                             "(default: 1 20 1000)")
     parser.add_argument("--json", action="store_true",
                         help="emit the full outcome as JSON")
     parser.add_argument("--list-checks", action="store_true",
@@ -104,6 +113,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         with_differential=not args.no_oracle,
         with_faults=not args.no_mutations,
         fault_seed=args.seed,
+        with_simulation=args.sim,
+        sim_iterations=args.sim_iterations,
     )
     if args.json:
         print(json.dumps(outcome.as_dict(), indent=2))

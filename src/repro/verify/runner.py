@@ -21,6 +21,11 @@ from repro.core.retiming import analyze_edges
 from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
 from repro.graph.taskgraph import TaskGraph
 from repro.pim.config import PimConfig
+from repro.verify.differential_sim import (
+    DEFAULT_SIM_ITERATIONS,
+    SimDifferentialReport,
+    sim_differential_battery,
+)
 from repro.verify.mutation import FaultDetectionReport, fault_detection_report
 from repro.verify.oracle import DifferentialReport, differential_check
 from repro.verify.validator import ScheduleValidator
@@ -35,6 +40,11 @@ class WorkloadVerification:
     reports: Dict[str, VerificationReport] = field(default_factory=dict)
     differential: Optional[DifferentialReport] = None
     faults: Optional[FaultDetectionReport] = None
+    #: full-unroll vs steady-state engine comparisons, keyed by allocator
+    #: (empty when the simulation stage was not requested).
+    simulation: Dict[str, List[SimDifferentialReport]] = field(
+        default_factory=dict
+    )
 
     @property
     def ok(self) -> bool:
@@ -44,6 +54,9 @@ class WorkloadVerification:
             return False
         if self.faults is not None and not self.faults.ok:
             return False
+        for battery in self.simulation.values():
+            if any(not report.ok for report in battery):
+                return False
         return True
 
     def as_dict(self) -> Dict[str, object]:
@@ -57,6 +70,10 @@ class WorkloadVerification:
                 self.differential.as_dict() if self.differential else None
             ),
             "faults": self.faults.as_dict() if self.faults else None,
+            "simulation": {
+                name: [report.as_dict() for report in battery]
+                for name, battery in self.simulation.items()
+            },
         }
 
 
@@ -107,6 +124,15 @@ class SweepOutcome:
                     f"faults={len(workload.faults.detected)}/"
                     f"{len(workload.faults.detected) + len(workload.faults.missed)}"
                 )
+            if workload.simulation:
+                batteries = [
+                    report
+                    for battery in workload.simulation.values()
+                    for report in battery
+                ]
+                passed = sum(1 for r in batteries if r.ok)
+                verdict = "ok" if passed == len(batteries) else "FAIL"
+                extras.append(f"sim[{passed}/{len(batteries)}]={verdict}")
             lines.append(
                 f"  {workload.workload:<16} {status:<5} "
                 f"errors={errors} warnings={warnings} "
@@ -125,6 +151,8 @@ def verify_workload(
     with_differential: bool = True,
     with_faults: bool = True,
     fault_seed: int = 0,
+    with_simulation: bool = False,
+    sim_iterations: Optional[List[int]] = None,
 ) -> WorkloadVerification:
     """Run the full verification battery for one workload.
 
@@ -146,6 +174,7 @@ def verify_workload(
     dp_plan: ParaConvResult = ParaConv(
         config, validate=False, invariant_hooks=compile_invariant_hooks()
     ).run(graph)
+    plans: Dict[str, ParaConvResult] = {}
     for name in names:
         if name == "dp":
             plan = dp_plan
@@ -153,7 +182,19 @@ def verify_workload(
             plan = ParaConv(
                 config, allocator_name=name, validate=False
             ).run_at_width(graph, dp_plan.group_width)
+        plans[name] = plan
         outcome.reports[name] = validator.validate(plan)
+
+    if with_simulation:
+        counts = (
+            list(sim_iterations)
+            if sim_iterations is not None
+            else list(DEFAULT_SIM_ITERATIONS)
+        )
+        for name, plan in plans.items():
+            outcome.simulation[name] = sim_differential_battery(
+                plan, config=config, iteration_counts=counts
+            )
 
     if with_differential:
         kernel = dp_plan.schedule.kernel
@@ -179,6 +220,8 @@ def run_verification_sweep(
     with_differential: bool = True,
     with_faults: bool = True,
     fault_seed: int = 0,
+    with_simulation: bool = False,
+    sim_iterations: Optional[List[int]] = None,
 ) -> SweepOutcome:
     """Verify benchmarks x allocators on one machine configuration."""
     config = config or PimConfig()
@@ -199,6 +242,8 @@ def run_verification_sweep(
                 with_differential=with_differential,
                 with_faults=with_faults,
                 fault_seed=fault_seed,
+                with_simulation=with_simulation,
+                sim_iterations=sim_iterations,
             )
         )
     return outcome

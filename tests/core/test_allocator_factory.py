@@ -14,7 +14,6 @@ from repro.core.iterative import IterativeAllocator
 from repro.core.paraconv import ParaConv
 from repro.core.retiming import analyze_edges
 from repro.core.scheduler import compact_kernel_schedule
-from repro.pim.config import PimConfig
 
 
 @pytest.fixture

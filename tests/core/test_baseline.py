@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.baseline import SpartaScheduler, TaskSensor
-from repro.core.schedule import ScheduleError, validate_kernel
+from repro.core.schedule import ScheduleError
 from repro.graph.generators import synthetic_benchmark
 from repro.pim.config import PimConfig
 from repro.pim.memory import Placement

@@ -5,7 +5,6 @@ import pytest
 from repro.core.gantt import render_kernel, render_retiming
 from repro.core.paraconv import ParaConv
 from repro.core.schedule import KernelSchedule, PlacedOp, ScheduleError
-from repro.pim.config import PimConfig
 
 
 class TestRenderKernel:

@@ -1,6 +1,5 @@
 """Tests for the critical-path-aware iterative allocator (extension)."""
 
-import pytest
 
 from repro.core.allocation import ALLOCATORS
 from repro.core.iterative import IterativeAllocator, _longest_path_edges

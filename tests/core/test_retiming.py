@@ -1,6 +1,5 @@
 """Tests for the retiming analysis (paper Sections 2.3 and 3.2)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -16,7 +15,6 @@ from repro.core.retiming import (
 from repro.core.scheduler import compact_kernel_schedule
 from repro.graph.generators import SyntheticGraphGenerator
 from repro.graph.taskgraph import TaskGraph
-from repro.pim.config import PimConfig
 from repro.pim.memory import Placement
 
 

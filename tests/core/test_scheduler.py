@@ -1,6 +1,5 @@
 """Tests for the kernel compactor, list scheduler and width policies."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.__main__ import main as repro_main
 from repro.eval.__main__ import main as eval_main

@@ -1,6 +1,5 @@
 """Tests for the parameter sweeps."""
 
-import pytest
 
 from repro.eval.sweep import (
     render_sweep,

@@ -1,6 +1,5 @@
 """Tests for the workload census."""
 
-import pytest
 
 from repro.eval.workload_stats import render_workload_stats, run_workload_stats
 

@@ -11,7 +11,7 @@ from repro.graph.analysis import (
     max_parallelism,
     parallelism_profile,
 )
-from repro.graph.taskgraph import TaskGraph, linear_chain
+from repro.graph.taskgraph import TaskGraph
 
 
 class TestCriticalPath:

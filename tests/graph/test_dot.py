@@ -2,7 +2,6 @@
 
 from repro.core.paraconv import ParaConv
 from repro.graph.dot import graph_to_dot, result_to_dot, write_dot
-from repro.pim.config import PimConfig
 from repro.pim.memory import Placement
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.graph.analysis import critical_path_length
 from repro.graph.taskgraph import GraphValidationError, TaskGraph, linear_chain
 from repro.graph.transforms import (
     coarsen_chains,

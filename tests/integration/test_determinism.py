@@ -10,7 +10,7 @@ import pytest
 from repro.core.baseline import SpartaScheduler
 from repro.core.paraconv import ParaConv
 from repro.core.schedule_io import schedule_to_dict
-from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
+from repro.graph.generators import synthetic_benchmark
 from repro.pim.config import PimConfig
 
 

@@ -5,7 +5,6 @@ the retimed-schedule-vs-unrolled-DAG equivalence check, a real GoogLeNet
 partition through the full pipeline, and a machine-validated execution.
 """
 
-import math
 
 import pytest
 

@@ -18,7 +18,7 @@ from repro.core.schedule import (
     validate_kernel,
     validate_periodic_schedule,
 )
-from repro.graph.generators import SyntheticGraphGenerator, synthetic_benchmark
+from repro.graph.generators import SyntheticGraphGenerator
 from repro.pim.config import PimConfig
 
 

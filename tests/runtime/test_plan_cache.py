@@ -7,7 +7,6 @@ import json
 import pytest
 
 from repro.core.paraconv import ParaConv
-from repro.pim.config import PimConfig
 from repro.runtime.plan_cache import (
     PlanCache,
     PlanCacheError,

@@ -1,5 +1,7 @@
 """Tests for the discrete-event engine."""
 
+import random
+
 import pytest
 
 from repro.sim.engine import EventQueue, SimulationError
@@ -74,3 +76,89 @@ class TestEventQueue:
         queue.schedule(0, forever)
         with pytest.raises(SimulationError, match="runaway"):
             queue.run(max_events=100)
+
+
+class TestDeterminism:
+    """Tie-breaking must be a pure function of (time, priority, key, seq).
+
+    The steady-state fast-forward rebuilds the pending heap with fresh
+    sequence numbers, so keyed events must order identically no matter
+    the insertion order; unkeyed events keep schedule-order FIFO.
+    """
+
+    @staticmethod
+    def _run_schedule(entries):
+        """Drain a queue built from (time, priority, key, label) tuples."""
+        queue = EventQueue()
+        log = []
+        for time, priority, key, label in entries:
+            queue.schedule(
+                time,
+                lambda lab=label: log.append(lab),
+                priority=priority,
+                key=key,
+            )
+        queue.run()
+        return log
+
+    def test_seeded_shuffles_processed_identically(self):
+        # Keyed events: any insertion order yields the same processing
+        # order, because (time, priority, key) is a total order here.
+        entries = [
+            (t, p, (t, p, k), f"e{t}.{p}.{k}")
+            for t in range(5)
+            for p in range(2)
+            for k in range(3)
+        ]
+        reference = self._run_schedule(entries)
+        for seed in range(10):
+            shuffled = list(entries)
+            random.Random(seed).shuffle(shuffled)
+            assert self._run_schedule(shuffled) == reference
+
+    def test_key_orders_same_time_same_priority(self):
+        queue = EventQueue()
+        log = []
+        # Inserted in reverse key order on a shared timestamp/priority.
+        for k in (3, 1, 2, 0):
+            queue.schedule(7, lambda k=k: log.append(k), key=(k,))
+        queue.run()
+        assert log == [0, 1, 2, 3]
+
+    def test_unkeyed_events_sort_before_keyed_and_stay_fifo(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1, lambda: log.append("keyed"), key=(0,))
+        queue.schedule(1, lambda: log.append("plain-a"))
+        queue.schedule(1, lambda: log.append("plain-b"))
+        queue.run()
+        # () < (0,): untagged events keep the legacy front-of-tie slot,
+        # and FIFO among themselves.
+        assert log == ["plain-a", "plain-b", "keyed"]
+
+    def test_pending_events_snapshot_is_processing_order(self):
+        queue = EventQueue()
+        queue.schedule(9, lambda: None, key=(1,))
+        queue.schedule(2, lambda: None, priority=1)
+        queue.schedule(2, lambda: None, priority=0)
+        snapshot = queue.pending_events()
+        assert [(e.time, e.priority) for e in snapshot] == [
+            (2, 0), (2, 1), (9, 0),
+        ]
+        assert len(queue) == 3  # snapshot does not consume
+
+    def test_clear_pending_drains_in_processing_order(self):
+        queue = EventQueue()
+        queue.schedule(5, lambda: None, key=(2,), tag="late")
+        queue.schedule(5, lambda: None, key=(1,), tag="early")
+        drained = queue.clear_pending()
+        assert [e.tag for e in drained] == ["early", "late"]
+        assert not queue
+        # Rebuilding (what the fast-forward splice does) preserves order
+        # even though sequence numbers are fresh.
+        for event in drained:
+            queue.schedule(
+                event.time, event.callback, priority=event.priority,
+                key=event.key, tag=event.tag,
+            )
+        assert [e.tag for e in queue.pending_events()] == ["early", "late"]

@@ -8,7 +8,6 @@ from repro.core.allocation import AllocationResult, dp_allocate
 from repro.core.paraconv import ParaConv
 from repro.core.retiming import EdgeTiming
 from repro.pim.config import PimConfig
-from repro.pim.memory import Placement
 from repro.verify import compile_invariant_hooks
 from repro.verify.hooks import (
     check_allocation_feasible,
