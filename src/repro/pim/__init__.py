@@ -10,6 +10,7 @@ worth optimizing.
 """
 
 from repro.pim.config import PimConfig, ConfigurationError
+from repro.pim.faults import FaultEvent, FaultModel, FaultModelError
 from repro.pim.memory import CacheModel, EdramVault, MemorySystem, Placement
 from repro.pim.pe import ProcessingEngine, PEArray
 from repro.pim.interconnect import Crossbar
@@ -25,6 +26,9 @@ __all__ = [
     "EdramVault",
     "EnergyModel",
     "EnergyReport",
+    "FaultEvent",
+    "FaultModel",
+    "FaultModelError",
     "MemorySystem",
     "PEArray",
     "PimConfig",

@@ -14,7 +14,7 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, replace
-from typing import Any, Dict
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 #: Version tag baked into every fingerprint; bump when a field is added,
 #: removed or reinterpreted so stale cached plans can never be confused
@@ -49,6 +49,17 @@ class PimConfig:
         edram_energy_factor: vault-fetch energy ratio relative to cache.
         iterations: number of steady-state iterations ``N`` assumed when a
             total execution time is reported (prologue + N kernels).
+        pe_mask: for a *degraded* machine, the sorted tuple of surviving
+            physical PE ids (relative to the original healthy array);
+            ``None`` on a healthy machine. ``num_pes`` always equals the
+            survivor count, so the whole compile pipeline (width search
+            included) sees a smaller-but-ordinary machine, while the
+            fingerprint still distinguishes *which* PEs survived.
+        vault_mask: surviving physical eDRAM vault ids of a degraded
+            machine (``None`` when all vaults are healthy). The config
+            does not own a vault count — the executor does — so the mask
+            is carried for identity (fingerprints, plan-cache keys) and
+            its length tells the runtime how many vaults to simulate.
     """
 
     num_pes: int = 16
@@ -58,10 +69,29 @@ class PimConfig:
     edram_latency_factor: int = 4
     edram_energy_factor: int = 6
     iterations: int = 1000
+    pe_mask: Optional[Tuple[int, ...]] = None
+    vault_mask: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_pes < 1:
             raise ConfigurationError("num_pes must be >= 1")
+        for name in ("pe_mask", "vault_mask"):
+            mask = getattr(self, name)
+            if mask is None:
+                continue
+            normalized = tuple(sorted(int(u) for u in mask))
+            if len(set(normalized)) != len(normalized):
+                raise ConfigurationError(f"{name} contains duplicate ids")
+            if normalized and normalized[0] < 0:
+                raise ConfigurationError(f"{name} ids must be >= 0")
+            if not normalized:
+                raise ConfigurationError(f"{name} must keep at least one unit")
+            object.__setattr__(self, name, normalized)
+        if self.pe_mask is not None and len(self.pe_mask) != self.num_pes:
+            raise ConfigurationError(
+                f"pe_mask lists {len(self.pe_mask)} surviving PEs but "
+                f"num_pes is {self.num_pes}"
+            )
         if self.cache_bytes_per_pe < 0:
             raise ConfigurationError("cache_bytes_per_pe must be >= 0")
         if self.cache_slot_bytes < 1:
@@ -133,8 +163,14 @@ class PimConfig:
         across Python versions and dataclass refactorings. A version tag
         travels with the payload so future field changes invalidate old
         fingerprints instead of silently colliding.
+
+        Degradation masks are emitted *only when set*: a healthy machine
+        serializes (and therefore fingerprints) exactly as it did before
+        fault tolerance existed, so cached plans and golden fixtures for
+        healthy machines stay valid, while every distinct surviving-unit
+        mask produces a distinct fingerprint.
         """
-        return {
+        payload: Dict[str, Any] = {
             "fingerprint_version": CONFIG_FINGERPRINT_VERSION,
             "num_pes": self.num_pes,
             "cache_bytes_per_pe": self.cache_bytes_per_pe,
@@ -144,6 +180,11 @@ class PimConfig:
             "edram_energy_factor": self.edram_energy_factor,
             "iterations": self.iterations,
         }
+        if self.pe_mask is not None:
+            payload["pe_mask"] = list(self.pe_mask)
+        if self.vault_mask is not None:
+            payload["vault_mask"] = list(self.vault_mask)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "PimConfig":
@@ -153,6 +194,8 @@ class PimConfig:
             raise ConfigurationError(
                 f"unsupported PimConfig payload version {version!r}"
             )
+        pe_mask = payload.get("pe_mask")
+        vault_mask = payload.get("vault_mask")
         return cls(
             num_pes=int(payload["num_pes"]),
             cache_bytes_per_pe=int(payload["cache_bytes_per_pe"]),
@@ -161,6 +204,12 @@ class PimConfig:
             edram_latency_factor=int(payload["edram_latency_factor"]),
             edram_energy_factor=int(payload["edram_energy_factor"]),
             iterations=int(payload["iterations"]),
+            pe_mask=tuple(int(p) for p in pe_mask) if pe_mask is not None else None,
+            vault_mask=(
+                tuple(int(v) for v in vault_mask)
+                if vault_mask is not None
+                else None
+            ),
         )
 
     def fingerprint(self) -> str:
@@ -175,20 +224,93 @@ class PimConfig:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
+    # degraded-mode views
+    # ------------------------------------------------------------------
+    @property
+    def is_degraded(self) -> bool:
+        """True when this config describes a surviving sub-machine."""
+        return self.pe_mask is not None or self.vault_mask is not None
+
+    def degraded(
+        self,
+        surviving_pes: Iterable[int],
+        surviving_vaults: Optional[Iterable[int]] = None,
+    ) -> "PimConfig":
+        """A reduced-but-valid config for the surviving sub-machine.
+
+        ``surviving_pes`` (and optionally ``surviving_vaults``) are unit
+        ids in *this* config's logical space — composition through an
+        existing mask is handled here, so degrading an already degraded
+        machine keeps the physical-id provenance straight. The result has
+        ``num_pes = len(surviving_pes)`` (the aggregate cache shrinks with
+        it — a dead PE takes its cache slice with it), passes every
+        ordinary validity check, and fingerprints differently for every
+        distinct surviving mask, which is what keys degraded plans in the
+        plan cache.
+        """
+        survivors = sorted(set(int(p) for p in surviving_pes))
+        if not survivors:
+            raise ConfigurationError("at least one PE must survive")
+        if survivors[0] < 0 or survivors[-1] >= self.num_pes:
+            raise ConfigurationError(
+                f"surviving PE ids must be within [0, {self.num_pes}), "
+                f"got {survivors}"
+            )
+        if self.pe_mask is not None:
+            pe_mask = tuple(self.pe_mask[p] for p in survivors)
+        else:
+            pe_mask = tuple(survivors)
+        vault_mask = self.vault_mask
+        if surviving_vaults is not None:
+            vault_ids = sorted(set(int(v) for v in surviving_vaults))
+            if not vault_ids:
+                raise ConfigurationError("at least one vault must survive")
+            if vault_ids[0] < 0:
+                raise ConfigurationError("surviving vault ids must be >= 0")
+            if self.vault_mask is not None:
+                if vault_ids[-1] >= len(self.vault_mask):
+                    raise ConfigurationError(
+                        "surviving vault ids must index the current mask"
+                    )
+                vault_mask = tuple(self.vault_mask[v] for v in vault_ids)
+            else:
+                vault_mask = tuple(vault_ids)
+        return replace(
+            self,
+            num_pes=len(pe_mask),
+            pe_mask=pe_mask,
+            vault_mask=vault_mask,
+        )
+
+    # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
     def with_pes(self, num_pes: int) -> "PimConfig":
-        """Copy of this configuration with a different PE count."""
-        return replace(self, num_pes=num_pes)
+        """Copy of this configuration with a different PE count.
+
+        Degradation masks are dropped: callers use this to carve
+        sub-arrays (the executor sizes one PE group with it), where the
+        physical-survivor provenance no longer applies. Use
+        :meth:`degraded` to *shrink while keeping identity*.
+        """
+        return replace(self, num_pes=num_pes, pe_mask=None)
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return (
+        base = (
             f"{self.num_pes} PEs, {self.total_cache_bytes // 1024} KiB aggregate "
             f"cache ({self.cache_bytes_per_pe} B/PE, {self.cache_slot_bytes} B "
             f"slots), eDRAM {self.edram_latency_factor}x latency / "
             f"{self.edram_energy_factor}x energy"
         )
+        if self.is_degraded:
+            marks = []
+            if self.pe_mask is not None:
+                marks.append(f"surviving PEs {list(self.pe_mask)}")
+            if self.vault_mask is not None:
+                marks.append(f"surviving vaults {list(self.vault_mask)}")
+            base += f" [degraded: {', '.join(marks)}]"
+        return base
 
 
 #: The three PE-array configurations the paper sweeps in every experiment.

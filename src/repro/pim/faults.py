@@ -1,0 +1,337 @@
+"""PE/vault fault models for degraded-mode operation.
+
+Real 3D-stacked PIM parts lose processing engines and eDRAM vaults to
+thermal stress and wear-out; a production serving system must keep
+answering requests on the surviving sub-array. This module describes
+*what fails and when* so the rest of the stack can react:
+
+* a :class:`FaultModel` carries **static masks** (units dead before the
+  run starts) and a **seeded trace** of :class:`FaultEvent` records that
+  strike at iteration boundaries of the steady-state schedule;
+* :meth:`PimConfig.degraded` (see :mod:`repro.pim.config`) turns a
+  surviving-unit mask into a reduced-but-valid machine description whose
+  fingerprint reflects the mask, so degraded plans get their own
+  plan-cache identity;
+* the discrete-event executor consumes the model and raises
+  :class:`repro.sim.executor.PeFaultError` the moment a scheduled
+  operation lands on a dead PE or a transfer touches a dead vault;
+* the serving runtime catches that error, recompiles against the
+  degraded configuration and replays the batch (see
+  :mod:`repro.runtime.session`).
+
+Unit-id spaces. Fault unit ids always refer to the *current logical*
+machine: PEs ``0 .. num_pes-1`` and vaults ``0 .. num_vaults-1`` of the
+machine the executor is simulating. After a failover the machine is
+compacted (survivors renumbered from zero); :meth:`FaultModel.compacted`
+translates a model into that new space, dropping faults on units that no
+longer exist.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.pim.config import ConfigurationError
+
+__all__ = [
+    "FAULT_UNIT_PE",
+    "FAULT_UNIT_VAULT",
+    "FaultEvent",
+    "FaultModel",
+    "FaultModelError",
+]
+
+#: Canonical unit names used across the stack.
+FAULT_UNIT_PE = "pe"
+FAULT_UNIT_VAULT = "vault"
+_UNITS = (FAULT_UNIT_PE, FAULT_UNIT_VAULT)
+
+
+class FaultModelError(ConfigurationError):
+    """Raised for inconsistent fault descriptions."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One unit failing at an iteration boundary.
+
+    ``iteration`` is the 1-based machine-state round at whose *start* the
+    unit stops responding (0 behaves like a static failure: dead before
+    round 1). The unit stays dead for the remainder of the run — faults
+    are permanent, matching the wear-out/thermal model.
+    """
+
+    iteration: int
+    unit: str
+    unit_id: int
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise FaultModelError(
+                f"fault iteration must be >= 0, got {self.iteration}"
+            )
+        if self.unit not in _UNITS:
+            raise FaultModelError(
+                f"fault unit must be one of {_UNITS}, got {self.unit!r}"
+            )
+        if self.unit_id < 0:
+            raise FaultModelError(
+                f"fault unit_id must be >= 0, got {self.unit_id}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "iteration": self.iteration,
+            "unit": self.unit,
+            "unit_id": self.unit_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            iteration=int(payload["iteration"]),
+            unit=str(payload["unit"]),
+            unit_id=int(payload["unit_id"]),
+        )
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Static failure masks plus a trace of timed fault events.
+
+    Attributes:
+        failed_pes: PEs dead before the run starts (logical ids).
+        failed_vaults: vaults dead before the run starts (logical ids).
+        events: fault events striking at iteration boundaries, kept in
+            canonical ``(iteration, unit, unit_id)`` order. Duplicate
+            events collapse (a unit can only die once).
+    """
+
+    failed_pes: FrozenSet[int] = field(default_factory=frozenset)
+    failed_vaults: FrozenSet[int] = field(default_factory=frozenset)
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "failed_pes", frozenset(self.failed_pes))
+        object.__setattr__(self, "failed_vaults", frozenset(self.failed_vaults))
+        if any(p < 0 for p in self.failed_pes):
+            raise FaultModelError("failed_pes must be non-negative ids")
+        if any(v < 0 for v in self.failed_vaults):
+            raise FaultModelError("failed_vaults must be non-negative ids")
+        seen = set()
+        ordered = []
+        for event in sorted(
+            self.events, key=lambda e: (e.iteration, e.unit, e.unit_id)
+        ):
+            if not isinstance(event, FaultEvent):  # defensive: tuples slip in
+                raise FaultModelError(f"not a FaultEvent: {event!r}")
+            identity = (event.unit, event.unit_id)
+            if identity in seen:
+                continue  # a unit dies once; the earliest event wins
+            statically_dead = (
+                event.unit_id in self.failed_pes
+                if event.unit == FAULT_UNIT_PE
+                else event.unit_id in self.failed_vaults
+            )
+            if statically_dead:
+                continue  # already dead at t=0; the event is redundant
+            seen.add(identity)
+            ordered.append(event)
+        object.__setattr__(self, "events", tuple(ordered))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultModel":
+        """The healthy machine: nothing ever fails."""
+        return cls()
+
+    @classmethod
+    def static(
+        cls,
+        failed_pes: Iterable[int] = (),
+        failed_vaults: Iterable[int] = (),
+    ) -> "FaultModel":
+        """Units dead from the start, no timed events."""
+        return cls(
+            failed_pes=frozenset(failed_pes),
+            failed_vaults=frozenset(failed_vaults),
+        )
+
+    @classmethod
+    def single(
+        cls, unit: str, unit_id: int, iteration: int
+    ) -> "FaultModel":
+        """One unit failing at one iteration boundary."""
+        return cls(events=(FaultEvent(iteration, unit, unit_id),))
+
+    @classmethod
+    def random_trace(
+        cls,
+        seed: int,
+        num_pes: int,
+        num_vaults: int = 0,
+        num_events: int = 1,
+        max_iteration: int = 100,
+        vault_fault_probability: float = 0.25,
+    ) -> "FaultModel":
+        """Seeded fault trace: reproducible chaos for soak tests.
+
+        Draws ``num_events`` distinct unit failures uniformly over the
+        iteration range ``[1, max_iteration]``. The same seed always
+        produces the same trace, so failures seen in CI replay locally.
+        """
+        if num_pes < 1:
+            raise FaultModelError("num_pes must be >= 1")
+        if num_vaults < 0:
+            raise FaultModelError("num_vaults must be >= 0")
+        if max_iteration < 1:
+            raise FaultModelError("max_iteration must be >= 1")
+        rng = random.Random(seed)
+        candidates = [(FAULT_UNIT_PE, p) for p in range(num_pes)]
+        if num_vaults and rng.random() < vault_fault_probability:
+            candidates += [(FAULT_UNIT_VAULT, v) for v in range(num_vaults)]
+        rng.shuffle(candidates)
+        events = tuple(
+            FaultEvent(rng.randint(1, max_iteration), unit, unit_id)
+            for unit, unit_id in candidates[: max(0, num_events)]
+        )
+        return cls(events=events)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def is_trivial(self) -> bool:
+        """True when nothing ever fails under this model."""
+        return (
+            not self.failed_pes and not self.failed_vaults and not self.events
+        )
+
+    def mask_at(
+        self, iteration: int
+    ) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+        """``(failed_pes, failed_vaults)`` active at round ``iteration``.
+
+        Includes the static masks plus every event whose boundary is at
+        or before ``iteration`` — faults are permanent, so the mask is
+        monotone in ``iteration``.
+        """
+        pes = set(self.failed_pes)
+        vaults = set(self.failed_vaults)
+        for event in self.events:
+            if event.iteration > iteration:
+                break  # events are iteration-sorted
+            if event.unit == FAULT_UNIT_PE:
+                pes.add(event.unit_id)
+            else:
+                vaults.add(event.unit_id)
+        return frozenset(pes), frozenset(vaults)
+
+    def next_event_after(self, iteration: int) -> Optional[int]:
+        """Earliest event boundary strictly after ``iteration`` (or None).
+
+        The steady-state engine uses this to cap its O(1) fast-forward:
+        convergence fingerprints are invalid across a fault boundary, so
+        the splice must never jump one.
+        """
+        for event in self.events:
+            if event.iteration > iteration:
+                return event.iteration
+        return None
+
+    def fault_iteration_of(self, unit: str, unit_id: int) -> int:
+        """Boundary at which ``(unit, unit_id)`` dies (0 for static)."""
+        if unit == FAULT_UNIT_PE and unit_id in self.failed_pes:
+            return 0
+        if unit == FAULT_UNIT_VAULT and unit_id in self.failed_vaults:
+            return 0
+        for event in self.events:
+            if event.unit == unit and event.unit_id == unit_id:
+                return event.iteration
+        raise FaultModelError(f"no fault recorded for {unit} {unit_id}")
+
+    # ------------------------------------------------------------------
+    # transformation
+    # ------------------------------------------------------------------
+    def compacted(
+        self,
+        surviving_pes: Sequence[int],
+        surviving_vaults: Sequence[int],
+    ) -> "FaultModel":
+        """Translate this model into a compacted survivor id space.
+
+        ``surviving_pes`` / ``surviving_vaults`` list the unit ids (in
+        this model's space) that remain after a failover; survivor ``k``
+        becomes unit ``index-of-k`` in the new machine. Static masks and
+        events naming removed units are dropped — they already did their
+        damage — while faults on surviving units carry over with their
+        iteration boundaries intact, so a later second failure still
+        strikes the replayed run.
+        """
+        pe_index = {p: i for i, p in enumerate(sorted(set(surviving_pes)))}
+        vault_index = {v: i for i, v in enumerate(sorted(set(surviving_vaults)))}
+        events = []
+        for event in self.events:
+            index = pe_index if event.unit == FAULT_UNIT_PE else vault_index
+            if event.unit_id in index:
+                events.append(
+                    FaultEvent(event.iteration, event.unit, index[event.unit_id])
+                )
+        return FaultModel(
+            failed_pes=frozenset(
+                pe_index[p] for p in self.failed_pes if p in pe_index
+            ),
+            failed_vaults=frozenset(
+                vault_index[v] for v in self.failed_vaults if v in vault_index
+            ),
+            events=tuple(events),
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "failed_pes": sorted(self.failed_pes),
+            "failed_vaults": sorted(self.failed_vaults),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultModel":
+        return cls(
+            failed_pes=frozenset(int(p) for p in payload.get("failed_pes", [])),
+            failed_vaults=frozenset(
+                int(v) for v in payload.get("failed_vaults", [])
+            ),
+            events=tuple(
+                FaultEvent.from_dict(e) for e in payload.get("events", [])
+            ),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash (for logs and degraded-plan bookkeeping)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.is_trivial:
+            return "no faults"
+        parts = []
+        if self.failed_pes:
+            parts.append(f"static dead PEs {sorted(self.failed_pes)}")
+        if self.failed_vaults:
+            parts.append(f"static dead vaults {sorted(self.failed_vaults)}")
+        for event in self.events:
+            parts.append(
+                f"{event.unit} {event.unit_id} dies at iteration "
+                f"{event.iteration}"
+            )
+        return "; ".join(parts)

@@ -44,7 +44,11 @@ from repro.runtime.server import (
     QueueFullError,
     RequestResult,
 )
-from repro.runtime.session import BatchResult, InferenceSession
+from repro.runtime.session import (
+    BatchResult,
+    FaultRetryExhausted,
+    InferenceSession,
+)
 from repro.runtime.workers import WarmupReport, warm_cache
 
 __all__ = [
@@ -52,6 +56,7 @@ __all__ = [
     "BatchingServer",
     "CacheStats",
     "Counter",
+    "FaultRetryExhausted",
     "Gauge",
     "Histogram",
     "InferenceRequest",

@@ -18,14 +18,18 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.cnn.workloads import PAPER_BENCHMARKS, WORKLOADS
 from repro.core.allocation import ALLOCATORS
 from repro.pim.config import PimConfig
 from repro.runtime.plan_cache import PlanCache
 from repro.runtime.server import BatchingServer, QueueFullError
+from repro.runtime.session import FaultRetryExhausted
 from repro.runtime.workers import warm_cache
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from repro.pim.faults import FaultModel
 
 
 def positive_int(text: str) -> int:
@@ -86,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="discrete-event engine: 'steady' fingerprints "
                        "the machine and fast-forwards converged rounds "
                        "(default), 'full' is the event-by-event oracle")
+    bench.add_argument("--fault-pe", type=int, metavar="ID", default=None,
+                       help="inject a PE failure: this PE dies at the "
+                       "--fault-at iteration boundary of every batch")
+    bench.add_argument("--fault-vault", type=int, metavar="ID", default=None,
+                       help="inject an eDRAM vault failure at --fault-at")
+    bench.add_argument("--fault-at", type=int, default=1, metavar="N",
+                       help="iteration boundary at which the injected "
+                       "unit dies (0 = dead from the start; default 1)")
+    bench.add_argument("--max-retries", type=int, default=3,
+                       help="failover budget per batch (default 3)")
     bench.add_argument("--json", action="store_true",
                        help="emit a machine-readable JSON report")
 
@@ -135,6 +149,25 @@ def _pass_breakdown(cache: PlanCache) -> str:
     return "\n".join(lines)
 
 
+def _fault_model(args: argparse.Namespace) -> Optional["FaultModel"]:
+    """Build the injected fault trace from bench flags (None when clean)."""
+    events = []
+    if args.fault_pe is not None:
+        events.append(("pe", args.fault_pe))
+    if args.fault_vault is not None:
+        events.append(("vault", args.fault_vault))
+    if not events:
+        return None
+    from repro.pim.faults import FaultEvent, FaultModel
+
+    return FaultModel(
+        events=tuple(
+            FaultEvent(args.fault_at, unit, unit_id)
+            for unit, unit_id in events
+        )
+    )
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     if args.workload not in WORKLOADS:
         known = ", ".join(sorted(WORKLOADS))
@@ -149,26 +182,39 @@ def cmd_bench(args: argparse.Namespace) -> int:
         batch_window=args.window,
         allocator=args.allocator,
         sim_mode=args.sim_mode,
+        fault_model=_fault_model(args),
+        max_retries=args.max_retries,
     )
     rejected = 0
-    for _ in range(args.requests):
-        try:
-            server.submit(args.workload, iterations=args.batch_iterations)
-        except QueueFullError:
-            rejected += 1
-            server.drain()  # relieve backpressure, then keep submitting
-            server.submit(args.workload, iterations=args.batch_iterations)
-    server.drain()
+    try:
+        for _ in range(args.requests):
+            try:
+                server.submit(args.workload, iterations=args.batch_iterations)
+            except QueueFullError:
+                rejected += 1
+                server.drain()  # relieve backpressure, then keep submitting
+                server.submit(args.workload, iterations=args.batch_iterations)
+        server.drain()
+    except FaultRetryExhausted as exc:
+        print(f"serving gave up: {exc}", file=sys.stderr)
+        return 1
     results = server.results  # includes batches drained mid-stream
 
     sim = server.metrics.histogram("sim_latency_units")
     wall = server.metrics.histogram("wall_latency_seconds")
     throughput = server.throughput_summary()
-    counters = server.metrics.snapshot()["counters"]
+    snapshot = server.metrics.snapshot()
+    counters = snapshot["counters"]
     engine = {
         "sim_mode": args.sim_mode,
         "batches_converged": counters.get("sim_batches_converged", 0),
         "rounds_fast_forwarded": counters.get("sim_rounds_fast_forwarded", 0),
+    }
+    fault_tolerance = {
+        "faults_observed": counters.get("faults_observed", 0),
+        "failover_recompiles": counters.get("failover_recompiles", 0),
+        "batches_failed_over": counters.get("batches_failed_over", 0),
+        "degraded_mode": snapshot["gauges"].get("degraded_mode", 0.0),
     }
     if args.json:
         print(json.dumps({
@@ -179,6 +225,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "wall_latency_seconds": wall.summary(),
             "throughput": throughput,
             "engine": engine,
+            "fault_tolerance": fault_tolerance,
             "plan_cache": cache.stats.as_dict(),
         }, indent=2))
         return 0
@@ -202,6 +249,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"({engine['batches_converged']:.0f} batches converged, "
         f"{engine['rounds_fast_forwarded']:.0f} rounds fast-forwarded)"
     )
+    if fault_tolerance["faults_observed"]:
+        print(
+            f"  fault tolerance     : "
+            f"{fault_tolerance['faults_observed']:.0f} faults observed, "
+            f"{fault_tolerance['failover_recompiles']:.0f} failover "
+            f"recompiles, "
+            f"{fault_tolerance['batches_failed_over']:.0f} batches failed "
+            f"over, degraded_mode={fault_tolerance['degraded_mode']:g}"
+        )
     print()
     print(server.stats_report())
     breakdown = _pass_breakdown(cache)

@@ -6,9 +6,14 @@ dependency. :class:`Histogram` keeps a bounded reservoir so a long-running
 server's memory stays constant while p50/p95/p99 remain exact for small
 streams and statistically faithful for large ones.
 
-All classes are synchronous and deterministic; thread safety is provided
-by a single lock per registry because the warmup workers record from
-multiple threads.
+Thread safety: the registry lock guards instrument *creation*; every
+instrument additionally carries its own lock guarding *mutation and
+reads* (``Counter.inc``, ``Gauge.set``/``add``, ``Histogram.observe`` and
+the summary accessors). The warmup workers and the failover path record
+from multiple threads concurrently; without per-instrument locking,
+read-modify-write races silently drop increments (the classic
+``value += amount`` lost update), which corrupts serving dashboards in
+ways no test of single-threaded code can catch.
 """
 
 from __future__ import annotations
@@ -54,30 +59,39 @@ def percentile(values: List[float], q: float) -> float:
 
 @dataclass
 class Counter:
-    """Monotonically increasing counter."""
+    """Monotonically increasing counter (thread-safe)."""
 
     name: str
     value: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: int = 1) -> int:
         if amount < 0:
             raise ValueError("counters only move forward")
-        self.value += amount
-        return self.value
+        with self._lock:
+            self.value += amount
+            return self.value
 
 
 @dataclass
 class Gauge:
-    """Point-in-time value (queue depth, cache occupancy, ...)."""
+    """Point-in-time value (queue depth, cache occupancy, ...; thread-safe)."""
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def add(self, delta: float) -> None:
-        self.value += float(delta)
+        with self._lock:
+            self.value += float(delta)
 
 
 class Histogram:
@@ -99,26 +113,31 @@ class Histogram:
         self.max: Optional[float] = None
         self._samples: List[float] = []
         self._rng = random.Random(seed)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        if len(self._samples) < self.reservoir_size:
-            self._samples.append(value)
-        else:
-            slot = self._rng.randrange(self.count)
-            if slot < self.reservoir_size:
-                self._samples[slot] = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            if len(self._samples) < self.reservoir_size:
+                self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.reservoir_size:
+                    self._samples[slot] = value
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        return percentile(self._samples, q)
+        with self._lock:
+            samples = list(self._samples)
+        return percentile(samples, q)
 
     @property
     def p50(self) -> float:
@@ -133,17 +152,28 @@ class Histogram:
         return self.percentile(99.0)
 
     def summary(self) -> Dict[str, float]:
-        """Snapshot of the classic latency summary."""
-        if not self.count:
-            return {"count": 0}
+        """Consistent snapshot of the classic latency summary.
+
+        All fields are read under one lock acquisition so a concurrent
+        ``observe`` can never produce a summary whose count and
+        percentiles disagree.
+        """
+        with self._lock:
+            if not self.count:
+                return {"count": 0}
+            count = self.count
+            total = self.total
+            low = self.min
+            high = self.max
+            samples = list(self._samples)
         return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.min,
-            "p50": self.p50,
-            "p95": self.p95,
-            "p99": self.p99,
-            "max": self.max,
+            "count": count,
+            "mean": total / count,
+            "min": low,
+            "p50": percentile(samples, 50.0),
+            "p95": percentile(samples, 95.0),
+            "p99": percentile(samples, 99.0),
+            "max": high,
         }
 
 

@@ -36,9 +36,14 @@ from typing import Callable, Deque, Dict, List, Optional
 from repro.cnn.workloads import load_workload
 from repro.graph.taskgraph import TaskGraph
 from repro.pim.config import PimConfig
+from repro.pim.faults import FaultModel
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.plan_cache import PlanCache
-from repro.runtime.session import BatchResult, InferenceSession
+from repro.runtime.session import (
+    BatchResult,
+    FaultRetryExhausted,
+    InferenceSession,
+)
 from repro.sim.modes import SimMode
 
 
@@ -113,6 +118,18 @@ class BatchingServer:
         sim_mode: discrete-event engine for every session this server
             creates (``steady`` by default — large batches cost roughly
             the transient; ``full`` forces the event-by-event oracle).
+        fault_model: optional :class:`~repro.pim.faults.FaultModel`
+            handed to every session — each batch replays the fault trace
+            on a fresh simulated machine, and sessions fail over to
+            degraded plans through the shared cache.
+        max_retries: per-batch failover budget (see
+            :class:`~repro.runtime.session.InferenceSession`).
+        results_retention: bound on the retained :class:`RequestResult`
+            history. The server keeps the newest ``results_retention``
+            results for inspection and evicts the oldest beyond that
+            (counted in the ``results_evicted`` metric); aggregate
+            throughput figures are tracked separately and stay exact, so
+            a long-running server's memory no longer grows per request.
     """
 
     def __init__(
@@ -126,11 +143,16 @@ class BatchingServer:
         clock: Optional[Callable[[], float]] = None,
         graph_loader: Optional[Callable[[str], TaskGraph]] = None,
         sim_mode: "SimMode | str" = SimMode.STEADY_STATE,
+        fault_model: Optional[FaultModel] = None,
+        max_retries: int = 3,
+        results_retention: int = 10_000,
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if batch_window < 1:
             raise ValueError("batch_window must be >= 1")
+        if results_retention < 1:
+            raise ValueError("results_retention must be >= 1")
         self.config = config
         self.cache = cache if cache is not None else PlanCache()
         self.max_queue = max_queue
@@ -140,12 +162,18 @@ class BatchingServer:
         self.clock = clock if clock is not None else time.perf_counter
         self.graph_loader = graph_loader if graph_loader is not None else load_workload
         self.sim_mode = SimMode.from_name(sim_mode)
+        self.fault_model = fault_model
+        self.max_retries = max_retries
+        self.results_retention = results_retention
         self.metrics = MetricsRegistry()
         self._queue: Deque[InferenceRequest] = deque()
         self._sessions: Dict[str, _WorkloadState] = {}
         self._ids = itertools.count(1)
         self._batches = itertools.count(1)
-        self._results: List[RequestResult] = []
+        self._results: Deque[RequestResult] = deque(maxlen=results_retention)
+        #: exact aggregate wall time attributed to served requests, kept
+        #: outside the bounded history so eviction never skews throughput.
+        self._wall_seconds_served: float = 0.0
 
     # ------------------------------------------------------------------
     # admission
@@ -155,7 +183,14 @@ class BatchingServer:
         return len(self._queue)
 
     def submit(self, workload: str, iterations: int = 1) -> InferenceRequest:
-        """Admit one request or raise :class:`QueueFullError`."""
+        """Admit one request or raise :class:`QueueFullError`.
+
+        Invalid arguments are rejected *before* the queue-capacity check:
+        a malformed request must raise ``ValueError`` (not masquerade as
+        backpressure) and must never consume queue accounting.
+        """
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
         if len(self._queue) >= self.max_queue:
             self.metrics.counter("requests_rejected").inc()
             raise QueueFullError(self.max_queue, workload)
@@ -203,7 +238,11 @@ class BatchingServer:
 
     @property
     def results(self) -> List[RequestResult]:
-        """Every result produced since construction (batch order)."""
+        """Retained results in batch order (newest ``results_retention``).
+
+        Older results are evicted once the bound is hit; the aggregate
+        counters (``requests_served``, throughput) remain exact.
+        """
         return list(self._results)
 
     # ------------------------------------------------------------------
@@ -221,6 +260,9 @@ class BatchingServer:
                     cache=self.cache,
                     num_vaults=self.num_vaults,
                     sim_mode=self.sim_mode,
+                    metrics=self.metrics,
+                    fault_model=self.fault_model,
+                    max_retries=self.max_retries,
                 )
             )
             self._sessions[workload] = state
@@ -232,7 +274,16 @@ class BatchingServer:
         batch_id = next(self._batches)
         total_iterations = sum(r.iterations for r in batch)
         compile_was_needed = not state.session.is_compiled
-        batch_result = state.session.run(total_iterations)
+        try:
+            batch_result = state.session.run(total_iterations)
+        except FaultRetryExhausted:
+            # The batch could not be served within the failover budget.
+            # Account for every request in it, then surface the typed
+            # error — the caller owns give-up/retry policy, exactly like
+            # QueueFullError on the admission side.
+            self.metrics.counter("requests_failed").inc(len(batch))
+            self.metrics.counter("batches_failed").inc()
+            raise
         finished_wall = self.clock()
         if compile_was_needed:
             self.metrics.counter("plans_compiled_or_loaded").inc()
@@ -273,6 +324,23 @@ class BatchingServer:
             )
         if batch_result.converged_round is not None:
             self.metrics.counter("sim_batches_converged").inc()
+        # Fault-tolerance observability: batches that needed failover and
+        # whether the server is currently serving a degraded machine.
+        if batch_result.failovers:
+            self.metrics.counter("batches_failed_over").inc()
+        self.metrics.gauge("degraded_mode").set(
+            1.0 if any(
+                s.session.degraded_mode for s in self._sessions.values()
+            ) else 0.0
+        )
+        # Exact aggregates survive history eviction (wall seconds are
+        # attributed once per request, matching the pre-retention sum).
+        self._wall_seconds_served += len(results) * batch_result.wall_seconds
+        overflow = max(
+            0, len(self._results) + len(results) - self.results_retention
+        )
+        if overflow:
+            self.metrics.counter("results_evicted").inc(overflow)
         self._results.extend(results)
         return results
 
@@ -284,7 +352,7 @@ class BatchingServer:
         snap = self.metrics.snapshot()["counters"]
         inferences = snap.get("inferences_served", 0)
         sim_busy = snap.get("sim_units_busy", 0)
-        wall = sum(r.batch.wall_seconds for r in self._results)
+        wall = self._wall_seconds_served
         return {
             "inferences": float(inferences),
             "sim_throughput": inferences / sim_busy if sim_busy else 0.0,
@@ -307,4 +375,15 @@ class BatchingServer:
             f"{summary['sim_throughput']:.4f} inf/unit simulated, "
             f"{summary['wall_throughput']:.1f} inf/s wall"
         )
+        snap = self.metrics.snapshot()
+        faults = snap["counters"].get("faults_observed", 0)
+        if faults:
+            degraded = snap["gauges"].get("degraded_mode", 0.0)
+            lines.append(
+                f"fault tolerance: {faults} faults observed, "
+                f"{snap['counters'].get('failover_recompiles', 0)} failover "
+                f"recompiles, "
+                f"{snap['counters'].get('batches_failed_over', 0)} batches "
+                f"failed over, degraded_mode={degraded:g}"
+            )
         return "\n".join(lines)

@@ -13,13 +13,28 @@ The session path is bit-identical to the direct
 ``ParaConv(...).run(graph)`` + ``ScheduleExecutor(...).execute(...)``
 path: both the planner and the executor are deterministic, and the session
 adds no transformation in between (verified by ``benchmarks/test_runtime``).
+
+Fault tolerance. A session constructed with a
+:class:`~repro.pim.faults.FaultModel` keeps serving when units die: the
+executor raises :class:`~repro.sim.executor.PeFaultError` the moment
+scheduled work hits a dead PE or vault, and the session *fails over* —
+it degrades the active machine to the survivors
+(:meth:`PimConfig.degraded`), recompiles against the degraded config
+(through the plan cache, so a repeat of the same fault pattern is a pure
+lookup), compacts the fault model into the survivor id space, and replays
+the whole batch from iteration zero on the degraded machine. Replaying
+from scratch — rather than splicing partial pre-fault work — is what
+makes the recovery *exactly* equivalent to a cold compile on the degraded
+configuration (the ``repro.verify`` fault differential pins this).
+``max_retries`` bounds the number of failovers per batch; exhausting it
+raises :class:`FaultRetryExhausted`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.core.paraconv import ParaConv, ParaConvResult
 
@@ -29,11 +44,33 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
 from repro.graph.taskgraph import TaskGraph
 from repro.pim.config import PimConfig
 from repro.pim.energy import EnergyModel, EnergyReport
+from repro.pim.faults import FAULT_UNIT_PE, FaultModel
 from repro.pim.stats import TrafficStats
 from repro.runtime.plan_cache import PlanCache, plan_key_for
-from repro.sim.executor import ExecutionTrace, ScheduleExecutor
+from repro.sim.executor import ExecutionTrace, PeFaultError, ScheduleExecutor
 from repro.sim.modes import SimMode
 from repro.sim.sinks import NullSink
+
+
+class FaultRetryExhausted(RuntimeError):
+    """A batch kept hitting faults until the failover budget ran out.
+
+    Carries the retry accounting plus the last fault so callers (the
+    batching server, operators' logs) can tell *why* serving gave up.
+    """
+
+    def __init__(
+        self, workload: str, attempts: int, max_retries: int,
+        last_fault: PeFaultError,
+    ):
+        self.workload = workload
+        self.attempts = attempts
+        self.max_retries = max_retries
+        self.last_fault = last_fault
+        super().__init__(
+            f"batch for {workload!r} failed {attempts} times "
+            f"(max_retries={max_retries}); last fault: {last_fault}"
+        )
 
 
 @dataclass(frozen=True)
@@ -60,6 +97,11 @@ class BatchResult:
     converged_round: Optional[int] = None
     #: rounds the engine skipped via the O(1) fast-forward splice.
     rounds_fast_forwarded: int = 0
+    #: failovers it took to finish this batch (0 on a healthy machine).
+    failovers: int = 0
+    #: True when the batch was served by a degraded (post-failover or
+    #: statically masked) machine.
+    degraded: bool = False
 
     @property
     def sim_throughput(self) -> float:
@@ -110,6 +152,15 @@ class InferenceSession:
             ``SimMode.FULL_UNROLL`` is the event-by-event oracle. Both
             produce identical aggregate results (the acceptance tests pin
             this), so serving defaults to the fast engine.
+        fault_model: optional :class:`~repro.pim.faults.FaultModel`.
+            Static masks degrade the machine *before* the first compile
+            (no wasted healthy-machine plan); timed events strike during
+            :meth:`run` and trigger failover.
+        max_retries: failovers allowed per :meth:`run` call before
+            :class:`FaultRetryExhausted` is raised.
+        retry_backoff_seconds: base sleep between failover attempts
+            (linear backoff: ``base * attempt``); 0 disables sleeping.
+        sleep: injectable sleep function (tests pass a recorder).
     """
 
     def __init__(
@@ -124,6 +175,10 @@ class InferenceSession:
         verify: bool = False,
         metrics: Optional["MetricsRegistry"] = None,
         sim_mode: Union[str, SimMode] = SimMode.STEADY_STATE,
+        fault_model: Optional[FaultModel] = None,
+        max_retries: int = 3,
+        retry_backoff_seconds: float = 0.0,
+        sleep: Optional[Callable[[float], None]] = None,
     ):
         from repro.core.allocation import ALLOCATORS
 
@@ -134,6 +189,12 @@ class InferenceSession:
             )
         if num_vaults < 1:
             raise ValueError(f"num_vaults must be >= 1, got {num_vaults}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_seconds < 0:
+            raise ValueError(
+                f"retry_backoff_seconds must be >= 0, got {retry_backoff_seconds}"
+            )
         self.graph = graph
         self.config = config
         self.allocator = allocator
@@ -144,8 +205,33 @@ class InferenceSession:
         self.verify = verify
         self.metrics = metrics
         self.sim_mode = SimMode.from_name(sim_mode)
+        self.max_retries = max_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self._sleep = sleep if sleep is not None else time.sleep
+        # --- fault-tolerance state: the *active* machine starts as the
+        # nominal one and shrinks with every failover. ---------------------
+        self._active_config: PimConfig = config
+        self._active_num_vaults: int = num_vaults
+        self._active_fault_model: Optional[FaultModel] = (
+            fault_model
+            if fault_model is not None and not fault_model.is_trivial
+            else None
+        )
+        #: total faults this session observed (across all run() calls).
+        self.faults_observed: int = 0
+        #: failovers that required an actual (cache-missing) recompile.
+        self.failover_recompiles: int = 0
+        #: total failovers performed (cache hits included).
+        self.failovers: int = 0
+        #: the trace of the last successful batch (None before the first).
+        self.last_trace: Optional[ExecutionTrace] = None
         self._plan: Optional[ParaConvResult] = None
         self._executor: Optional[ScheduleExecutor] = None
+        if self._active_fault_model is not None and (
+            self._active_fault_model.failed_pes
+            or self._active_fault_model.failed_vaults
+        ):
+            self._apply_static_masks()
         #: wall seconds the last :meth:`compile` call took (0 for a pure
         #: memory hit, which still goes through the cache's accounting).
         self.last_compile_seconds: float = 0.0
@@ -155,6 +241,116 @@ class InferenceSession:
         #: compile this session *performed* (``None`` after a cache hit or
         #: before the first compile).
         self.last_compile_stats: Optional["CompileStats"] = None
+
+    # ------------------------------------------------------------------
+    # fault tolerance
+    # ------------------------------------------------------------------
+    @property
+    def active_config(self) -> PimConfig:
+        """The machine currently being served (shrinks across failovers)."""
+        return self._active_config
+
+    @property
+    def active_num_vaults(self) -> int:
+        """Vault count of the machine currently being served."""
+        return self._active_num_vaults
+
+    @property
+    def degraded_mode(self) -> bool:
+        """True once this session serves a reduced machine."""
+        return (
+            self._active_config.is_degraded
+            or self._active_num_vaults != self.num_vaults
+        )
+
+    def _metric_inc(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _publish_degraded_gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("degraded_mode").set(
+                1.0 if self.degraded_mode else 0.0
+            )
+
+    def _apply_static_masks(self) -> None:
+        """Degrade *before* the first compile for statically dead units.
+
+        Units the fault model marks dead at t=0 would fault in round one
+        anyway; folding them in up front avoids compiling (and caching) a
+        doomed healthy-machine plan. Mask ids outside the machine are
+        ignored — the unit does not exist, so it cannot die.
+        """
+        assert self._active_fault_model is not None
+        model = self._active_fault_model
+        dead_pes = {p for p in model.failed_pes if p < self._active_config.num_pes}
+        dead_vaults = {v for v in model.failed_vaults if v < self._active_num_vaults}
+        surviving_pes = [
+            p for p in range(self._active_config.num_pes) if p not in dead_pes
+        ]
+        surviving_vaults = [
+            v for v in range(self._active_num_vaults) if v not in dead_vaults
+        ]
+        if dead_pes or dead_vaults:
+            self._active_config = self._active_config.degraded(
+                surviving_pes, surviving_vaults if dead_vaults else None
+            )
+            self._active_num_vaults = len(surviving_vaults)
+        model = model.compacted(surviving_pes, surviving_vaults)
+        self._active_fault_model = model if not model.is_trivial else None
+        self._publish_degraded_gauge()
+
+    def _fail_over(self, fault: PeFaultError) -> None:
+        """React to one fault: degrade, compact, recompile-or-load.
+
+        The dead unit id is in the *active* machine's logical space;
+        :meth:`PimConfig.degraded` composes it through any existing mask,
+        and :meth:`FaultModel.compacted` renumbers the remaining fault
+        trace so a second failure still strikes the replayed run.
+        """
+        if fault.unit == FAULT_UNIT_PE:
+            surviving_pes = [
+                p for p in range(self._active_config.num_pes)
+                if p != fault.unit_id
+            ]
+            surviving_vaults = list(range(self._active_num_vaults))
+            if not surviving_pes:
+                raise FaultRetryExhausted(
+                    self.graph.name, self.failovers + 1, self.max_retries, fault
+                ) from fault
+            self._active_config = self._active_config.degraded(surviving_pes)
+        else:
+            surviving_pes = list(range(self._active_config.num_pes))
+            surviving_vaults = [
+                v for v in range(self._active_num_vaults)
+                if v != fault.unit_id
+            ]
+            if not surviving_vaults:
+                raise FaultRetryExhausted(
+                    self.graph.name, self.failovers + 1, self.max_retries, fault
+                ) from fault
+            self._active_config = self._active_config.degraded(
+                surviving_pes, surviving_vaults
+            )
+            self._active_num_vaults = len(surviving_vaults)
+        if self._active_fault_model is not None:
+            model = self._active_fault_model.compacted(
+                surviving_pes, surviving_vaults
+            )
+            self._active_fault_model = model if not model.is_trivial else None
+        # Recompile against the degraded machine. The plan cache keys on
+        # the config fingerprint — which now embeds the surviving-unit
+        # mask — so a repeat of the same fault pattern is a warm lookup
+        # and failover_recompiles stays flat.
+        self._plan = None
+        self._executor = None
+        compiles_before = self.compilations
+        self.compile()
+        self.failovers += 1
+        if self.compilations != compiles_before:
+            self.failover_recompiles += 1
+            self._metric_inc("failover_recompiles")
+        self._publish_degraded_gauge()
 
     # ------------------------------------------------------------------
     # compilation
@@ -173,7 +369,7 @@ class InferenceSession:
 
     def _build_pipeline(self) -> ParaConv:
         return ParaConv(
-            self.config,
+            self._active_config,
             allocator_name=self.allocator,
             kernel_order=self.kernel_order,
             liveness_aware=self.liveness_aware,
@@ -187,7 +383,7 @@ class InferenceSession:
         if self.cache is not None:
             key = plan_key_for(
                 self.graph,
-                self.config,
+                self._active_config,
                 allocator=self.allocator,
                 kernel_order=self.kernel_order,
                 liveness_aware=self.liveness_aware,
@@ -240,26 +436,64 @@ class InferenceSession:
         no re-planning, no re-validation — only the discrete-event
         execution itself. Each call simulates a fresh machine, exactly
         like the direct executor path.
+
+        Under a fault model, a :class:`~repro.sim.executor.PeFaultError`
+        mid-batch triggers failover: degrade, recompile (cache-first),
+        replay the whole batch on the surviving machine. At most
+        ``max_retries`` failovers are attempted per call; beyond that the
+        batch fails with :class:`FaultRetryExhausted`.
         """
-        plan = self.plan
-        if self._executor is None:
-            self._executor = ScheduleExecutor(
-                self.config, num_vaults=self.num_vaults, mode=self.sim_mode
-            )
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        attempts = 0
         started = time.perf_counter()
-        # Serving needs aggregates only: a NullSink keeps per-instance
-        # records out of memory no matter how large the batch is.
-        trace = self._executor.execute(
-            plan, iterations=iterations, sink=NullSink()
-        )
-        wall = time.perf_counter() - started
-        return self._batch_result(trace, energy_model, wall)
+        while True:
+            plan = self.plan
+            if self._executor is None:
+                self._executor = ScheduleExecutor(
+                    self._active_config,
+                    num_vaults=self._active_num_vaults,
+                    mode=self.sim_mode,
+                )
+            try:
+                # Serving needs aggregates only: a NullSink keeps
+                # per-instance records out of memory no matter how large
+                # the batch is.
+                trace = self._executor.execute(
+                    plan,
+                    iterations=iterations,
+                    sink=NullSink(),
+                    fault_model=self._active_fault_model,
+                )
+            except PeFaultError as fault:
+                attempts += 1
+                self.faults_observed += 1
+                self._metric_inc("faults_observed")
+                if attempts > self.max_retries:
+                    raise FaultRetryExhausted(
+                        self.graph.name, attempts, self.max_retries, fault
+                    ) from fault
+                self._fail_over(fault)
+                if self.retry_backoff_seconds > 0.0:
+                    self._sleep(self.retry_backoff_seconds * attempts)
+                continue
+            wall = time.perf_counter() - started
+            self.last_trace = trace
+            return self._batch_result(
+                trace,
+                energy_model,
+                wall,
+                failovers=attempts,
+                degraded=self.degraded_mode,
+            )
 
     @staticmethod
     def _batch_result(
         trace: ExecutionTrace,
         energy_model: Optional[EnergyModel],
         wall_seconds: float,
+        failovers: int = 0,
+        degraded: bool = False,
     ) -> BatchResult:
         return BatchResult(
             iterations=trace.iterations,
@@ -273,6 +507,8 @@ class InferenceSession:
             sim_mode=trace.sim_mode.value,
             converged_round=trace.converged_round,
             rounds_fast_forwarded=trace.rounds_fast_forwarded,
+            failovers=failovers,
+            degraded=degraded,
         )
 
     # ------------------------------------------------------------------
@@ -296,13 +532,20 @@ class InferenceSession:
     def summary(self) -> str:
         plan = self.plan
         state = "cached" if self.compilations == 0 else "compiled"
-        return (
+        line = (
             f"InferenceSession({self.graph.name!r}, {self.config.num_pes} PEs, "
             f"allocator={self.allocator!r}): plan {state} in "
             f"{self.last_compile_seconds * 1e3:.2f} ms, period {plan.period}, "
             f"R_max {plan.max_retiming}, groups {plan.num_groups} x "
             f"{plan.group_width} PEs"
         )
+        if self.degraded_mode:
+            line += (
+                f" [degraded: {self._active_config.num_pes} PEs, "
+                f"{self._active_num_vaults} vaults, "
+                f"{self.failovers} failovers]"
+            )
+        return line
 
 
 def direct_batch(

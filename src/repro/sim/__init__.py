@@ -9,7 +9,12 @@ DESIGN.md) compares the two.
 """
 
 from repro.sim.engine import Event, EventQueue, SimulationError
-from repro.sim.executor import ExecutionTrace, ScheduleExecutor, simulate_sparta
+from repro.sim.executor import (
+    ExecutionTrace,
+    PeFaultError,
+    ScheduleExecutor,
+    simulate_sparta,
+)
 from repro.sim.modes import SimMode
 from repro.sim.sinks import (
     CountingSink,
@@ -34,6 +39,7 @@ __all__ = [
     "InstanceRecord",
     "MachineState",
     "NullSink",
+    "PeFaultError",
     "RingBufferSink",
     "SamplingWindowSink",
     "ScheduleExecutor",

@@ -43,6 +43,17 @@ Two simulation modes (:class:`~repro.sim.modes.SimMode`):
 Record retention is delegated to a pluggable
 :class:`~repro.sim.sinks.TraceSink`, so trace memory is bounded
 regardless of ``N``.
+
+Fault injection: the executor optionally consumes a
+:class:`~repro.pim.faults.FaultModel`. Failure masks activate at
+iteration (round) boundaries; the moment a scheduled operation attempts
+to start on a dead PE, or a transfer touches a dead vault (including the
+prefetch of an intermediate result whose eDRAM home vault died), the run
+aborts with a typed :class:`PeFaultError` carrying the machine-state
+round, the simulated time and the failed unit. The steady-state engine
+treats every fault boundary as a convergence barrier: fingerprints taken
+before it are invalidated and the O(1) fast-forward never splices across
+it, so a timed fault can never be skipped by the acceleration.
 """
 
 from __future__ import annotations
@@ -54,6 +65,7 @@ from repro.core.baseline import SpartaResult
 from repro.core.paraconv import ParaConvResult
 from repro.pim.config import PimConfig
 from repro.pim.energy import EnergyModel, EnergyReport
+from repro.pim.faults import FAULT_UNIT_PE, FAULT_UNIT_VAULT, FaultModel
 from repro.pim.interconnect import Crossbar
 from repro.pim.memory import MemorySystem, Placement
 from repro.pim.pe import FifoEntry, PEArray
@@ -68,6 +80,7 @@ __all__ = [
     "EdgeKey",
     "ExecutionTrace",
     "InstanceKey",
+    "PeFaultError",
     "ScheduleExecutor",
     "SimMode",
     "simulate_sparta",
@@ -77,6 +90,45 @@ __all__ = [
 _PRIO_ARRIVE = 0
 _PRIO_START = 1
 _PRIO_PRODUCE = 2
+
+
+class PeFaultError(SimulationError):
+    """A scheduled operation or transfer hit a dead unit.
+
+    Raised by the executor when the active fault mask covers a PE that an
+    operation instance is about to start on, or a vault that a transfer
+    (an intermediate result's eDRAM round-trip) must touch. Despite the
+    name — the common case, and the one the paper's PE-array model makes
+    interesting — it covers both unit kinds; ``unit`` disambiguates.
+
+    Attributes:
+        unit: ``"pe"`` or ``"vault"``.
+        unit_id: logical id of the dead unit in the simulated machine.
+        round: machine-state round (iteration boundary count) in which
+            the dead unit was hit.
+        time: simulated time units at the moment of impact.
+        fault_iteration: iteration boundary at which the unit died
+            (0 for units dead before the run started).
+    """
+
+    def __init__(
+        self,
+        unit: str,
+        unit_id: int,
+        round: int,
+        time: int,
+        fault_iteration: int,
+    ):
+        self.unit = unit
+        self.unit_id = unit_id
+        self.round = round
+        self.time = time
+        self.fault_iteration = fault_iteration
+        super().__init__(
+            f"{unit} {unit_id} is dead (failed at iteration boundary "
+            f"{fault_iteration}); scheduled work hit it in round {round} "
+            f"at t={time}"
+        )
 
 
 @dataclass
@@ -231,6 +283,13 @@ class ScheduleExecutor:
         steady_confirm_budget: how many failed exact confirmations the
             detector tolerates before it stops looking, bounding the
             fingerprint overhead on runs that never settle.
+        fault_model: optional :class:`~repro.pim.faults.FaultModel`
+            applied to every run (overridable per ``execute`` call). When
+            a scheduled op lands on a dead PE or a transfer touches a
+            dead vault, the run raises :class:`PeFaultError`; the
+            steady-state fast-forward never splices across a fault
+            boundary, and convergence fingerprints taken before one are
+            invalidated.
     """
 
     def __init__(
@@ -241,6 +300,7 @@ class ScheduleExecutor:
         sink: Optional[TraceSink] = None,
         steady_max_period: int = 8,
         steady_confirm_budget: int = 8,
+        fault_model: Optional[FaultModel] = None,
     ):
         if steady_max_period < 1:
             raise SimulationError("steady_max_period must be >= 1")
@@ -252,12 +312,14 @@ class ScheduleExecutor:
         self._sink = sink
         self.steady_max_period = steady_max_period
         self.steady_confirm_budget = steady_confirm_budget
+        self.fault_model = fault_model
 
     def execute(
         self,
         result: ParaConvResult,
         iterations: int = 20,
         sink: Optional[TraceSink] = None,
+        fault_model: Optional[FaultModel] = None,
     ) -> ExecutionTrace:
         """Run ``iterations`` logical iterations of one PE group."""
         if iterations < 1:
@@ -270,6 +332,9 @@ class ScheduleExecutor:
             self.mode, run_sink,
             max_period=self.steady_max_period,
             confirm_budget=self.steady_confirm_budget,
+            fault_model=(
+                fault_model if fault_model is not None else self.fault_model
+            ),
         )
         return run.execute()
 
@@ -287,11 +352,22 @@ class _ExecutorRun:
         sink: TraceSink,
         max_period: int = 8,
         confirm_budget: int = 8,
+        fault_model: Optional[FaultModel] = None,
     ):
         self.config = config
         self.result = result
         self.iterations = iterations
         self.mode = mode
+        #: trivial fault models are normalized away so the fault-free hot
+        #: path stays branch-cheap.
+        self.fault_model = (
+            fault_model
+            if fault_model is not None and not fault_model.is_trivial
+            else None
+        )
+        self._failed_pes: frozenset = frozenset()
+        self._failed_vaults: frozenset = frozenset()
+        self._current_round = 0
         self.schedule = result.schedule
         self.graph = result.graph
         self.kernel = self.schedule.kernel
@@ -411,12 +487,36 @@ class _ExecutorRun:
                 _PRIO_START,
             )
 
+    def _raise_fault(self, unit: str, unit_id: int) -> None:
+        assert self.fault_model is not None
+        raise PeFaultError(
+            unit,
+            unit_id,
+            round=self._current_round,
+            time=self.state.queue.now,
+            fault_iteration=self.fault_model.fault_iteration_of(unit, unit_id),
+        )
+
+    def _update_fault_mask(self, boundary_round: int) -> bool:
+        """Refresh the active failure masks; True when a unit just died."""
+        assert self.fault_model is not None
+        pes, vaults = self.fault_model.mask_at(boundary_round)
+        changed = pes != self._failed_pes or vaults != self._failed_vaults
+        self._failed_pes = pes
+        self._failed_vaults = vaults
+        return changed
+
     def _attempt_start(self, key: InstanceKey) -> None:
         state = self.state
         trace = self.trace
         op_id, iteration = key
         op = self.graph.operation(op_id)
-        pe = state.pes[self.kernel.pe_of(op_id)]
+        pe_id = self.kernel.pe_of(op_id)
+        if pe_id in self._failed_pes:
+            # The schedule placed this instance on a PE that is dead under
+            # the active fault mask: abort before mutating machine state.
+            self._raise_fault(FAULT_UNIT_PE, pe_id)
+        pe = state.pes[pe_id]
         # Consume the pFIFO entries staged for this instance -- by edge
         # key, so a neighbour instance's staged datum is never stolen.
         for edge in self.graph.in_edges(op_id):
@@ -516,6 +616,11 @@ class _ExecutorRun:
         memory = self.state.memory
         crossbar = self.state.crossbar
         vault = memory.vault_for(edge_key)
+        if vault.vault_id in self._failed_vaults:
+            # The intermediate result's home vault is dead: its eDRAM copy
+            # is gone, so neither the write-through nor the prefetch can
+            # complete. Surface the fault instead of inventing data.
+            self._raise_fault(FAULT_UNIT_VAULT, vault.vault_id)
         latency = self.config.edram_transfer_units(size_bytes)
         service = vault.access_time(size_bytes)
         port_busy = self.config.cache_transfer_units(size_bytes)
@@ -595,7 +700,7 @@ class _ExecutorRun:
         trace.lateness_total += repetitions * (
             current.lateness_total - previous.lateness_total
         )
-        self._events_skipped = repetitions * (
+        self._events_skipped += repetitions * (
             current.events_processed - previous.events_processed
         )
         self._max_finish += time_shift
@@ -613,7 +718,10 @@ class _ExecutorRun:
         # 3. Bookkeeping for observability and the sink.
         trace.converged_round = boundary_round
         trace.converged_period = period_rounds
-        trace.rounds_fast_forwarded = rounds
+        # += not =: a run with timed faults may converge, fast-forward to
+        # the fault boundary, re-converge on the other side and splice
+        # again -- the counter totals every skipped round.
+        trace.rounds_fast_forwarded += rounds
         trace.steady_fingerprint = state.fingerprint(
             boundary_round * self.period, boundary_round
         )
@@ -674,6 +782,17 @@ class _ExecutorRun:
 
         while state.queue or self._next_iteration <= n:
             boundary_round += 1
+            self._current_round = boundary_round
+            if self.fault_model is not None and self._update_fault_mask(
+                boundary_round
+            ):
+                # A unit just died. Everything the convergence detector
+                # learned describes the healthy(er) machine, so the
+                # fingerprint history is invalid across this boundary.
+                snapshots.clear()
+                canonicals.clear()
+                confirm_q = None
+                self._converged = False
             if self._next_iteration <= min(boundary_round, n):
                 self._materialize(self._next_iteration)
                 self._next_iteration += 1
@@ -695,7 +814,18 @@ class _ExecutorRun:
                 reference = canonicals.get(boundary_round - confirm_q)
                 if reference is not None and canonical == reference:
                     self._converged = True
-                    repetitions = (n - boundary_round) // confirm_q
+                    # Never splice across a fault boundary: the converged
+                    # fingerprint only describes the machine *between*
+                    # faults, so the fast-forward horizon stops one round
+                    # short of the next scheduled fault event.
+                    horizon = n
+                    if self.fault_model is not None:
+                        next_fault = self.fault_model.next_event_after(
+                            boundary_round
+                        )
+                        if next_fault is not None:
+                            horizon = min(horizon, next_fault - 1)
+                    repetitions = max(0, (horizon - boundary_round) // confirm_q)
                     if repetitions > 0:
                         self._fast_forward(
                             boundary_round, repetitions, confirm_q,

@@ -18,6 +18,11 @@ over the paper's benchmarks; ``python -m repro.verify`` is the CLI front
 end and CI gate.
 """
 
+from repro.verify.differential_failover import (
+    FailoverDifferentialReport,
+    FailoverMismatch,
+    failover_differential,
+)
 from repro.verify.differential_sim import (
     DEFAULT_SIM_ITERATIONS,
     SimDifferentialReport,
@@ -74,6 +79,8 @@ __all__ = [
     "DEFAULT_EXHAUSTIVE_LIMIT",
     "DEFAULT_SIM_ITERATIONS",
     "DifferentialReport",
+    "FailoverDifferentialReport",
+    "FailoverMismatch",
     "SimDifferentialReport",
     "SimMismatch",
     "FaultDetectionReport",
@@ -97,6 +104,7 @@ __all__ = [
     "differential_check",
     "differential_simulate",
     "exhaustive_allocate",
+    "failover_differential",
     "fault_detection_report",
     "inject_faults",
     "run_verification_sweep",

@@ -8,6 +8,7 @@ Usage::
     python -m repro.verify --strict-liveness     # escalate liveness warnings
     python -m repro.verify --no-oracle --no-mutations
     python -m repro.verify --sim --sim-iterations 1 20 1000  # engine check
+    python -m repro.verify --faults                     # failover differential
     python -m repro.verify --list-checks         # print the check catalog
     python -m repro.verify --json                # machine-readable output
 
@@ -81,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="differentially verify the steady-state "
                              "simulation engine against the full unroll "
                              "(every aggregate must match exactly)")
+    parser.add_argument("--faults", action="store_true",
+                        help="differentially verify runtime failover: a "
+                             "batch that hits an injected unit failure and "
+                             "fails over must match a cold compile on the "
+                             "degraded machine, and a warm repeat of the "
+                             "same fault must not recompile")
+    parser.add_argument("--fault-unit", choices=("pe", "vault"),
+                        default="pe",
+                        help="unit type the --faults stage kills "
+                             "(default pe)")
+    parser.add_argument("--fault-unit-id", type=int, default=0,
+                        help="unit id the --faults stage kills (default 0)")
+    parser.add_argument("--fault-iteration", type=int, default=3,
+                        help="iteration boundary at which the unit dies "
+                             "(default 3)")
     parser.add_argument("--sim-iterations", type=positive_int, nargs="+",
                         metavar="N", default=None,
                         help="batch sizes for the --sim stage "
@@ -115,6 +131,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         fault_seed=args.seed,
         with_simulation=args.sim,
         sim_iterations=args.sim_iterations,
+        with_failover=args.faults,
+        failover_unit=args.fault_unit,
+        failover_unit_id=args.fault_unit_id,
+        failover_iteration=args.fault_iteration,
     )
     if args.json:
         print(json.dumps(outcome.as_dict(), indent=2))

@@ -1,0 +1,263 @@
+"""Fault-injection differential for the runtime failover path.
+
+The serving stack claims a strong recovery property: when a unit dies
+mid-batch, the session degrades the machine to the survivors, recompiles
+and replays the batch from iteration zero — and the result is *exactly*
+what a cold compile on the degraded configuration would have produced.
+No spliced partial work, no drift. This module machine-checks that claim
+end to end:
+
+1. serve a batch through an :class:`~repro.runtime.session.InferenceSession`
+   carrying a single-event :class:`~repro.pim.faults.FaultModel` (the unit
+   dies at a chosen iteration boundary, the session fails over);
+2. independently build the degraded machine with
+   :meth:`~repro.pim.config.PimConfig.degraded`, compile it from scratch
+   and execute the same batch on the full-unroll oracle engine;
+3. compare the two :meth:`~repro.sim.executor.ExecutionTrace.aggregate_signature`
+   mappings field by field (exact match — the replay is deterministic);
+4. push the degraded plan through the full
+   :class:`~repro.verify.validator.ScheduleValidator` battery (a degraded
+   machine is a smaller-but-ordinary machine; every paper invariant must
+   still hold);
+5. serve the same faulted batch through a *second* session sharing the
+   plan cache and require ``failover_recompiles == 0`` — repeat faults
+   must hit the warm degraded plan, or production failover would pay a
+   full compile on every strike.
+
+A mismatch is a *failover* bug (stale executor state, mis-compacted
+fault trace, wrong cache key), which is why this check rides in
+``python -m repro.verify --faults``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.paraconv import ParaConv
+from repro.graph.taskgraph import TaskGraph
+from repro.pim.config import PimConfig
+from repro.pim.faults import FAULT_UNIT_PE, FAULT_UNIT_VAULT, FaultModel
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.session import InferenceSession
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.modes import SimMode
+from repro.sim.sinks import NullSink
+from repro.verify.validator import ScheduleValidator
+
+__all__ = [
+    "FailoverDifferentialReport",
+    "FailoverMismatch",
+    "failover_differential",
+]
+
+
+@dataclass(frozen=True)
+class FailoverMismatch:
+    """One aggregate field where failover and cold compile disagreed."""
+
+    field: str
+    failover_value: object
+    cold_value: object
+
+    def describe(self) -> str:
+        return (
+            f"{self.field}: failover={self.failover_value!r} "
+            f"cold={self.cold_value!r}"
+        )
+
+
+@dataclass
+class FailoverDifferentialReport:
+    """Outcome of one faulted-run vs cold-degraded-compile comparison."""
+
+    workload: str
+    unit: str
+    unit_id: int
+    fault_iteration: int
+    iterations: int
+    mismatches: List[FailoverMismatch] = field(default_factory=list)
+    #: faults the first (cold) session observed — must be exactly 1.
+    faults_observed: int = 0
+    #: failovers the first session performed — must be exactly 1.
+    failovers: int = 0
+    #: recompiles the *warm* repeat session needed — must be 0 (the
+    #: degraded plan is already in the shared cache).
+    warm_recompiles: Optional[int] = None
+    #: faults the warm session observed — must be 1 (the trace replays).
+    warm_faults: Optional[int] = None
+    #: validator errors found in the degraded plan (must be 0).
+    validator_errors: int = 0
+    #: unexpected exception text (None on a clean run).
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.error is not None or self.mismatches:
+            return False
+        if self.faults_observed != 1 or self.failovers != 1:
+            return False
+        if self.warm_recompiles not in (None, 0):
+            return False
+        if self.warm_faults not in (None, 1):
+            return False
+        return self.validator_errors == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "unit": self.unit,
+            "unit_id": self.unit_id,
+            "fault_iteration": self.fault_iteration,
+            "iterations": self.iterations,
+            "ok": self.ok,
+            "mismatches": [
+                {
+                    "field": m.field,
+                    "failover": repr(m.failover_value),
+                    "cold": repr(m.cold_value),
+                }
+                for m in self.mismatches
+            ],
+            "faults_observed": self.faults_observed,
+            "failovers": self.failovers,
+            "warm_recompiles": self.warm_recompiles,
+            "warm_faults": self.warm_faults,
+            "validator_errors": self.validator_errors,
+            "error": self.error,
+        }
+
+    def describe(self) -> str:
+        tag = (
+            f"{self.workload} {self.unit}{self.unit_id}"
+            f"@{self.fault_iteration} N={self.iterations}"
+        )
+        if self.ok:
+            warm = (
+                f" warm={self.warm_recompiles}rc"
+                if self.warm_recompiles is not None
+                else ""
+            )
+            return f"{tag}: ok [1 failover{warm}]"
+        if self.error is not None:
+            return f"{tag}: ERROR {self.error}"
+        details = "; ".join(m.describe() for m in self.mismatches)
+        return (
+            f"{tag}: FAIL faults={self.faults_observed} "
+            f"failovers={self.failovers} warm={self.warm_recompiles} "
+            f"validator_errors={self.validator_errors} {details}"
+        )
+
+
+def _degraded_reference(
+    config: PimConfig, unit: str, unit_id: int, num_vaults: int
+) -> "tuple[PimConfig, int]":
+    """The degraded machine built *independently* of the session."""
+    if unit == FAULT_UNIT_PE:
+        survivors = [p for p in range(config.num_pes) if p != unit_id]
+        return config.degraded(survivors), num_vaults
+    surviving_vaults = [v for v in range(num_vaults) if v != unit_id]
+    return (
+        config.degraded(list(range(config.num_pes)), surviving_vaults),
+        len(surviving_vaults),
+    )
+
+
+def failover_differential(
+    graph: TaskGraph,
+    config: PimConfig,
+    unit: str = FAULT_UNIT_PE,
+    unit_id: int = 0,
+    fault_iteration: int = 3,
+    iterations: int = 20,
+    allocator: str = "dp",
+    num_vaults: int = 32,
+    cache: Optional[PlanCache] = None,
+    validator: Optional[ScheduleValidator] = None,
+    check_warm: bool = True,
+) -> FailoverDifferentialReport:
+    """Assert faulted-then-failed-over == cold compile on degraded config.
+
+    ``cache`` may be shared across calls; a fresh private cache is used
+    when omitted so the warm-repeat check is self-contained either way.
+    """
+    if unit not in (FAULT_UNIT_PE, FAULT_UNIT_VAULT):
+        raise ValueError(f"unit must be 'pe' or 'vault', got {unit!r}")
+    report = FailoverDifferentialReport(
+        workload=graph.name,
+        unit=unit,
+        unit_id=unit_id,
+        fault_iteration=fault_iteration,
+        iterations=iterations,
+    )
+    cache = cache if cache is not None else PlanCache()
+    fault_model = FaultModel.single(unit, unit_id, fault_iteration)
+    try:
+        session = InferenceSession(
+            graph,
+            config,
+            allocator=allocator,
+            cache=cache,
+            num_vaults=num_vaults,
+            fault_model=fault_model,
+        )
+        session.run(iterations)
+        report.faults_observed = session.faults_observed
+        report.failovers = session.failovers
+        assert session.last_trace is not None
+
+        # Independent cold reference: degrade, compile, full unroll.
+        degraded_config, degraded_vaults = _degraded_reference(
+            config, unit, unit_id, num_vaults
+        )
+        cold_plan = ParaConv(degraded_config, allocator_name=allocator).run(
+            graph
+        )
+        cold_trace = ScheduleExecutor(
+            degraded_config, num_vaults=degraded_vaults,
+            mode=SimMode.FULL_UNROLL,
+        ).execute(cold_plan, iterations=iterations, sink=NullSink())
+
+        reference = cold_trace.aggregate_signature()
+        candidate = session.last_trace.aggregate_signature()
+        for key in sorted(set(reference) | set(candidate)):
+            cold_value = reference.get(key)
+            failover_value = candidate.get(key)
+            if cold_value != failover_value:
+                report.mismatches.append(
+                    FailoverMismatch(
+                        field=key,
+                        failover_value=failover_value,
+                        cold_value=cold_value,
+                    )
+                )
+        # The session must be serving exactly the reference machine.
+        if session.active_config.fingerprint() != degraded_config.fingerprint():
+            report.mismatches.append(
+                FailoverMismatch(
+                    field="config_fingerprint",
+                    failover_value=session.active_config.fingerprint(),
+                    cold_value=degraded_config.fingerprint(),
+                )
+            )
+
+        # Degraded plans are ordinary plans: the full invariant battery
+        # must pass on the cold reference compile.
+        battery = (validator or ScheduleValidator()).validate(cold_plan)
+        report.validator_errors = len(battery.errors())
+
+        if check_warm:
+            warm = InferenceSession(
+                graph,
+                config,
+                allocator=allocator,
+                cache=cache,
+                num_vaults=num_vaults,
+                fault_model=fault_model,
+            )
+            warm.run(iterations)
+            report.warm_recompiles = warm.failover_recompiles
+            report.warm_faults = warm.faults_observed
+    except Exception as exc:  # noqa: BLE001 — differential must report, not crash
+        report.error = f"{type(exc).__name__}: {exc}"
+    return report

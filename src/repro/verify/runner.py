@@ -21,6 +21,10 @@ from repro.core.retiming import analyze_edges
 from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
 from repro.graph.taskgraph import TaskGraph
 from repro.pim.config import PimConfig
+from repro.verify.differential_failover import (
+    FailoverDifferentialReport,
+    failover_differential,
+)
 from repro.verify.differential_sim import (
     DEFAULT_SIM_ITERATIONS,
     SimDifferentialReport,
@@ -45,6 +49,10 @@ class WorkloadVerification:
     simulation: Dict[str, List[SimDifferentialReport]] = field(
         default_factory=dict
     )
+    #: runtime failover differential: faulted-then-failed-over serving
+    #: must equal a cold compile on the degraded machine (None when the
+    #: failover stage was not requested).
+    failover: Optional[FailoverDifferentialReport] = None
 
     @property
     def ok(self) -> bool:
@@ -53,6 +61,8 @@ class WorkloadVerification:
         if self.differential is not None and not self.differential.ok:
             return False
         if self.faults is not None and not self.faults.ok:
+            return False
+        if self.failover is not None and not self.failover.ok:
             return False
         for battery in self.simulation.values():
             if any(not report.ok for report in battery):
@@ -70,6 +80,7 @@ class WorkloadVerification:
                 self.differential.as_dict() if self.differential else None
             ),
             "faults": self.faults.as_dict() if self.faults else None,
+            "failover": self.failover.as_dict() if self.failover else None,
             "simulation": {
                 name: [report.as_dict() for report in battery]
                 for name, battery in self.simulation.items()
@@ -124,6 +135,18 @@ class SweepOutcome:
                     f"faults={len(workload.faults.detected)}/"
                     f"{len(workload.faults.detected) + len(workload.faults.missed)}"
                 )
+            if workload.failover is not None:
+                verdict = "ok" if workload.failover.ok else "FAIL"
+                warm = (
+                    f",warm={workload.failover.warm_recompiles}rc"
+                    if workload.failover.warm_recompiles is not None
+                    else ""
+                )
+                extras.append(
+                    f"failover[{workload.failover.unit}"
+                    f"{workload.failover.unit_id}"
+                    f"@{workload.failover.fault_iteration}{warm}]={verdict}"
+                )
             if workload.simulation:
                 batteries = [
                     report
@@ -153,12 +176,21 @@ def verify_workload(
     fault_seed: int = 0,
     with_simulation: bool = False,
     sim_iterations: Optional[List[int]] = None,
+    with_failover: bool = False,
+    failover_unit: str = "pe",
+    failover_unit_id: int = 0,
+    failover_iteration: int = 3,
+    failover_batch: int = 20,
 ) -> WorkloadVerification:
     """Run the full verification battery for one workload.
 
     The DP plan's width is reused for the other allocators so all of them
     are validated on the same kernel/grouping decision (isolating the
     allocation policy, exactly like the ablation experiments).
+    ``with_failover`` adds the runtime fault-injection differential: a
+    served batch that hits a fault and fails over must produce the same
+    aggregates as a cold compile on the degraded machine, and a warm
+    repeat of the same fault must not recompile.
     """
     names = allocators if allocators is not None else sorted(ALLOCATORS)
     validator = validator or ScheduleValidator()
@@ -208,6 +240,16 @@ def verify_workload(
         outcome.faults = fault_detection_report(
             dp_plan, validator=validator, seed=fault_seed
         )
+    if with_failover:
+        outcome.failover = failover_differential(
+            graph,
+            config,
+            unit=failover_unit,
+            unit_id=failover_unit_id,
+            fault_iteration=failover_iteration,
+            iterations=failover_batch,
+            validator=validator,
+        )
     return outcome
 
 
@@ -222,6 +264,11 @@ def run_verification_sweep(
     fault_seed: int = 0,
     with_simulation: bool = False,
     sim_iterations: Optional[List[int]] = None,
+    with_failover: bool = False,
+    failover_unit: str = "pe",
+    failover_unit_id: int = 0,
+    failover_iteration: int = 3,
+    failover_batch: int = 20,
 ) -> SweepOutcome:
     """Verify benchmarks x allocators on one machine configuration."""
     config = config or PimConfig()
@@ -244,6 +291,11 @@ def run_verification_sweep(
                 fault_seed=fault_seed,
                 with_simulation=with_simulation,
                 sim_iterations=sim_iterations,
+                with_failover=with_failover,
+                failover_unit=failover_unit,
+                failover_unit_id=failover_unit_id,
+                failover_iteration=failover_iteration,
+                failover_batch=failover_batch,
             )
         )
     return outcome

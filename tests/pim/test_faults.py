@@ -1,0 +1,200 @@
+"""FaultModel semantics and PimConfig degraded-mode views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pim.config import ConfigurationError, PimConfig
+from repro.pim.faults import (
+    FAULT_UNIT_PE,
+    FAULT_UNIT_VAULT,
+    FaultEvent,
+    FaultModel,
+    FaultModelError,
+)
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(FaultModelError):
+            FaultEvent(-1, FAULT_UNIT_PE, 0)
+        with pytest.raises(FaultModelError):
+            FaultEvent(1, "gpu", 0)
+        with pytest.raises(FaultModelError):
+            FaultEvent(1, FAULT_UNIT_PE, -2)
+
+    def test_round_trip(self):
+        event = FaultEvent(7, FAULT_UNIT_VAULT, 3)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+class TestFaultModel:
+    def test_trivial(self):
+        assert FaultModel.none().is_trivial
+        assert not FaultModel.static(failed_pes=[1]).is_trivial
+        assert not FaultModel.single(FAULT_UNIT_PE, 0, 3).is_trivial
+
+    def test_events_sorted_and_deduped(self):
+        model = FaultModel(
+            events=(
+                FaultEvent(9, FAULT_UNIT_PE, 1),
+                FaultEvent(3, FAULT_UNIT_PE, 2),
+                FaultEvent(5, FAULT_UNIT_PE, 1),  # earlier strike wins
+            )
+        )
+        assert [e.iteration for e in model.events] == [3, 5]
+        # The earliest event for a unit wins; the later one is dropped.
+        assert model.fault_iteration_of(FAULT_UNIT_PE, 1) == 5
+
+    def test_earliest_event_wins_for_duplicate_unit(self):
+        model = FaultModel(
+            events=(
+                FaultEvent(5, FAULT_UNIT_PE, 1),
+                FaultEvent(9, FAULT_UNIT_PE, 1),
+            )
+        )
+        assert len(model.events) == 1
+        assert model.fault_iteration_of(FAULT_UNIT_PE, 1) == 5
+
+    def test_statically_dead_units_drop_redundant_events(self):
+        model = FaultModel(
+            failed_pes=frozenset({2}),
+            events=(FaultEvent(4, FAULT_UNIT_PE, 2),),
+        )
+        assert model.events == ()
+        assert model.fault_iteration_of(FAULT_UNIT_PE, 2) == 0
+
+    def test_mask_at_is_monotone(self):
+        model = FaultModel(
+            failed_pes=frozenset({0}),
+            events=(
+                FaultEvent(3, FAULT_UNIT_PE, 1),
+                FaultEvent(5, FAULT_UNIT_VAULT, 2),
+            ),
+        )
+        pes0, vaults0 = model.mask_at(0)
+        assert pes0 == {0} and vaults0 == frozenset()
+        pes3, vaults3 = model.mask_at(3)
+        assert pes3 == {0, 1} and vaults3 == frozenset()
+        pes9, vaults9 = model.mask_at(9)
+        assert pes9 == {0, 1} and vaults9 == {2}
+
+    def test_next_event_after(self):
+        model = FaultModel(
+            events=(
+                FaultEvent(3, FAULT_UNIT_PE, 1),
+                FaultEvent(8, FAULT_UNIT_PE, 2),
+            )
+        )
+        assert model.next_event_after(0) == 3
+        assert model.next_event_after(3) == 8
+        assert model.next_event_after(8) is None
+
+    def test_fault_iteration_of_unknown_unit(self):
+        with pytest.raises(FaultModelError):
+            FaultModel.none().fault_iteration_of(FAULT_UNIT_PE, 0)
+
+    def test_compacted_remaps_and_drops(self):
+        model = FaultModel(
+            failed_pes=frozenset({0}),
+            events=(
+                FaultEvent(3, FAULT_UNIT_PE, 2),
+                FaultEvent(7, FAULT_UNIT_VAULT, 1),
+            ),
+        )
+        # PE 0 removed; survivors 1..3 become 0..2, so PE 2 -> PE 1.
+        compacted = model.compacted([1, 2, 3], [0, 1])
+        assert compacted.failed_pes == frozenset()
+        assert compacted.events == (
+            FaultEvent(3, FAULT_UNIT_PE, 1),
+            FaultEvent(7, FAULT_UNIT_VAULT, 1),
+        )
+        # Dropping the faulted units yields a trivial model.
+        assert model.compacted([1, 3], [0]).is_trivial
+
+    def test_serialization_round_trip_and_fingerprint(self):
+        model = FaultModel(
+            failed_pes=frozenset({1}),
+            failed_vaults=frozenset({4}),
+            events=(FaultEvent(2, FAULT_UNIT_PE, 0),),
+        )
+        clone = FaultModel.from_dict(model.to_dict())
+        assert clone == model
+        assert clone.fingerprint() == model.fingerprint()
+        assert model.fingerprint() != FaultModel.none().fingerprint()
+
+    def test_random_trace_is_deterministic(self):
+        a = FaultModel.random_trace(seed=11, num_pes=8, num_events=3)
+        b = FaultModel.random_trace(seed=11, num_pes=8, num_events=3)
+        assert a == b and len(a.events) == 3
+        c = FaultModel.random_trace(seed=12, num_pes=8, num_events=3)
+        assert a != c
+
+    def test_describe(self):
+        assert FaultModel.none().describe() == "no faults"
+        text = FaultModel.single(FAULT_UNIT_PE, 3, 5).describe()
+        assert "pe 3" in text and "iteration 5" in text
+
+
+class TestDegradedConfig:
+    def test_healthy_fingerprint_unchanged_by_mask_fields(self):
+        """Healthy configs must serialize exactly as before fault tolerance
+        existed, keeping golden fixtures and disk-cached plans valid."""
+        config = PimConfig(num_pes=16)
+        payload = config.to_dict()
+        assert "pe_mask" not in payload
+        assert "vault_mask" not in payload
+
+    def test_degraded_shrinks_and_fingerprints_distinctly(self):
+        config = PimConfig(num_pes=16)
+        a = config.degraded([p for p in range(16) if p != 0])
+        b = config.degraded([p for p in range(16) if p != 5])
+        assert a.num_pes == b.num_pes == 15
+        assert a.is_degraded and b.is_degraded
+        assert a.fingerprint() != b.fingerprint() != config.fingerprint()
+        # The aggregate cache shrinks with the dead PE.
+        assert a.total_cache_bytes == 15 * config.cache_bytes_per_pe
+
+    def test_degraded_composes_through_existing_mask(self):
+        config = PimConfig(num_pes=4)
+        once = config.degraded([0, 2, 3])  # PE 1 died
+        twice = once.degraded([0, 1])  # then survivor index 2 (physical 3)
+        assert twice.pe_mask == (0, 2)  # physical provenance preserved
+        assert twice.num_pes == 2
+
+    def test_degraded_vaults(self):
+        config = PimConfig(num_pes=4)
+        degraded = config.degraded([0, 1, 2, 3], [v for v in range(8) if v != 2])
+        assert degraded.vault_mask == (0, 1, 3, 4, 5, 6, 7)
+        assert degraded.num_pes == 4
+        assert degraded.is_degraded
+
+    def test_degraded_validation(self):
+        config = PimConfig(num_pes=4)
+        with pytest.raises(ConfigurationError):
+            config.degraded([])
+        with pytest.raises(ConfigurationError):
+            config.degraded([0, 9])
+        with pytest.raises(ConfigurationError):
+            config.degraded([0, 1], [])
+
+    def test_round_trip_preserves_masks(self):
+        config = PimConfig(num_pes=8).degraded([0, 1, 2, 4, 5, 6, 7], [0, 1])
+        clone = PimConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.fingerprint() == config.fingerprint()
+
+    def test_with_pes_drops_mask(self):
+        degraded = PimConfig(num_pes=8).degraded(range(7))
+        carved = degraded.with_pes(3)
+        assert carved.pe_mask is None and carved.num_pes == 3
+
+    def test_describe_marks_degradation(self):
+        assert "degraded" in PimConfig(num_pes=4).degraded([0, 1]).describe()
+        assert "degraded" not in PimConfig(num_pes=4).describe()
+
+    def test_mask_consistency_enforced(self):
+        with pytest.raises(ConfigurationError):
+            PimConfig(num_pes=4, pe_mask=(0, 1))  # length mismatch
+        with pytest.raises(ConfigurationError):
+            PimConfig(num_pes=2, pe_mask=(0, 0))  # duplicates

@@ -115,3 +115,68 @@ class TestRegistry:
 
     def test_empty_render(self):
         assert MetricsRegistry().render() == "(no metrics recorded)"
+
+
+class TestThreadSafety:
+    """Regression: instrument mutation used to race (registry lock only
+    guarded dict creation), silently dropping increments under the
+    multi-threaded warmup/failover paths."""
+
+    def test_concurrent_hammer_is_exact(self):
+        import threading
+
+        registry = MetricsRegistry()
+        threads = 8
+        per_thread = 2_000
+        barrier = threading.Barrier(threads)
+
+        def hammer(worker: int) -> None:
+            counter = registry.counter("served")
+            gauge = registry.gauge("accumulator")
+            hist = registry.histogram("lat", reservoir_size=64)
+            barrier.wait()
+            for i in range(per_thread):
+                counter.inc()
+                gauge.add(1.0)
+                hist.observe(float(worker * per_thread + i))
+
+        workers = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        total = threads * per_thread
+        snap = registry.snapshot()
+        assert snap["counters"]["served"] == total
+        assert snap["gauges"]["accumulator"] == float(total)
+        assert snap["histograms"]["lat"]["count"] == total
+
+    def test_summary_consistent_under_concurrent_observe(self):
+        import threading
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", reservoir_size=32)
+        stop = threading.Event()
+
+        def writer() -> None:
+            value = 0.0
+            while not stop.is_set():
+                value += 1.0
+                hist.observe(value)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                summary = hist.summary()
+                if summary["count"]:
+                    assert summary["min"] <= summary["p50"] <= summary["max"]
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_instrument_locks_do_not_break_equality(self):
+        assert Counter("a", 3) == Counter("a", 3)
+        assert Gauge("g", 1.0) == Gauge("g", 1.0)

@@ -160,6 +160,82 @@ class TestTiming:
         assert "plan cache" in server.stats_report()
 
 
+class TestResultsRetention:
+    """The retained result history is bounded; aggregates stay exact."""
+
+    def test_results_deque_is_bounded(self, config):
+        server = make_server(config, results_retention=3, batch_window=2)
+        for _ in range(7):
+            server.submit("cat")
+        served = server.drain()
+        assert len(served) == 7  # callers still see every result
+        retained = server.results
+        assert len(retained) == 3  # but the history is capped
+        # Newest results survive, oldest are evicted.
+        kept_ids = [r.request.request_id for r in retained]
+        assert kept_ids == [5, 6, 7]
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["results_evicted"] == 4
+        assert counters["requests_served"] == 7
+
+    def test_throughput_exact_despite_eviction(self, config):
+        server = make_server(config, results_retention=2, batch_window=2)
+        for _ in range(6):
+            server.submit("cat", iterations=2)
+        served = server.drain()
+        assert len(server.results) == 2  # history truncated...
+        summary = server.throughput_summary()
+        assert summary["inferences"] == 12.0  # ...aggregates are not
+        # wall aggregates are accumulated outside the bounded history,
+        # so eviction never skews the wall-throughput figure: the sum
+        # covers all six served requests, not just the two retained.
+        assert server._wall_seconds_served == pytest.approx(
+            sum(r.batch.wall_seconds for r in served)
+        )
+        assert server._wall_seconds_served > sum(
+            r.batch.wall_seconds for r in server.results
+        )
+
+    def test_no_eviction_below_cap(self, config):
+        server = make_server(config, results_retention=100)
+        for _ in range(4):
+            server.submit("cat")
+        server.drain()
+        assert len(server.results) == 4
+        assert "results_evicted" not in server.metrics.snapshot()["counters"]
+
+    def test_invalid_retention(self, config):
+        with pytest.raises(ValueError):
+            make_server(config, results_retention=0)
+
+
+class TestSubmitValidation:
+    """Malformed requests raise ValueError and never consume queue slots."""
+
+    @pytest.mark.parametrize("iterations", [0, -1, -100])
+    def test_non_positive_iterations_rejected(self, config, iterations):
+        server = make_server(config)
+        with pytest.raises(ValueError):
+            server.submit("cat", iterations=iterations)
+        assert server.queue_depth == 0
+        counters = server.metrics.snapshot()["counters"]
+        assert "requests_accepted" not in counters
+        assert "requests_rejected" not in counters
+
+    def test_validation_precedes_queue_full(self, config):
+        """A bad request on a full queue is a ValueError, not
+        backpressure — and it must not bump requests_rejected."""
+        server = make_server(config, max_queue=1)
+        server.submit("cat")
+        with pytest.raises(ValueError):
+            server.submit("cat", iterations=0)
+        counters = server.metrics.snapshot()["counters"]
+        assert "requests_rejected" not in counters
+        # the queue-full path still works for well-formed requests
+        with pytest.raises(QueueFullError):
+            server.submit("cat")
+
+
 class TestCustomGraphs:
     def test_loader_injection(self, config):
         served = []

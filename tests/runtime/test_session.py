@@ -88,6 +88,26 @@ class TestEquivalence:
         assert a.stats == b.stats
 
 
+class TestRunValidation:
+    """Regression: run() must reject non-positive iteration counts."""
+
+    @pytest.mark.parametrize("iterations", [0, -1, -50])
+    def test_non_positive_iterations_raise(self, graph, config, iterations):
+        session = InferenceSession(graph, config)
+        with pytest.raises(ValueError):
+            session.run(iterations)
+        # The rejected call must not have compiled or executed anything.
+        assert session.compilations == 0
+        assert session.last_trace is None
+
+    def test_session_still_usable_after_rejection(self, graph, config):
+        session = InferenceSession(graph, config)
+        with pytest.raises(ValueError):
+            session.run(0)
+        batch = session.run(2)
+        assert batch.iterations == 2
+
+
 class TestBatchResult:
     def test_throughputs(self, graph, config):
         session = InferenceSession(graph, config)

@@ -1,0 +1,138 @@
+"""Tests for the runtime failover fault-injection differential."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import synthetic_benchmark
+from repro.pim.config import PimConfig
+from repro.pim.faults import FAULT_UNIT_PE, FAULT_UNIT_VAULT
+from repro.runtime.plan_cache import PlanCache
+from repro.verify.differential_failover import (
+    FailoverDifferentialReport,
+    FailoverMismatch,
+    failover_differential,
+)
+from repro.verify.runner import verify_workload
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return PimConfig(num_pes=16, iterations=100)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return synthetic_benchmark("cat")
+
+
+class TestFailoverDifferential:
+    def test_pe_fault_differential_is_clean(self, graph, machine):
+        report = failover_differential(graph, machine, iterations=20)
+        assert report.ok, report.describe()
+        assert report.mismatches == []
+        assert report.faults_observed == 1
+        assert report.failovers == 1
+        assert report.warm_recompiles == 0  # second strike hit the cache
+        assert report.warm_faults == 1  # the fault trace still replays
+        assert report.validator_errors == 0
+        assert "ok" in report.describe()
+
+    def test_vault_fault_differential_is_clean(self, graph, machine):
+        report = failover_differential(
+            graph,
+            machine,
+            unit=FAULT_UNIT_VAULT,
+            unit_id=2,
+            fault_iteration=1,
+            iterations=10,
+        )
+        assert report.ok, report.describe()
+        assert report.unit == FAULT_UNIT_VAULT and report.unit_id == 2
+
+    def test_shared_cache_and_no_warm_check(self, graph, machine):
+        cache = PlanCache(capacity=8)
+        report = failover_differential(
+            graph, machine, cache=cache, check_warm=False
+        )
+        assert report.ok
+        assert report.warm_recompiles is None and report.warm_faults is None
+        # healthy + degraded plans both landed in the shared cache
+        assert cache.stats.misses == 2
+
+    def test_invalid_unit_rejected(self, graph, machine):
+        with pytest.raises(ValueError):
+            failover_differential(graph, machine, unit="gpu")
+
+    def test_unreachable_fault_flags_vacuous_scenario(self, machine):
+        """A fault id outside the machine never fires: the differential
+        must flag the vacuous scenario (faults_observed == 0) instead of
+        reporting a hollow pass."""
+        graph = synthetic_benchmark("cat")
+        report = failover_differential(
+            graph, machine, unit_id=machine.num_pes + 5
+        )
+        assert not report.ok
+        assert report.faults_observed == 0 and report.failovers == 0
+        assert "FAIL" in report.describe()
+
+    def test_as_dict_round_trips_fields(self):
+        report = FailoverDifferentialReport(
+            workload="x",
+            unit=FAULT_UNIT_PE,
+            unit_id=0,
+            fault_iteration=3,
+            iterations=20,
+        )
+        report.mismatches.append(
+            FailoverMismatch(
+                field="busy_units", failover_value=1, cold_value=2
+            )
+        )
+        payload = report.as_dict()
+        assert payload["ok"] is False
+        assert payload["mismatches"][0]["field"] == "busy_units"
+        assert "busy_units" in report.describe()
+
+    def test_ok_requires_exactly_one_failover(self):
+        report = FailoverDifferentialReport(
+            workload="x",
+            unit=FAULT_UNIT_PE,
+            unit_id=0,
+            fault_iteration=3,
+            iterations=20,
+            faults_observed=0,
+            failovers=0,
+        )
+        assert not report.ok  # the fault never fired: scenario is vacuous
+        report.faults_observed = report.failovers = 1
+        assert report.ok
+        report.warm_recompiles = 1
+        assert not report.ok  # warm repeat paid a compile
+
+
+class TestRunnerIntegration:
+    def test_verify_workload_populates_failover(self, graph, machine):
+        outcome = verify_workload(
+            graph,
+            machine,
+            allocators=["dp"],
+            with_differential=False,
+            with_faults=False,
+            with_failover=True,
+        )
+        assert outcome.failover is not None
+        assert outcome.failover.ok
+        assert outcome.ok
+        assert outcome.as_dict()["failover"]["ok"] is True
+
+    def test_failover_off_by_default(self, graph, machine):
+        outcome = verify_workload(
+            graph,
+            machine,
+            allocators=["dp"],
+            with_differential=False,
+            with_faults=False,
+        )
+        assert outcome.failover is None
+        assert outcome.as_dict()["failover"] is None
