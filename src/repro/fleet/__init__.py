@@ -1,0 +1,62 @@
+"""Sharded multi-worker serving tier over partitioned PIM machines.
+
+The fleet lifts the single-machine serving stack (plan cache, inference
+session, batching server) to N shards of one physical machine:
+
+* :class:`HashRing` — consistent hashing on plan fingerprints, so every
+  request lands on the shard whose cache is warm for its plan;
+* :class:`SloClass` / :class:`SloPolicy` — typed per-class admission
+  control and dispatch-deadline shedding;
+* :class:`SharedPlanStore` — content-addressed disk artifact tier shared
+  by every shard (compile once anywhere, warm everywhere), safe for
+  concurrent writers;
+* :class:`FleetWorker` — one shard: a machine partition, a batching
+  server, a virtual-time horizon;
+* :class:`FleetRouter` — routing, admission, pump/drain, and fleet-level
+  failover with zero lost requests on whole-worker death;
+* :class:`FleetLoadGenerator` / :func:`run_bench` — deterministic
+  trace-driven bench behind ``python -m repro.fleet bench``.
+"""
+
+from repro.fleet.hashing import EmptyRingError, HashRing
+from repro.fleet.loadgen import (
+    DEFAULT_SLO_MIX,
+    FleetLoadGenerator,
+    TraceRequest,
+    run_bench,
+)
+from repro.fleet.router import FleetConfigurationError, FleetRouter
+from repro.fleet.slo import (
+    DEFAULT_SLO_POLICIES,
+    FleetAdmissionError,
+    SloClass,
+    SloPolicy,
+)
+from repro.fleet.store import SharedPlanStore, StoreStats
+from repro.fleet.worker import (
+    FleetResult,
+    FleetWorker,
+    RequestMeta,
+    WorkerDeadError,
+)
+
+__all__ = [
+    "DEFAULT_SLO_MIX",
+    "DEFAULT_SLO_POLICIES",
+    "EmptyRingError",
+    "FleetAdmissionError",
+    "FleetConfigurationError",
+    "FleetLoadGenerator",
+    "FleetResult",
+    "FleetRouter",
+    "FleetWorker",
+    "HashRing",
+    "RequestMeta",
+    "SharedPlanStore",
+    "SloClass",
+    "SloPolicy",
+    "StoreStats",
+    "TraceRequest",
+    "WorkerDeadError",
+    "run_bench",
+]

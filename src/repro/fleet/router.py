@@ -1,0 +1,344 @@
+"""Fleet front-end: plan-affinity routing, SLO admission, failover.
+
+The router is to the fleet what the batching server is to one machine: a
+deterministic synchronous core. ``submit()`` admission-controls by SLO
+class and routes by consistent hashing on the *plan fingerprint* — the
+content-addressed identity of the plan the request needs — so every
+request lands on the shard whose warm plan cache already holds (or will
+hold, after one compile) its plan. ``pump()`` sheds deadline-expired
+requests, serves queued batches shard by shard, and folds per-class
+latency into the fleet metrics. ``kill_worker()`` is the PR 5 failover
+story lifted to fleet granularity: the dead shard leaves the ring, its
+queue is drained and re-routed to the ring survivors, and the accounting
+proves zero admitted requests were lost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.cnn.workloads import load_workload
+from repro.graph.taskgraph import TaskGraph
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.plan_cache import PlanKey
+from repro.runtime.server import InferenceRequest, QueueFullError
+
+from repro.fleet.hashing import HashRing
+from repro.fleet.slo import (
+    DEFAULT_SLO_POLICIES,
+    FleetAdmissionError,
+    SloClass,
+    SloPolicy,
+)
+from repro.fleet.worker import FleetResult, FleetWorker, RequestMeta
+
+
+class FleetConfigurationError(ValueError):
+    """Raised for inconsistent fleet wiring."""
+
+
+class FleetRouter:
+    """Deterministic fleet front-end over N :class:`FleetWorker` shards.
+
+    Args:
+        workers: the shards. Worker ids must be unique — they are the
+            consistent-hash ring members.
+        policies: per-:class:`SloClass` admission policy; classes absent
+            from the mapping fall back to :data:`DEFAULT_SLO_POLICIES`.
+        replicas: virtual nodes per shard on the ring.
+        graph_loader: workload-name resolver used to fingerprint plans
+            for routing (injectable for tests, like the server's).
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[FleetWorker],
+        policies: Optional[Mapping[SloClass, SloPolicy]] = None,
+        replicas: int = 64,
+        graph_loader: Optional[Callable[[str], TaskGraph]] = None,
+    ):
+        if not workers:
+            raise FleetConfigurationError("a fleet needs at least one worker")
+        ids = [w.worker_id for w in workers]
+        if len(set(ids)) != len(ids):
+            raise FleetConfigurationError(f"duplicate worker ids in {ids}")
+        self.workers: Dict[str, FleetWorker] = {
+            w.worker_id: w for w in workers
+        }
+        self.policies: Dict[SloClass, SloPolicy] = dict(DEFAULT_SLO_POLICIES)
+        if policies:
+            self.policies.update(policies)
+        self.ring = HashRing(ids, replicas=replicas)
+        self.graph_loader = (
+            graph_loader if graph_loader is not None else load_workload
+        )
+        self.metrics = MetricsRegistry()
+        #: virtual now, in simulated time units (monotone).
+        self.now_units: int = 0
+        self._fleet_ids = itertools.count(1)
+        self._queued_by_class: Dict[SloClass, int] = {
+            slo: 0 for slo in SloClass
+        }
+        self._affinity_keys: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def affinity_key(self, workload: str) -> str:
+        """The plan fingerprint this workload's requests hash on.
+
+        This is the content-addressed :class:`PlanKey` digest of the plan
+        the request needs — graph fingerprint, the fleet's *logical*
+        shard shape, and the allocator knob — i.e. exactly the key the
+        shard's plan cache will use. Cached per workload: routing a
+        million requests fingerprints each distinct workload once.
+        """
+        key = self._affinity_keys.get(workload)
+        if key is None:
+            reference = next(iter(self.workers.values()))
+            key = PlanKey(
+                graph_fingerprint=self.graph_loader(workload).fingerprint(),
+                config_fingerprint=(
+                    reference.serving_config.fingerprint()
+                ),
+                allocator=reference.server.allocator,
+            ).digest
+            self._affinity_keys[workload] = key
+        return key
+
+    def worker_for(self, workload: str) -> FleetWorker:
+        """The shard currently owning this workload's plan key range."""
+        return self.workers[self.ring.route(self.affinity_key(workload))]
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    def advance_to(self, units: int) -> None:
+        """Move virtual now forward (never backward)."""
+        self.now_units = max(self.now_units, int(units))
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Admitted-but-unserved requests across the whole fleet."""
+        return sum(self._queued_by_class.values())
+
+    def class_depth(self, slo: "SloClass | str") -> int:
+        return self._queued_by_class[SloClass.from_name(slo)]
+
+    def submit(
+        self,
+        workload: str,
+        iterations: int = 1,
+        slo: "SloClass | str" = SloClass.STANDARD,
+    ) -> InferenceRequest:
+        """Admit and route one request.
+
+        Raises :class:`FleetAdmissionError` when the request's SLO class
+        is at its fleet-wide depth bound, and propagates the shard's
+        :class:`~repro.runtime.server.QueueFullError` when the owning
+        shard itself is saturated — both are typed backpressure; the
+        caller owns retry policy.
+        """
+        slo = SloClass.from_name(slo)
+        policy = self.policies[slo]
+        depth = self._queued_by_class[slo]
+        if depth >= policy.max_queue_depth:
+            self.metrics.counter("fleet.requests_rejected").inc()
+            self.metrics.counter(
+                f"fleet.requests_rejected.{slo.value}"
+            ).inc()
+            raise FleetAdmissionError(
+                slo, depth, policy.max_queue_depth, workload
+            )
+        worker = self.worker_for(workload)
+        request = worker.submit(
+            workload,
+            iterations=iterations,
+            slo=slo,
+            arrival_units=self.now_units,
+            fleet_id=next(self._fleet_ids),
+        )
+        self._queued_by_class[slo] += 1
+        self.metrics.counter("fleet.requests_admitted").inc()
+        self.metrics.counter(f"fleet.requests_admitted.{slo.value}").inc()
+        return request
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def _record_served(self, results: List[FleetResult]) -> None:
+        for res in results:
+            self._queued_by_class[res.slo] -= 1
+            self.metrics.counter("fleet.requests_served").inc()
+            self.metrics.histogram("fleet.latency_units").observe(
+                res.latency_units
+            )
+            self.metrics.histogram(
+                f"fleet.latency_units.{res.slo.value}"
+            ).observe(res.latency_units)
+
+    def _record_shed(self, shed: List[tuple]) -> None:
+        for _request, meta in shed:
+            self._queued_by_class[meta.slo] -= 1
+            self.metrics.counter("fleet.requests_shed").inc()
+            self.metrics.counter(
+                f"fleet.requests_shed.{meta.slo.value}"
+            ).inc()
+
+    def pump(self, max_batches: Optional[int] = None) -> List[FleetResult]:
+        """One scheduling round: shed expired, serve every live shard.
+
+        A shard found dead with work still queued (killed outside
+        :meth:`kill_worker`) is failed over here before serving, so the
+        router never strands a queue.
+        """
+        results: List[FleetResult] = []
+        for worker in list(self.workers.values()):
+            if not worker.alive:
+                if worker.worker_id in self.ring:
+                    self._fail_over(worker)
+                continue
+            self._record_shed(
+                worker.shed_expired(self.now_units, self.policies)
+            )
+            served = worker.pump(self.now_units, max_batches=max_batches)
+            self._record_served(served)
+            results.extend(served)
+        return results
+
+    def drain(self) -> List[FleetResult]:
+        """Pump until no admitted request remains queued anywhere."""
+        results: List[FleetResult] = []
+        while self.queue_depth:
+            round_results = self.pump()
+            results.extend(round_results)
+            if not round_results and self.queue_depth:
+                # Every remaining request was shed (or there are no live
+                # shards left) — pump() made no progress serving, and
+                # another round would spin forever.
+                if not any(w.alive for w in self.workers.values()):
+                    raise FleetConfigurationError(
+                        "no live workers remain but requests are queued"
+                    )
+                if not any(
+                    w.queue_depth for w in self.workers.values() if w.alive
+                ):
+                    break
+        return results
+
+    # ------------------------------------------------------------------
+    # fleet failover
+    # ------------------------------------------------------------------
+    def kill_worker(self, worker_id: str) -> int:
+        """Kill one shard and fail its queue over to the survivors.
+
+        Returns the number of re-routed requests. The dead shard leaves
+        the ring first (so re-routing hashes onto survivors only), then
+        its queue is drained and re-submitted *preserving each request's
+        fleet identity* — original arrival time, SLO class and fleet id —
+        so latency accounting keeps charging the full queueing delay and
+        zero admitted requests are lost.
+        """
+        worker = self.workers[worker_id]
+        worker.kill()
+        return self._fail_over(worker)
+
+    def _fail_over(self, worker: FleetWorker) -> int:
+        if worker.worker_id in self.ring:
+            self.ring.remove(worker.worker_id)
+        self.metrics.counter("fleet.workers_lost").inc()
+        evicted = worker.drain_queued()
+        for request, meta in evicted:
+            self._reroute(request, meta)
+        self.metrics.counter("fleet.requests_rerouted").inc(len(evicted))
+        return len(evicted)
+
+    def _reroute(self, request: InferenceRequest, meta: RequestMeta) -> None:
+        """Re-enqueue one already-admitted request on a surviving shard.
+
+        Admission control is *not* re-applied — the request was already
+        admitted once. A saturated survivor is pumped (which can only
+        drain its queue) and the submit retried; with at least one live
+        shard this terminates, because every pump makes room.
+        """
+        while True:
+            target = self.workers[
+                self.ring.route(self.affinity_key(request.workload))
+            ]
+            try:
+                target.submit(
+                    request.workload,
+                    iterations=request.iterations,
+                    slo=meta.slo,
+                    arrival_units=meta.arrival_units,
+                    fleet_id=meta.fleet_id,
+                )
+                return
+            except QueueFullError:
+                self._record_served(
+                    target.pump(self.now_units)
+                )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def fleet_metrics(self) -> MetricsRegistry:
+        """One merged registry: router counters + every shard's metrics."""
+        merged = MetricsRegistry()
+        merged.merge(self.metrics)
+        for worker in self.workers.values():
+            merged.merge(worker.server.metrics)
+        return merged
+
+    def cache_summary(self) -> Dict[str, Any]:
+        """Aggregate plan-cache accounting across every shard."""
+        totals = {
+            "hits": 0,
+            "misses": 0,
+            "disk_hits": 0,
+            "disk_writes": 0,
+            "evictions": 0,
+            "compile_seconds": 0.0,
+            "verify_failures": 0,
+        }
+        for worker in self.workers.values():
+            stats = worker.cache.stats
+            totals["hits"] += stats.hits
+            totals["misses"] += stats.misses
+            totals["disk_hits"] += stats.disk_hits
+            totals["disk_writes"] += stats.disk_writes
+            totals["evictions"] += stats.evictions
+            totals["compile_seconds"] += stats.compile_seconds
+            totals["verify_failures"] += stats.verify_failures
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        return totals
+
+    def accounting(self) -> Dict[str, int]:
+        """Exact request conservation: admitted = served + shed + queued.
+
+        ``lost`` is the residual — it must be zero by construction (every
+        admitted request is served, shed with attribution, or still
+        queued), and the bench asserts it.
+        """
+        counters = self.metrics.snapshot()["counters"]
+        admitted = counters.get("fleet.requests_admitted", 0)
+        served = counters.get("fleet.requests_served", 0)
+        shed = counters.get("fleet.requests_shed", 0)
+        queued = self.queue_depth
+        return {
+            "admitted": admitted,
+            "served": served,
+            "shed": shed,
+            "queued": queued,
+            "rejected_at_admission": counters.get(
+                "fleet.requests_rejected", 0
+            ),
+            "rerouted": counters.get("fleet.requests_rerouted", 0),
+            "workers_lost": counters.get("fleet.workers_lost", 0),
+            "lost": admitted - served - shed - queued,
+        }

@@ -22,6 +22,11 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 CONFIG_FINGERPRINT_VERSION = 1
 
 
+#: Mask provenance values (see :attr:`PimConfig.mask_kind`).
+MASK_KIND_FAULT = "fault"
+MASK_KIND_PARTITION = "partition"
+
+
 class ConfigurationError(ValueError):
     """Raised for inconsistent machine configurations."""
 
@@ -60,6 +65,13 @@ class PimConfig:
             does not own a vault count — the executor does — so the mask
             is carried for identity (fingerprints, plan-cache keys) and
             its length tells the runtime how many vaults to simulate.
+        mask_kind: provenance of the masks. ``"fault"`` (the default)
+            means the sub-machine exists because units died
+            (:meth:`degraded`); ``"partition"`` means it was carved on
+            purpose (:meth:`partition` — fleet sharding, multi-tenant
+            spatial partitioning). Serialized only when a mask is set and
+            the kind is not ``"fault"``, so every pre-existing fingerprint
+            (healthy *and* degraded) stays byte-identical.
     """
 
     num_pes: int = 16
@@ -71,10 +83,16 @@ class PimConfig:
     iterations: int = 1000
     pe_mask: Optional[Tuple[int, ...]] = None
     vault_mask: Optional[Tuple[int, ...]] = None
+    mask_kind: str = MASK_KIND_FAULT
 
     def __post_init__(self) -> None:
         if self.num_pes < 1:
             raise ConfigurationError("num_pes must be >= 1")
+        if self.mask_kind not in (MASK_KIND_FAULT, MASK_KIND_PARTITION):
+            raise ConfigurationError(
+                f"mask_kind must be 'fault' or 'partition', got "
+                f"{self.mask_kind!r}"
+            )
         for name in ("pe_mask", "vault_mask"):
             mask = getattr(self, name)
             if mask is None:
@@ -184,6 +202,8 @@ class PimConfig:
             payload["pe_mask"] = list(self.pe_mask)
         if self.vault_mask is not None:
             payload["vault_mask"] = list(self.vault_mask)
+        if self.has_mask and self.mask_kind != MASK_KIND_FAULT:
+            payload["mask_kind"] = self.mask_kind
         return payload
 
     @classmethod
@@ -210,6 +230,7 @@ class PimConfig:
                 if vault_mask is not None
                 else None
             ),
+            mask_kind=str(payload.get("mask_kind", MASK_KIND_FAULT)),
         )
 
     def fingerprint(self) -> str:
@@ -224,12 +245,64 @@ class PimConfig:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
-    # degraded-mode views
+    # sub-machine views (degraded / partition)
     # ------------------------------------------------------------------
     @property
-    def is_degraded(self) -> bool:
-        """True when this config describes a surviving sub-machine."""
+    def has_mask(self) -> bool:
+        """True when this config describes any sub-machine at all."""
         return self.pe_mask is not None or self.vault_mask is not None
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when this config is a sub-machine because units *died*."""
+        return self.has_mask and self.mask_kind == MASK_KIND_FAULT
+
+    @property
+    def is_partition(self) -> bool:
+        """True when this config is an intentionally carved partition."""
+        return self.has_mask and self.mask_kind == MASK_KIND_PARTITION
+
+    def _masked(
+        self,
+        unit_ids: Iterable[int],
+        vault_ids: Optional[Iterable[int]],
+        mask_kind: str,
+    ) -> "PimConfig":
+        """Shared mask mechanism behind :meth:`degraded` / :meth:`partition`."""
+        survivors = sorted(set(int(p) for p in unit_ids))
+        if not survivors:
+            raise ConfigurationError("at least one PE must survive")
+        if survivors[0] < 0 or survivors[-1] >= self.num_pes:
+            raise ConfigurationError(
+                f"surviving PE ids must be within [0, {self.num_pes}), "
+                f"got {survivors}"
+            )
+        if self.pe_mask is not None:
+            pe_mask = tuple(self.pe_mask[p] for p in survivors)
+        else:
+            pe_mask = tuple(survivors)
+        vault_mask = self.vault_mask
+        if vault_ids is not None:
+            vault_list = sorted(set(int(v) for v in vault_ids))
+            if not vault_list:
+                raise ConfigurationError("at least one vault must survive")
+            if vault_list[0] < 0:
+                raise ConfigurationError("surviving vault ids must be >= 0")
+            if self.vault_mask is not None:
+                if vault_list[-1] >= len(self.vault_mask):
+                    raise ConfigurationError(
+                        "surviving vault ids must index the current mask"
+                    )
+                vault_mask = tuple(self.vault_mask[v] for v in vault_list)
+            else:
+                vault_mask = tuple(vault_list)
+        return replace(
+            self,
+            num_pes=len(pe_mask),
+            pe_mask=pe_mask,
+            vault_mask=vault_mask,
+            mask_kind=mask_kind,
+        )
 
     def degraded(
         self,
@@ -246,41 +319,92 @@ class PimConfig:
         it — a dead PE takes its cache slice with it), passes every
         ordinary validity check, and fingerprints differently for every
         distinct surviving mask, which is what keys degraded plans in the
-        plan cache.
+        plan cache. Degrading a partition marks the result as fault
+        provenance: a shard that lost a unit *is* degraded.
         """
-        survivors = sorted(set(int(p) for p in surviving_pes))
-        if not survivors:
-            raise ConfigurationError("at least one PE must survive")
-        if survivors[0] < 0 or survivors[-1] >= self.num_pes:
+        return self._masked(surviving_pes, surviving_vaults, MASK_KIND_FAULT)
+
+    def partition(
+        self,
+        pe_ids: Iterable[int],
+        vault_ids: Optional[Iterable[int]] = None,
+    ) -> "PimConfig":
+        """An intentionally carved sub-machine (fleet shard, tenant slice).
+
+        Same mask mechanism as :meth:`degraded` — the result is a
+        smaller-but-ordinary machine whose fingerprint records *which*
+        physical units it owns — but with non-fault provenance:
+        ``is_partition`` is true and ``is_degraded`` stays false, so the
+        serving runtime does not report a healthy shard as a degraded
+        machine. Composes through existing masks (partitioning a
+        partition re-maps through the parent's physical ids).
+        """
+        return self._masked(pe_ids, vault_ids, MASK_KIND_PARTITION)
+
+    def split(
+        self, num_partitions: int, num_vaults: Optional[int] = None
+    ) -> "list[PimConfig]":
+        """Carve this machine into ``num_partitions`` contiguous shards.
+
+        PEs (and, when ``num_vaults`` is given, vaults) are dealt out in
+        contiguous runs, earlier shards absorbing the remainder — every
+        unit lands in exactly one shard. The shards are
+        :meth:`partition` views, so their fingerprints record physical
+        ownership while their *logical* shape is an ordinary machine.
+        """
+        if num_partitions < 1:
+            raise ConfigurationError("num_partitions must be >= 1")
+        if num_partitions > self.num_pes:
             raise ConfigurationError(
-                f"surviving PE ids must be within [0, {self.num_pes}), "
-                f"got {survivors}"
+                f"cannot split {self.num_pes} PEs into {num_partitions} "
+                f"partitions"
             )
-        if self.pe_mask is not None:
-            pe_mask = tuple(self.pe_mask[p] for p in survivors)
-        else:
-            pe_mask = tuple(survivors)
-        vault_mask = self.vault_mask
-        if surviving_vaults is not None:
-            vault_ids = sorted(set(int(v) for v in surviving_vaults))
-            if not vault_ids:
-                raise ConfigurationError("at least one vault must survive")
-            if vault_ids[0] < 0:
-                raise ConfigurationError("surviving vault ids must be >= 0")
-            if self.vault_mask is not None:
-                if vault_ids[-1] >= len(self.vault_mask):
-                    raise ConfigurationError(
-                        "surviving vault ids must index the current mask"
-                    )
-                vault_mask = tuple(self.vault_mask[v] for v in vault_ids)
-            else:
-                vault_mask = tuple(vault_ids)
-        return replace(
-            self,
-            num_pes=len(pe_mask),
-            pe_mask=pe_mask,
-            vault_mask=vault_mask,
+        if num_vaults is not None and num_vaults < num_partitions:
+            raise ConfigurationError(
+                f"cannot split {num_vaults} vaults into {num_partitions} "
+                f"partitions"
+            )
+
+        def runs(total: int) -> "list[list[int]]":
+            base, extra = divmod(total, num_partitions)
+            out, start = [], 0
+            for index in range(num_partitions):
+                width = base + (1 if index < extra else 0)
+                out.append(list(range(start, start + width)))
+                start += width
+            return out
+
+        pe_runs = runs(self.num_pes)
+        vault_runs = (
+            runs(num_vaults) if num_vaults is not None
+            else [None] * num_partitions
         )
+        return [
+            self.partition(pes, vaults)
+            for pes, vaults in zip(pe_runs, vault_runs)
+        ]
+
+    @property
+    def logical(self) -> "PimConfig":
+        """The shape of this machine with physical placement erased.
+
+        Two shards that own different physical units but the same number
+        of PEs/vaults and the same cache parameters have equal logical
+        configs — and, because the compile pipeline only reads the
+        logical shape, they compile *identical plans*. The fleet keys its
+        shared plan store on :meth:`logical_fingerprint` for exactly this
+        reason: a plan compiled on any shard is warm on every
+        shape-identical shard. A healthy machine is its own logical view.
+        """
+        if not self.has_mask:
+            return self
+        return replace(
+            self, pe_mask=None, vault_mask=None, mask_kind=MASK_KIND_FAULT
+        )
+
+    def logical_fingerprint(self) -> str:
+        """Fingerprint of :attr:`logical` (placement-independent identity)."""
+        return self.logical.fingerprint()
 
     # ------------------------------------------------------------------
     # convenience
@@ -303,13 +427,14 @@ class PimConfig:
             f"slots), eDRAM {self.edram_latency_factor}x latency / "
             f"{self.edram_energy_factor}x energy"
         )
-        if self.is_degraded:
+        if self.has_mask:
             marks = []
             if self.pe_mask is not None:
-                marks.append(f"surviving PEs {list(self.pe_mask)}")
+                marks.append(f"PEs {list(self.pe_mask)}")
             if self.vault_mask is not None:
-                marks.append(f"surviving vaults {list(self.vault_mask)}")
-            base += f" [degraded: {', '.join(marks)}]"
+                marks.append(f"vaults {list(self.vault_mask)}")
+            label = "partition" if self.is_partition else "degraded"
+            base += f" [{label}: {', '.join(marks)}]"
         return base
 
 

@@ -129,6 +129,35 @@ class Histogram:
                 if slot < self.reservoir_size:
                     self._samples[slot] = value
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        The other histogram's state is snapshotted under *its* lock, then
+        folded in under *this* one's — the two locks are never held
+        together, so worker threads recording into either side cannot
+        deadlock a fleet-view aggregation. Count/sum/min/max stay exact;
+        the merged reservoir keeps every sample while the combined stream
+        fits, and degrades to a seeded (deterministic) subsample beyond
+        ``reservoir_size``, exactly like a single histogram would.
+        """
+        with other._lock:
+            count = other.count
+            total = other.total
+            low = other.min
+            high = other.max
+            samples = list(other._samples)
+        if not count:
+            return
+        with self._lock:
+            self.count += count
+            self.total += total
+            self.min = low if self.min is None else min(self.min, low)
+            self.max = high if self.max is None else max(self.max, high)
+            combined = self._samples + samples
+            if len(combined) > self.reservoir_size:
+                combined = self._rng.sample(combined, self.reservoir_size)
+            self._samples = combined
+
     @property
     def mean(self) -> float:
         with self._lock:
@@ -210,6 +239,34 @@ class MetricsRegistry:
                     n: h.summary() for n, h in sorted(self.histograms.items())
                 },
             }
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one (fleet view).
+
+        Counters add, gauges *sum* (fleet queue depth is the sum of the
+        shards' queue depths), histograms merge sample-wise via
+        :meth:`Histogram.merge`. Per-instrument locking is preserved
+        throughout — the router aggregates live worker registries while
+        those workers keep serving. Returns ``self`` so a fleet snapshot
+        reads ``MetricsRegistry().merge(a).merge(b).snapshot()``.
+        """
+        with other._lock:
+            counters = list(other.counters.values())
+            gauges = list(other.gauges.values())
+            histograms = list(other.histograms.values())
+        for counter in counters:
+            with counter._lock:
+                value = counter.value
+            self.counter(counter.name).inc(value)
+        for gauge in gauges:
+            with gauge._lock:
+                value = gauge.value
+            self.gauge(gauge.name).add(value)
+        for histogram in histograms:
+            self.histogram(histogram.name, histogram.reservoir_size).merge(
+                histogram
+            )
+        return self
 
     def record_compile_stats(self, stats: Any) -> None:
         """Fold one compile's per-pass breakdown into the registry.

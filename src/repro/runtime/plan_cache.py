@@ -19,8 +19,11 @@ re-running the dynamic program. All hit/miss/eviction traffic is counted.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import os
+import tempfile
 import threading
 import time
 from collections import OrderedDict
@@ -232,7 +235,13 @@ class PlanCache:
             recently *used* plan is evicted first. Evicted plans survive
             on disk when a ``disk_dir`` is configured.
         disk_dir: optional directory for the persistent tier. Created on
-            first write. One ``<digest>.json`` file per plan.
+            first write. One ``<digest>.json`` file per plan. The
+            directory may be *shared* by any number of caches across
+            threads, workers and processes: writes stage into uniquely
+            named temp files and publish with an atomic rename, so
+            concurrent writers never produce a torn payload and a plan
+            persisted by one worker is a disk hit for every other cache
+            pointed at the same directory.
         verify_on_load: when true, plans hydrated from the disk tier are
             checked by the :class:`~repro.verify.validator.ScheduleValidator`
             before entering the memory tier. A plan that parses but breaks
@@ -345,9 +354,25 @@ class PlanCache:
         if write_disk and self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
             path = self.disk_dir / f"{digest}.json"
-            tmp = path.with_suffix(".json.tmp")
-            tmp.write_text(json.dumps(plan_to_dict(plan)))
-            tmp.replace(path)  # atomic publish: readers never see partial JSON
+            # Shared-dir safety: many caches (threads *or* processes) may
+            # persist the same digest concurrently. Each writer stages
+            # into its own uniquely named temp file — a fixed temp name
+            # would let two writers interleave into one file and publish
+            # torn JSON — then atomically renames it into place. Readers
+            # see either the old complete payload or the new one, never a
+            # partial write, and last-writer-wins is benign because equal
+            # keys always serialize identical plans.
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{digest}.", suffix=".tmp", dir=self.disk_dir
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(json.dumps(plan_to_dict(plan)))
+                os.replace(tmp_name, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_name)
+                raise
             self.stats.disk_writes += 1
 
     def _load_from_disk(self, digest: str) -> Optional[ParaConvResult]:

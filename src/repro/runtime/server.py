@@ -236,6 +236,41 @@ class BatchingServer:
             results.extend(self.step())
         return results
 
+    def queued_requests(self) -> List[InferenceRequest]:
+        """The admitted-but-unserved requests, in FIFO order (a copy)."""
+        return list(self._queue)
+
+    def remove_queued(
+        self,
+        predicate: Optional[Callable[[InferenceRequest], bool]] = None,
+    ) -> List[InferenceRequest]:
+        """Remove (without serving) every queued request matching ``predicate``.
+
+        With no predicate the whole queue is evicted. Queue-depth and
+        per-workload accounting stay exact; the removed requests are
+        returned in FIFO order so a caller can re-route them — this is
+        the primitive the fleet tier uses to drain a dead shard's queue
+        and to shed deadline-expired requests. Nothing is counted as
+        served or failed here: disposition is the caller's decision.
+        """
+        removed: List[InferenceRequest] = []
+        kept: Deque[InferenceRequest] = deque()
+        for request in self._queue:
+            if predicate is None or predicate(request):
+                removed.append(request)
+            else:
+                kept.append(request)
+        if removed:
+            self._queue = kept
+            for request in removed:
+                self._state_for(request.workload).queued -= 1
+            self.metrics.gauge("queue_depth").set(len(self._queue))
+        return removed
+
+    def sessions(self) -> Dict[str, InferenceSession]:
+        """The per-workload sessions created so far (read-only view)."""
+        return {name: state.session for name, state in self._sessions.items()}
+
     @property
     def results(self) -> List[RequestResult]:
         """Retained results in batch order (newest ``results_retention``).

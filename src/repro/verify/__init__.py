@@ -23,6 +23,11 @@ from repro.verify.differential_failover import (
     FailoverMismatch,
     failover_differential,
 )
+from repro.verify.differential_fleet import (
+    FleetDifferentialReport,
+    FleetReplayMismatch,
+    fleet_differential,
+)
 from repro.verify.differential_sim import (
     DEFAULT_SIM_ITERATIONS,
     SimDifferentialReport,
@@ -81,6 +86,8 @@ __all__ = [
     "DifferentialReport",
     "FailoverDifferentialReport",
     "FailoverMismatch",
+    "FleetDifferentialReport",
+    "FleetReplayMismatch",
     "SimDifferentialReport",
     "SimMismatch",
     "FaultDetectionReport",
@@ -106,6 +113,7 @@ __all__ = [
     "exhaustive_allocate",
     "failover_differential",
     "fault_detection_report",
+    "fleet_differential",
     "inject_faults",
     "run_verification_sweep",
     "sim_differential_battery",

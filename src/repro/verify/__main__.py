@@ -9,6 +9,7 @@ Usage::
     python -m repro.verify --no-oracle --no-mutations
     python -m repro.verify --sim --sim-iterations 1 20 1000  # engine check
     python -m repro.verify --faults                     # failover differential
+    python -m repro.verify --fleet                      # fleet differential
     python -m repro.verify --list-checks         # print the check catalog
     python -m repro.verify --json                # machine-readable output
 
@@ -26,6 +27,7 @@ from typing import List, Optional
 from repro.core.allocation import ALLOCATORS
 from repro.graph.generators import BENCHMARK_SIZES
 from repro.pim.config import PimConfig
+from repro.verify.differential_fleet import fleet_differential
 from repro.verify.validator import CHECK_CATALOG, ScheduleValidator
 from repro.verify.runner import run_verification_sweep
 
@@ -97,6 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fault-iteration", type=int, default=3,
                         help="iteration boundary at which the unit dies "
                              "(default 3)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="differentially verify the fleet tier: every "
+                             "batch a shard served must replay identically "
+                             "on a standalone server, request accounting "
+                             "must close across a mid-trace worker kill, "
+                             "and a cold replica must serve every plan "
+                             "from the shared store with zero compiles")
+    parser.add_argument("--fleet-workers", type=positive_int, default=4,
+                        help="shard count for the --fleet stage (default 4)")
+    parser.add_argument("--fleet-requests", type=positive_int, default=400,
+                        help="trace length for the --fleet stage "
+                             "(default 400)")
     parser.add_argument("--sim-iterations", type=positive_int, nargs="+",
                         metavar="N", default=None,
                         help="batch sizes for the --sim stage "
@@ -136,11 +150,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         failover_unit_id=args.fault_unit_id,
         failover_iteration=args.fault_iteration,
     )
+    fleet_report = None
+    if args.fleet:
+        fleet_report = fleet_differential(
+            num_workers=args.fleet_workers,
+            requests=args.fleet_requests,
+            seed=args.seed,
+        )
+    ok = outcome.ok and (fleet_report is None or fleet_report.ok)
     if args.json:
-        print(json.dumps(outcome.as_dict(), indent=2))
+        payload = outcome.as_dict()
+        payload["fleet"] = (
+            fleet_report.as_dict() if fleet_report is not None else None
+        )
+        payload["ok"] = ok
+        print(json.dumps(payload, indent=2))
     else:
         print(outcome.summary())
-    return 0 if outcome.ok else 1
+        if fleet_report is not None:
+            print(fleet_report.describe())
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,350 @@
+"""Fleet differential: sharded serving must equal single-server serving.
+
+The fleet tier claims it adds *distribution* without changing *results*:
+routing, admission, failover and the shared plan store are orthogonal to
+what each request computes. This module machine-checks three properties
+end to end on a real traced run (including a mid-trace worker kill):
+
+1. **Per-request replay equivalence** — every batch a shard executed is
+   replayed, with identical composition, on a fresh standalone
+   :class:`~repro.runtime.server.BatchingServer` over the same logical
+   machine; each request's ``sim_latency`` and batch size must match
+   exactly. The fleet adds queueing *delay*, never different *service*.
+2. **Request conservation** — accounting closes (``lost == 0``) and every
+   served fleet id is unique: worker death re-routes, never drops or
+   duplicates.
+3. **Warm everywhere** — with plan-affinity routing over a shared store,
+   the whole fleet compiles each distinct plan exactly once (the store
+   holds exactly one artifact per workload), and a cold replica shard
+   bound to the same store serves every workload with *zero* compiles —
+   every miss in its memory tier is a disk hit.
+
+A mismatch is a fleet bug (routing broke plan identity, failover spliced
+a queue, the store published a torn artifact), which is why this check
+rides in ``python -m repro.verify --fleet``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.pim.config import PimConfig
+from repro.runtime.server import BatchingServer, RequestResult
+from repro.fleet.loadgen import FleetLoadGenerator
+from repro.fleet.router import FleetRouter
+from repro.fleet.slo import SloClass
+from repro.fleet.store import SharedPlanStore
+from repro.fleet.worker import FleetWorker
+
+__all__ = [
+    "FleetDifferentialReport",
+    "FleetReplayMismatch",
+    "fleet_differential",
+]
+
+#: Default workloads: paper models whose steady-state sim converges, so
+#: the differential runs in seconds (mirrors the fleet bench defaults).
+DEFAULT_FLEET_WORKLOADS = (
+    "flower",
+    "lenet5",
+    "stock-predict",
+    "string-matching",
+)
+
+
+@dataclass(frozen=True)
+class FleetReplayMismatch:
+    """One divergence between a fleet batch and its standalone replay."""
+
+    worker_id: str
+    batch_id: int
+    request_id: int
+    fleet_field: str
+    fleet_value: object
+    baseline_value: object
+
+    def describe(self) -> str:
+        return (
+            f"{self.worker_id} batch {self.batch_id} request "
+            f"{self.request_id}: {self.fleet_field} fleet="
+            f"{self.fleet_value!r} baseline={self.baseline_value!r}"
+        )
+
+
+@dataclass
+class FleetDifferentialReport:
+    """Outcome of one fleet-vs-single-server differential run."""
+
+    workloads: List[str]
+    num_workers: int
+    requests: int
+    killed_worker: Optional[str] = None
+    rerouted: int = 0
+    accounting: Dict[str, int] = field(default_factory=dict)
+    #: fleet batches replayed on the standalone baseline.
+    replayed_batches: int = 0
+    mismatches: List[FleetReplayMismatch] = field(default_factory=list)
+    #: served fleet ids seen more than once (must be empty).
+    duplicate_fleet_ids: List[int] = field(default_factory=list)
+    #: admitted fleet ids never served (must be empty).
+    missing_fleet_ids: List[int] = field(default_factory=list)
+    #: plans published in the shared store (must equal len(workloads)).
+    store_plans: int = 0
+    #: compiles across every shard cache (must equal len(workloads):
+    #: affinity + the shared store mean one compile per plan, fleet-wide,
+    #: worker death included).
+    fleet_compiles: int = 0
+    #: compiles a cold replica shard needed (must be 0: warm everywhere).
+    cold_replica_compiles: int = 0
+    #: the cold replica's disk hits (every workload, served from store).
+    cold_replica_disk_hits: int = 0
+    #: unexpected exception text (None on a clean run).
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.error is not None or self.mismatches:
+            return False
+        if self.duplicate_fleet_ids or self.missing_fleet_ids:
+            return False
+        if self.accounting.get("lost", 1) != 0:
+            return False
+        if self.store_plans != len(self.workloads):
+            return False
+        if self.fleet_compiles != len(self.workloads):
+            return False
+        if self.cold_replica_compiles != 0:
+            return False
+        return self.cold_replica_disk_hits == len(self.workloads)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workloads": list(self.workloads),
+            "num_workers": self.num_workers,
+            "requests": self.requests,
+            "killed_worker": self.killed_worker,
+            "rerouted": self.rerouted,
+            "ok": self.ok,
+            "accounting": dict(self.accounting),
+            "replayed_batches": self.replayed_batches,
+            "mismatches": [m.describe() for m in self.mismatches],
+            "duplicate_fleet_ids": list(self.duplicate_fleet_ids),
+            "missing_fleet_ids": list(self.missing_fleet_ids),
+            "store_plans": self.store_plans,
+            "fleet_compiles": self.fleet_compiles,
+            "cold_replica_compiles": self.cold_replica_compiles,
+            "cold_replica_disk_hits": self.cold_replica_disk_hits,
+            "error": self.error,
+        }
+
+    def describe(self) -> str:
+        tag = (
+            f"fleet[{self.num_workers}w x {len(self.workloads)}wl "
+            f"N={self.requests}"
+            + (f" kill={self.killed_worker}" if self.killed_worker else "")
+            + "]"
+        )
+        if self.ok:
+            return (
+                f"{tag}: ok [{self.replayed_batches} batches replayed, "
+                f"{self.fleet_compiles} compiles fleet-wide, cold replica "
+                f"0 compiles / {self.cold_replica_disk_hits} disk hits]"
+            )
+        if self.error is not None:
+            return f"{tag}: ERROR {self.error}"
+        details = "; ".join(m.describe() for m in self.mismatches[:5])
+        return (
+            f"{tag}: FAIL lost={self.accounting.get('lost')} "
+            f"dupes={len(self.duplicate_fleet_ids)} "
+            f"missing={len(self.missing_fleet_ids)} "
+            f"compiles={self.fleet_compiles}/{len(self.workloads)} "
+            f"cold={self.cold_replica_compiles}rc {details}"
+        )
+
+
+def _replay_worker(
+    worker: FleetWorker,
+    batch_window: int,
+    allocator: str,
+    report: FleetDifferentialReport,
+) -> None:
+    """Replay one shard's batch history on a standalone baseline server.
+
+    The fleet's batch composition is taken as given (grouped by
+    ``batch_id`` from the shard's retained results); each batch is
+    re-submitted to a fresh private-cache server over the same logical
+    machine and executed as one batch. Same composition in, same
+    per-request ``sim_latency`` out — or the fleet changed *what* was
+    computed, not just when.
+    """
+    results = worker.server.results
+    if not results:
+        return
+    baseline = BatchingServer(
+        worker.serving_config,
+        batch_window=batch_window,
+        max_queue=max(batch_window, worker.server.max_queue),
+        allocator=allocator,
+        num_vaults=worker.num_vaults,
+    )
+    batches: Dict[int, List[RequestResult]] = {}
+    for res in results:
+        batches.setdefault(res.batch_id, []).append(res)
+    for batch_id in sorted(batches):
+        fleet_batch = batches[batch_id]
+        for res in fleet_batch:
+            baseline.submit(
+                res.request.workload, iterations=res.request.iterations
+            )
+        replay = baseline.step()
+        report.replayed_batches += 1
+        if len(replay) != len(fleet_batch):  # pragma: no cover - defensive
+            report.mismatches.append(
+                FleetReplayMismatch(
+                    worker_id=worker.worker_id,
+                    batch_id=batch_id,
+                    request_id=-1,
+                    fleet_field="batch_size",
+                    fleet_value=len(fleet_batch),
+                    baseline_value=len(replay),
+                )
+            )
+            continue
+        for fleet_res, base_res in zip(fleet_batch, replay):
+            for field_name in ("sim_latency", "batch_size"):
+                fleet_value = getattr(fleet_res, field_name)
+                base_value = getattr(base_res, field_name)
+                if fleet_value != base_value:
+                    report.mismatches.append(
+                        FleetReplayMismatch(
+                            worker_id=worker.worker_id,
+                            batch_id=batch_id,
+                            request_id=fleet_res.request.request_id,
+                            fleet_field=field_name,
+                            fleet_value=fleet_value,
+                            baseline_value=base_value,
+                        )
+                    )
+
+
+def fleet_differential(
+    workloads: Sequence[str] = DEFAULT_FLEET_WORKLOADS,
+    num_workers: int = 4,
+    num_pes: int = 64,
+    num_vaults: int = 32,
+    requests: int = 400,
+    batch_window: int = 16,
+    seed: int = 0,
+    kill_worker: bool = True,
+    allocator: str = "dp",
+    store_dir: Optional[str] = None,
+) -> FleetDifferentialReport:
+    """Run the fleet-vs-single-server differential.
+
+    Drives a deterministic trace through a sharded fleet over one
+    physical machine (killing the last shard mid-trace when
+    ``kill_worker``), then checks replay equivalence, request
+    conservation and the warm-everywhere property. ``store_dir`` may pin
+    the shared store to a caller-owned directory; a temp dir is used and
+    cleaned up otherwise.
+    """
+    report = FleetDifferentialReport(
+        workloads=list(workloads),
+        num_workers=num_workers,
+        requests=requests,
+    )
+    if num_pes % num_workers != 0:
+        # Unequal shards have different logical shapes and therefore
+        # different plan identities — the warm-everywhere property only
+        # holds between shape-identical shards.
+        report.error = (
+            f"num_pes ({num_pes}) must divide evenly into "
+            f"{num_workers} workers"
+        )
+        return report
+    owned_tmp: Optional[tempfile.TemporaryDirectory] = None
+    if store_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="fleet-diff-")
+        store_dir = owned_tmp.name
+    try:
+        store = SharedPlanStore(store_dir)
+        machine = PimConfig(num_pes=num_pes)
+        shards = machine.split(num_workers, num_vaults=num_vaults)
+        workers = [
+            FleetWorker(
+                f"worker-{index}",
+                shard,
+                store=store,
+                batch_window=batch_window,
+                max_queue=max(4 * requests, 64),
+                allocator=allocator,
+            )
+            for index, shard in enumerate(shards)
+        ]
+        router = FleetRouter(workers)
+        generator = FleetLoadGenerator(list(workloads), seed=seed)
+
+        served_ids: List[int] = []
+        admitted = 0
+        kill_at = requests // 2 if kill_worker and num_workers > 1 else None
+        victim = workers[-1].worker_id if kill_at is not None else None
+        for trace in generator.requests(requests):
+            router.advance_to(trace.arrival_units)
+            if admitted == kill_at and victim is not None:
+                report.killed_worker = victim
+                report.rerouted = router.kill_worker(victim)
+            router.submit(trace.workload, slo=trace.slo)
+            admitted += 1
+            if admitted % batch_window == 0:
+                served_ids.extend(r.fleet_id for r in router.pump())
+        served_ids.extend(r.fleet_id for r in router.drain())
+        report.accounting = router.accounting()
+
+        # 2. conservation: unique fleet ids, none missing.
+        seen: Dict[int, int] = {}
+        for fleet_id in served_ids:
+            seen[fleet_id] = seen.get(fleet_id, 0) + 1
+        report.duplicate_fleet_ids = sorted(
+            fleet_id for fleet_id, count in seen.items() if count > 1
+        )
+        report.missing_fleet_ids = sorted(
+            fleet_id for fleet_id in range(1, admitted + 1)
+            if fleet_id not in seen
+        )
+
+        # 1. per-request replay equivalence, shard by shard.
+        for worker in workers:
+            _replay_worker(worker, batch_window, allocator, report)
+
+        # 3. warm everywhere: one compile per plan fleet-wide, and a
+        # cold replica shard served entirely from the shared store.
+        report.store_plans = len(store)
+        # A disk hit counts as a cache *hit* (hydrated, not compiled),
+        # so misses count exactly the compiles a shard performed.
+        report.fleet_compiles = sum(w.cache.stats.misses for w in workers)
+        replica = FleetWorker(
+            "cold-replica",
+            shards[0],
+            store=store,
+            batch_window=batch_window,
+            allocator=allocator,
+        )
+        for index, workload in enumerate(workloads):
+            replica.submit(
+                workload,
+                iterations=1,
+                slo=SloClass.STANDARD,
+                arrival_units=0,
+                fleet_id=-(index + 1),
+            )
+            replica.pump(0)
+        report.cold_replica_compiles = replica.cache.stats.misses
+        report.cold_replica_disk_hits = replica.cache.stats.disk_hits
+    except Exception as exc:  # noqa: BLE001 — differential must report, not crash
+        report.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+    return report

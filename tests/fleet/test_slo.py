@@ -1,0 +1,52 @@
+"""SLO classes, policies and the typed admission error."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.slo import (
+    DEFAULT_SLO_POLICIES,
+    FleetAdmissionError,
+    SloClass,
+    SloPolicy,
+)
+
+
+class TestSloClass:
+    def test_from_name_accepts_strings_and_instances(self):
+        assert SloClass.from_name("interactive") is SloClass.INTERACTIVE
+        assert SloClass.from_name("BATCH") is SloClass.BATCH
+        assert SloClass.from_name(SloClass.STANDARD) is SloClass.STANDARD
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="interactive"):
+            SloClass.from_name("gold")
+
+
+class TestSloPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloPolicy(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            SloPolicy(max_queue_depth=4, deadline_units=0)
+        policy = SloPolicy(max_queue_depth=4, deadline_units=10)
+        assert policy.deadline_units == 10
+
+    def test_defaults_cover_every_class(self):
+        assert set(DEFAULT_SLO_POLICIES) == set(SloClass)
+        # Strictest class queues shallowest; no default deadlines.
+        assert (
+            DEFAULT_SLO_POLICIES[SloClass.INTERACTIVE].max_queue_depth
+            < DEFAULT_SLO_POLICIES[SloClass.BATCH].max_queue_depth
+        )
+        assert all(
+            p.deadline_units is None for p in DEFAULT_SLO_POLICIES.values()
+        )
+
+
+class TestAdmissionError:
+    def test_carries_class_and_bound(self):
+        err = FleetAdmissionError(SloClass.BATCH, 32, 32, "cat")
+        assert err.slo is SloClass.BATCH
+        assert err.depth == 32 and err.limit == 32
+        assert "batch" in str(err) and "cat" in str(err)

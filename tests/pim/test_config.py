@@ -97,3 +97,111 @@ class TestConvenience:
         text = PimConfig(num_pes=32).describe()
         assert "32 PEs" in text
         assert "4x latency" in text
+
+
+class TestPartition:
+    """Intentional sub-machine carving (fleet shards) vs fault degrading."""
+
+    def test_partition_provenance(self):
+        shard = PimConfig(num_pes=16).partition(range(4, 8))
+        assert shard.is_partition
+        assert not shard.is_degraded
+        assert shard.has_mask
+        assert shard.num_pes == 4
+        assert shard.pe_mask == (4, 5, 6, 7)
+
+    def test_degraded_provenance_unchanged(self):
+        survivor = PimConfig(num_pes=16).degraded(range(15))
+        assert survivor.is_degraded
+        assert not survivor.is_partition
+
+    def test_healthy_fingerprint_has_no_mask_kind(self):
+        # mask_kind is only serialized for non-fault masks, so healthy
+        # and degraded fingerprints are byte-identical to older releases.
+        healthy = PimConfig(num_pes=16)
+        assert "mask_kind" not in healthy.to_dict()
+        assert "mask_kind" not in healthy.degraded(range(8)).to_dict()
+        assert (
+            healthy.partition(range(8)).to_dict()["mask_kind"] == "partition"
+        )
+
+    def test_partition_and_degraded_fingerprints_differ(self):
+        config = PimConfig(num_pes=16)
+        assert (
+            config.partition(range(8)).fingerprint()
+            != config.degraded(range(8)).fingerprint()
+        )
+
+    def test_round_trip_preserves_mask_kind(self):
+        shard = PimConfig(num_pes=16).partition(range(8), range(4))
+        clone = PimConfig.from_dict(shard.to_dict())
+        assert clone == shard
+        assert clone.is_partition
+
+    def test_invalid_mask_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PimConfig(num_pes=4, pe_mask=(0, 1, 2, 3), mask_kind="oops")
+
+    def test_partition_composes_through_masks(self):
+        quarter = PimConfig(num_pes=16).partition(range(8)).partition(range(4, 8))
+        assert quarter.pe_mask == (4, 5, 6, 7)
+        assert quarter.is_partition
+
+    def test_degrading_a_partition_is_degraded(self):
+        shard = PimConfig(num_pes=16).partition(range(8, 16))
+        hurt = shard.degraded(range(7))
+        assert hurt.is_degraded
+        assert hurt.pe_mask == (8, 9, 10, 11, 12, 13, 14)
+
+    def test_describe_labels_partition(self):
+        shard = PimConfig(num_pes=16).partition(range(4), range(2))
+        text = shard.describe()
+        assert "partition" in text
+        assert "degraded" not in text
+
+
+class TestSplit:
+    def test_split_covers_every_pe_once(self):
+        machine = PimConfig(num_pes=64)
+        shards = machine.split(4, num_vaults=32)
+        assert [s.num_pes for s in shards] == [16, 16, 16, 16]
+        seen = [pe for s in shards for pe in s.pe_mask]
+        assert seen == list(range(64))
+        vaults = [v for s in shards for v in s.vault_mask]
+        assert vaults == list(range(32))
+
+    def test_remainder_goes_to_earlier_shards(self):
+        shards = PimConfig(num_pes=10).split(3)
+        assert [s.num_pes for s in shards] == [4, 3, 3]
+        assert all(s.vault_mask is None for s in shards)
+
+    def test_split_validation(self):
+        with pytest.raises(ConfigurationError):
+            PimConfig(num_pes=4).split(0)
+        with pytest.raises(ConfigurationError):
+            PimConfig(num_pes=4).split(5)
+        with pytest.raises(ConfigurationError):
+            PimConfig(num_pes=8).split(4, num_vaults=2)
+
+
+class TestLogicalView:
+    def test_healthy_machine_is_its_own_logical_view(self):
+        config = PimConfig(num_pes=16)
+        assert config.logical is config
+
+    def test_shape_identical_shards_share_logical_fingerprint(self):
+        shards = PimConfig(num_pes=64).split(4, num_vaults=32)
+        prints = {s.logical_fingerprint() for s in shards}
+        assert len(prints) == 1
+        # ...and it is exactly the fingerprint of the plain 16-PE machine.
+        assert prints == {PimConfig(num_pes=16).fingerprint()}
+
+    def test_physical_fingerprints_stay_distinct(self):
+        shards = PimConfig(num_pes=64).split(4)
+        assert len({s.fingerprint() for s in shards}) == 4
+
+    def test_logical_erases_fault_masks_too(self):
+        survivor = PimConfig(num_pes=16).degraded(range(12))
+        logical = survivor.logical
+        assert not logical.has_mask
+        assert logical.num_pes == 12

@@ -180,3 +180,123 @@ class TestThreadSafety:
     def test_instrument_locks_do_not_break_equality(self):
         assert Counter("a", 3) == Counter("a", 3)
         assert Gauge("g", 1.0) == Gauge("g", 1.0)
+
+
+class TestHistogramMerge:
+    def test_merge_preserves_exact_aggregates(self):
+        a = Histogram("lat")
+        b = Histogram("lat")
+        for v in (1.0, 5.0, 3.0):
+            a.observe(v)
+        for v in (10.0, 0.5):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == pytest.approx(19.5)
+        assert a.min == 0.5
+        assert a.max == 10.0
+        # Small streams keep every sample: percentiles stay exact.
+        assert a.p50 == 3.0
+
+    def test_merge_empty_is_noop(self):
+        a = Histogram("lat")
+        a.observe(2.0)
+        a.merge(Histogram("lat"))
+        assert a.count == 1
+        empty = Histogram("lat")
+        empty.merge(Histogram("lat"))
+        assert empty.count == 0
+        assert empty.min is None
+
+    def test_merge_into_empty(self):
+        a = Histogram("lat")
+        b = Histogram("lat")
+        b.observe(7.0)
+        a.merge(b)
+        assert a.count == 1
+        assert a.min == a.max == 7.0
+
+    def test_merge_bounds_reservoir(self):
+        a = Histogram("lat", reservoir_size=8)
+        b = Histogram("lat", reservoir_size=8)
+        for v in range(16):
+            a.observe(float(v))
+            b.observe(float(100 + v))
+        a.merge(b)
+        assert len(a._samples) == 8
+        assert a.count == 32
+        assert a.max == 115.0  # exact even when sampled out
+
+    def test_merge_is_deterministic(self):
+        def build():
+            a = Histogram("lat", reservoir_size=8)
+            b = Histogram("lat", reservoir_size=8)
+            for v in range(30):
+                a.observe(float(v))
+                b.observe(float(v) * 2)
+            a.merge(b)
+            return a._samples
+
+        assert build() == build()
+
+
+class TestRegistryMerge:
+    def test_counters_add_gauges_sum_histograms_fold(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("served").inc(3)
+        b.counter("served").inc(4)
+        b.counter("only_b").inc(1)
+        a.gauge("queue_depth").set(5)
+        b.gauge("queue_depth").set(7)
+        a.histogram("lat").observe(1.0)
+        b.histogram("lat").observe(3.0)
+
+        merged = MetricsRegistry().merge(a).merge(b)
+        snap = merged.snapshot()
+        assert snap["counters"]["served"] == 7
+        assert snap["counters"]["only_b"] == 1
+        # Fleet queue depth is the *sum* of shard depths.
+        assert snap["gauges"]["queue_depth"] == 12.0
+        assert snap["histograms"]["lat"]["count"] == 2
+        assert snap["histograms"]["lat"]["mean"] == pytest.approx(2.0)
+
+    def test_merge_returns_self_for_chaining(self):
+        a = MetricsRegistry()
+        assert a.merge(MetricsRegistry()) is a
+
+    def test_merge_leaves_source_untouched(self):
+        source = MetricsRegistry()
+        source.counter("n").inc(2)
+        source.histogram("lat").observe(1.5)
+        MetricsRegistry().merge(source)
+        snap = source.snapshot()
+        assert snap["counters"]["n"] == 2
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_concurrent_merge_while_recording(self):
+        """Aggregating a live registry must not deadlock or corrupt."""
+        import threading as _threading
+
+        live = MetricsRegistry()
+        stop = _threading.Event()
+
+        def record():
+            while not stop.is_set():
+                live.counter("n").inc()
+                live.histogram("lat").observe(1.0)
+
+        workers = [_threading.Thread(target=record) for _ in range(4)]
+        for w in workers:
+            w.start()
+        try:
+            for _ in range(50):
+                view = MetricsRegistry().merge(live)
+                snap = view.snapshot()
+                assert snap["counters"].get("n", 0) >= 0
+        finally:
+            stop.set()
+            for w in workers:
+                w.join()
+        final = MetricsRegistry().merge(live).snapshot()
+        assert final["counters"]["n"] == live.counter("n").value

@@ -199,3 +199,78 @@ def test_cache_isolates_configurations(graph, config):
     assert plan64.config.num_pes == 64
     assert cache.get(key16) is plan16
     assert cache.get(key64) is plan64
+
+
+# ----------------------------------------------------------------------
+# shared disk tier: many caches (processes) over one directory
+# ----------------------------------------------------------------------
+class TestSharedDiskDir:
+    def test_second_cache_hits_disk_without_compiling(
+        self, graph, config, tmp_path
+    ):
+        shared = tmp_path / "shared"
+        cache_a = PlanCache(capacity=4, disk_dir=shared)
+        cache_b = PlanCache(capacity=4, disk_dir=shared)
+        compiles = 0
+
+        def compile_fn():
+            nonlocal compiles
+            compiles += 1
+            return compile_plan(graph, config)
+
+        key = plan_key_for(graph, config)
+        cache_a.get_or_compile(key, compile_fn)
+        cache_b.get_or_compile(key, compile_fn)
+        assert compiles == 1
+        assert cache_b.stats.misses == 0
+        assert cache_b.stats.disk_hits == 1
+
+    def test_concurrent_writers_never_publish_torn_files(
+        self, graph, config, tmp_path
+    ):
+        """Two caches hammering the same key through one disk dir must
+        always leave a hydratable artifact (atomic unique-temp rename)."""
+        import threading
+
+        shared = tmp_path / "shared"
+        caches = [PlanCache(capacity=2, disk_dir=shared) for _ in range(2)]
+        key = plan_key_for(graph, config)
+        plan = compile_plan(graph, config)
+        errors = []
+
+        def hammer(cache):
+            try:
+                for _ in range(15):
+                    cache.put(key, plan)
+                    loaded = PlanCache(capacity=2, disk_dir=shared).get(key)
+                    assert loaded is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(cache,))
+            for cache in caches
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert (shared / f"{key.digest}.json").exists()
+        restored = PlanCache(capacity=2, disk_dir=shared).get(key)
+        assert plan_to_dict(restored) == plan_to_dict(plan)
+
+    def test_no_temp_litter_after_concurrent_writes(
+        self, graph, config, tmp_path
+    ):
+        shared = tmp_path / "shared"
+        cache = PlanCache(capacity=2, disk_dir=shared)
+        key = plan_key_for(graph, config)
+        plan = compile_plan(graph, config)
+        for _ in range(5):
+            cache.put(key, plan)
+        stray = [
+            p.name for p in shared.iterdir()
+            if not p.name.endswith(".json")
+        ]
+        assert stray == []

@@ -1,0 +1,112 @@
+"""Fleet differential: replay equivalence, conservation, warm-everywhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.differential_fleet import (
+    FleetDifferentialReport,
+    FleetReplayMismatch,
+    fleet_differential,
+)
+
+WORKLOADS = ("cat", "car", "flower", "speech-1")
+
+
+@pytest.fixture(scope="module")
+def report() -> FleetDifferentialReport:
+    # Synthetic-benchmark workloads keep the module-scoped run fast; the
+    # trace still crosses a worker kill at the halfway point.
+    return fleet_differential(
+        workloads=WORKLOADS, requests=160, batch_window=8, seed=0
+    )
+
+
+class TestCleanRun:
+    def test_overall_ok(self, report):
+        assert report.error is None
+        assert report.ok, report.describe()
+
+    def test_replay_found_no_mismatches(self, report):
+        assert report.mismatches == []
+        assert report.replayed_batches > 0
+
+    def test_conservation_across_kill(self, report):
+        assert report.killed_worker == "worker-3"
+        assert report.accounting["lost"] == 0
+        assert report.accounting["served"] == 160
+        assert report.duplicate_fleet_ids == []
+        assert report.missing_fleet_ids == []
+
+    def test_warm_everywhere(self, report):
+        assert report.store_plans == len(WORKLOADS)
+        assert report.fleet_compiles == len(WORKLOADS)
+        assert report.cold_replica_compiles == 0
+        assert report.cold_replica_disk_hits == len(WORKLOADS)
+
+    def test_serializes_and_describes(self, report):
+        payload = report.as_dict()
+        assert payload["ok"] is True
+        assert payload["accounting"]["lost"] == 0
+        assert "ok" in report.describe()
+
+
+class TestReportVerdicts:
+    def _clean(self) -> FleetDifferentialReport:
+        return FleetDifferentialReport(
+            workloads=["a", "b"],
+            num_workers=2,
+            requests=10,
+            accounting={"lost": 0},
+            store_plans=2,
+            fleet_compiles=2,
+            cold_replica_compiles=0,
+            cold_replica_disk_hits=2,
+        )
+
+    def test_clean_is_ok(self):
+        assert self._clean().ok
+
+    def test_mismatch_fails(self):
+        report = self._clean()
+        report.mismatches.append(
+            FleetReplayMismatch("w", 1, 2, "sim_latency", 10, 11)
+        )
+        assert not report.ok
+        assert "sim_latency" in report.describe()
+
+    def test_lost_request_fails(self):
+        report = self._clean()
+        report.accounting["lost"] = 1
+        assert not report.ok
+
+    def test_duplicate_or_missing_ids_fail(self):
+        report = self._clean()
+        report.duplicate_fleet_ids = [7]
+        assert not report.ok
+        report = self._clean()
+        report.missing_fleet_ids = [3]
+        assert not report.ok
+
+    def test_extra_compiles_fail(self):
+        report = self._clean()
+        report.fleet_compiles = 3  # someone recompiled a warm plan
+        assert not report.ok
+        report = self._clean()
+        report.cold_replica_compiles = 1  # the store was not warm
+        assert not report.ok
+
+    def test_error_fails(self):
+        report = self._clean()
+        report.error = "Boom: broke"
+        assert not report.ok
+        assert "ERROR" in report.describe()
+
+
+class TestGuards:
+    def test_uneven_split_is_reported_not_raised(self):
+        report = fleet_differential(
+            workloads=("cat",), num_workers=3, num_pes=64, requests=10
+        )
+        assert not report.ok
+        assert "divide evenly" in report.error
