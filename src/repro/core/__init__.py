@@ -47,6 +47,11 @@ from repro.core.allocation import (
 from repro.core.expansion import ExpandedSchedule, expand, verify_expansion
 from repro.core.gantt import render_kernel, render_retiming
 from repro.core.iterative import IterativeAllocator
+from repro.core.search import (
+    AllocatorPortfolio,
+    AnnealAllocator,
+    SearchStats,
+)
 from repro.core.liveness import (
     live_instances,
     liveness_weighted_problem,
@@ -76,6 +81,9 @@ __all__ = [
     "RetimingSolution",
     "ScheduleError",
     "IterativeAllocator",
+    "AnnealAllocator",
+    "AllocatorPortfolio",
+    "SearchStats",
     "SpartaResult",
     "SpartaScheduler",
     "all_edram_allocate",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.retiming import EdgeTiming, RetimingError
 from repro.pim.memory import Placement
@@ -38,6 +38,29 @@ class AllocationError(RetimingError):
     Subclasses :class:`RetimingError` so existing callers that guard the
     analysis pipeline with ``except RetimingError`` keep working.
     """
+
+
+class UnknownAllocatorError(AllocationError, ValueError):
+    """An allocator spec named no registered allocator.
+
+    Carries the offending ``spec`` and the sorted registry ``choices`` so
+    CLIs and error paths can enumerate what *would* have worked; also a
+    :class:`ValueError`, so callers that guarded the old bare-``ValueError``
+    paths keep working.
+    """
+
+    def __init__(self, spec: str, detail: str = ""):
+        self.spec = spec
+        self.choices = sorted(ALLOCATORS)
+        message = (
+            f"unknown allocator {spec!r}; registered: "
+            f"{', '.join(self.choices)} "
+            f"(budgeted allocators also accept a spec suffix, e.g. "
+            f"'anneal:5000' or 'portfolio:5000')"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
 
 
 class AllocatorFactory:
@@ -71,6 +94,85 @@ class AllocatorFactory:
 #: A cache-allocation strategy: AllocationProblem -> AllocationResult.
 Allocator = Callable[["AllocationProblem"], "AllocationResult"]
 
+#: Registry names that accept an evaluation-budget suffix (``name:evals``).
+BUDGETED_ALLOCATORS = frozenset({"anneal", "portfolio"})
+
+
+def parse_allocator_spec(spec: str) -> Tuple[str, Optional[int]]:
+    """Parse an allocator spec string into ``(name, budget)``.
+
+    Accepted forms: a bare registry name (``dp``, ``greedy``, ``anneal``)
+    or a budgeted name with an evaluation-count suffix (``anneal:5000``,
+    ``portfolio:800``). Raises :class:`UnknownAllocatorError` for unknown
+    names, budget suffixes on non-budgeted allocators, and malformed or
+    non-positive budgets — always enumerating the registry, mirroring the
+    ``--allocator`` CLI choices.
+    """
+    if not isinstance(spec, str):
+        raise AllocationError(
+            f"allocator spec must be a string, got {type(spec).__name__}"
+        )
+    name, _, suffix = spec.partition(":")
+    if name not in ALLOCATORS:
+        raise UnknownAllocatorError(spec)
+    if not suffix:
+        if ":" in spec:
+            raise UnknownAllocatorError(spec, "empty budget suffix")
+        return name, None
+    if name not in BUDGETED_ALLOCATORS:
+        raise UnknownAllocatorError(
+            spec,
+            f"{name!r} does not take a budget (budgeted: "
+            f"{', '.join(sorted(BUDGETED_ALLOCATORS))})",
+        )
+    try:
+        budget = int(suffix)
+    except ValueError:
+        raise UnknownAllocatorError(
+            spec, f"budget {suffix!r} is not an integer"
+        ) from None
+    if budget < 0:
+        raise UnknownAllocatorError(spec, f"budget must be >= 0, got {budget}")
+    return name, budget
+
+
+def allocator_from_spec(spec: str) -> Any:
+    """Resolve a spec string to a registry entry or a budgeted instance.
+
+    Bare names return the registry entry itself; budgeted specs construct
+    a fresh instance with that evaluation budget (deterministic default
+    seed), so two sessions asking for ``anneal:500`` get equal-behaving
+    allocators.
+    """
+    name, budget = parse_allocator_spec(spec)
+    if budget is None:
+        return ALLOCATORS[name]
+    from repro.core.search import AllocatorPortfolio, AnnealAllocator
+
+    if name == "anneal":
+        return AnnealAllocator(max_evals=budget)
+    return AllocatorPortfolio(max_evals=budget)
+
+
+def canonical_allocator_spec(spec: str) -> str:
+    """Normalize a spec for identity purposes (plan-cache keys).
+
+    Budgeted allocators always render with an explicit budget
+    (``anneal`` -> ``anneal:2000``), so a plan compiled under the default
+    budget and one compiled under ``anneal:2000`` share a cache entry,
+    while every distinct budget keys a distinct plan. Non-budgeted names
+    pass through unchanged — healthy ``dp`` keys stay byte-identical to
+    every release before the search allocator existed.
+    """
+    name, budget = parse_allocator_spec(spec)
+    if name not in BUDGETED_ALLOCATORS:
+        return name
+    if budget is None:
+        from repro.core.search import DEFAULT_SEARCH_BUDGET
+
+        budget = DEFAULT_SEARCH_BUDGET
+    return f"{name}:{budget}"
+
 
 def resolve_allocator(
     allocator: Any,
@@ -79,6 +181,10 @@ def resolve_allocator(
 ) -> Allocator:
     """Resolve a registry entry / user-supplied allocator to a callable.
 
+    * **string spec** (``"dp"``, ``"anneal:5000"``): looked up / built via
+      :func:`allocator_from_spec`, then resolved like the entry it names;
+      unknown names raise :class:`UnknownAllocatorError` enumerating the
+      registry.
     * ``AllocatorFactory`` subclass (the class itself): instantiated as
       ``allocator(graph, timings)``.
     * ``AllocatorFactory`` instance: resolved via ``.build(graph, timings)``
@@ -89,6 +195,8 @@ def resolve_allocator(
     * any other *class*: rejected with a typed error instead of being
       guessed at (the old behavior called it with ``(graph, timings)``).
     """
+    if isinstance(allocator, str):
+        allocator = allocator_from_spec(allocator)
     if isinstance(allocator, type):
         if issubclass(allocator, AllocatorFactory):
             return allocator(graph, timings)  # type: ignore[call-arg]
@@ -226,6 +334,9 @@ class AllocationResult:
     total_delta_r: int
     slots_used: int
     capacity_slots: int
+    #: search observability (set by the ``anneal``/``portfolio``
+    #: allocators); never serialized into the plan payload.
+    search_stats: Optional[Any] = field(default=None, compare=False, repr=False)
 
     @property
     def num_cached(self) -> int:

@@ -47,9 +47,9 @@ from repro.compiler.pipeline import (
     width_lower_bound,
 )
 from repro.core.allocation import (
-    ALLOCATORS,
     AllocationProblem,
     AllocationResult,
+    allocator_from_spec,
     dp_allocate,
 )
 from repro.core.cases import RetimingCase, case_census
@@ -210,13 +210,10 @@ class ParaConv:
         if allocator is not None and allocator_name is not None:
             raise ValueError("pass either allocator or allocator_name, not both")
         if allocator_name is not None:
-            try:
-                allocator = ALLOCATORS[allocator_name]
-            except KeyError:
-                known = ", ".join(sorted(ALLOCATORS))
-                raise ValueError(
-                    f"unknown allocator {allocator_name!r}; known: {known}"
-                ) from None
+            # Accepts budgeted specs too (``anneal:5000``); unknown names
+            # raise UnknownAllocatorError (a ValueError) listing the
+            # registry, mirroring the --allocator CLI choices.
+            allocator = allocator_from_spec(allocator_name)
         self.config = config
         self.allocator = allocator if allocator is not None else dp_allocate
         self.kernel_order = kernel_order
@@ -313,6 +310,7 @@ class ParaConv:
                 best, best_key = result, key
         assert best is not None
         stats.best_width = best.group_width
+        stats.record_search(getattr(best.allocation, "search_stats", None))
         stats.total_seconds = time.perf_counter() - started
         best.compile_stats = stats
         return best
@@ -330,6 +328,7 @@ class ParaConv:
         result = self._assemble(ctx)
         stats.record_width(width, time.perf_counter() - width_started)
         stats.best_width = width
+        stats.record_search(getattr(result.allocation, "search_stats", None))
         stats.total_seconds = time.perf_counter() - started
         result.compile_stats = stats
         return result

@@ -125,7 +125,10 @@ class InferenceSession:
         graph: the workload's task graph.
         config: machine description; its ``iterations`` field only affects
             the width search's objective (as in the one-shot pipeline).
-        allocator: allocator registry name (``dp`` by default).
+        allocator: allocator spec -- a registry name (``dp`` by default)
+            or a budgeted spec such as ``anneal:5000``; budgeted specs are
+            normalized to ``name:budget`` form so the plan-cache key
+            includes the search budget.
         kernel_order: kernel packing order knob (ablation).
         liveness_aware: liveness-corrected allocation pass.
         cache: optional :class:`PlanCache`; when provided, compilation is
@@ -180,13 +183,12 @@ class InferenceSession:
         retry_backoff_seconds: float = 0.0,
         sleep: Optional[Callable[[float], None]] = None,
     ):
-        from repro.core.allocation import ALLOCATORS
+        from repro.core.allocation import canonical_allocator_spec
 
-        if allocator not in ALLOCATORS:
-            known = ", ".join(sorted(ALLOCATORS))
-            raise ValueError(
-                f"unknown allocator {allocator!r}; known: {known}"
-            )
+        # Validates the spec (UnknownAllocatorError is a ValueError) and
+        # normalizes budgeted allocators to ``name:budget`` so two sessions
+        # with different search budgets never share a plan-cache entry.
+        allocator = canonical_allocator_spec(allocator)
         if num_vaults < 1:
             raise ValueError(f"num_vaults must be >= 1, got {num_vaults}")
         if max_retries < 0:

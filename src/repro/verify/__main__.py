@@ -10,6 +10,8 @@ Usage::
     python -m repro.verify --sim --sim-iterations 1 20 1000  # engine check
     python -m repro.verify --faults                     # failover differential
     python -m repro.verify --fleet                      # fleet differential
+    python -m repro.verify --search                     # search-allocator battery
+    python -m repro.verify --search --search-budgets 0 100 2000
     python -m repro.verify --list-checks         # print the check catalog
     python -m repro.verify --json                # machine-readable output
 
@@ -115,6 +117,16 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N", default=None,
                         help="batch sizes for the --sim stage "
                              "(default: 1 20 1000)")
+    parser.add_argument("--search", action="store_true",
+                        help="differentially verify the search allocators: "
+                             "oracle equality on enumerable instances, the "
+                             "DP lower bound and anytime monotonicity at "
+                             "every ladder budget, and full plan validation "
+                             "on healthy, degraded and partitioned machines")
+    parser.add_argument("--search-budgets", type=int, nargs="+",
+                        metavar="N", default=None,
+                        help="budget ladder for the --search stage "
+                             "(default: 0 100 500 2000)")
     parser.add_argument("--json", action="store_true",
                         help="emit the full outcome as JSON")
     parser.add_argument("--list-checks", action="store_true",
@@ -149,6 +161,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         failover_unit=args.fault_unit,
         failover_unit_id=args.fault_unit_id,
         failover_iteration=args.fault_iteration,
+        with_search=args.search,
+        search_budgets=args.search_budgets,
     )
     fleet_report = None
     if args.fleet:

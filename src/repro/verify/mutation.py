@@ -10,8 +10,10 @@ fault-detection score over the corpus must be 1.0.
 The corpus deliberately spans every check family: kernel resource faults
 (overlapping, stretched, dropped, swapped operations), retiming faults
 (negative values, dropped edges, flattened producers), placement faults
-(transfer inflation, placement flips), and allocation-accounting faults
-(profit corruption, cache overfill).
+(transfer inflation, placement flips), allocation-accounting faults
+(profit corruption, cache overfill), and search-candidate faults modeling
+a buggy search allocator (phantom cached profit, an internally consistent
+but capacity-violating candidate).
 """
 
 from __future__ import annotations
@@ -266,6 +268,84 @@ def _mutate_corrupt_profit(
     )
 
 
+def _mutate_search_overstate_profit(
+    result: ParaConvResult, rng: random.Random
+) -> Optional[str]:
+    """Claim search profit for a result that was never actually cached.
+
+    Models the characteristic failure of a buggy search allocator: a
+    candidate's bookkeeping says an intermediate result is cached (and
+    banks its ``DR(m)``) while the emitted placements still send it to
+    eDRAM. The cached list then disagrees with the CACHE placements and
+    the profit accounting no longer sums over the cached set — both
+    allocation-check violations.
+    """
+    allocation = result.allocation
+    phantom = sorted(
+        key
+        for key, placement in allocation.placements.items()
+        if placement is Placement.EDRAM
+    )
+    if not phantom:
+        return None
+    key = phantom[rng.randrange(len(phantom))]
+    allocation.cached.append(key)
+    allocation.total_delta_r += 1 + rng.randrange(5)
+    return (
+        f"claimed eDRAM-placed {key} as cached and banked phantom profit "
+        f"(total_delta_r={allocation.total_delta_r})"
+    )
+
+
+def _mutate_search_overfill_candidate(
+    result: ParaConvResult, rng: random.Random
+) -> Optional[str]:
+    """Emit an internally consistent candidate that overflows the cache.
+
+    Models a search walk that accepts an infeasible neighbor: extra
+    results are flipped to CACHE *consistently* — placements, cached
+    list, transfer times, profit and slot accounting all updated
+    honestly — until the charged slots exceed the capacity. Every
+    allocation-consistency check stays green by construction; only the
+    cache-capacity invariant can catch it, so a miss here is a hole in
+    that specific check.
+    """
+    from repro.core.retiming import analyze_edges
+
+    schedule = result.schedule
+    allocation = result.allocation
+    try:
+        timings = analyze_edges(result.graph, schedule.kernel, result.config)
+    except Exception:
+        return None
+    flippable = sorted(
+        key
+        for key, placement in allocation.placements.items()
+        if placement is Placement.EDRAM and key in timings
+    )
+    rng.shuffle(flippable)
+    flipped = []
+    for key in flippable:
+        if allocation.slots_used > allocation.capacity_slots:
+            break
+        timing = timings[key]
+        schedule.placements[key] = Placement.CACHE
+        allocation.placements[key] = Placement.CACHE
+        allocation.cached.append(key)
+        if key in schedule.transfer_times:
+            schedule.transfer_times[key] = timing.transfer_for(Placement.CACHE)
+        allocation.slots_used += timing.slots
+        allocation.total_delta_r += timing.delta_r
+        flipped.append(key)
+    if allocation.slots_used <= allocation.capacity_slots:
+        return None  # even caching everything fits: no overflow to model
+    return (
+        f"flipped {len(flipped)} results to CACHE with honest accounting, "
+        f"charging {allocation.slots_used} slots against capacity "
+        f"{allocation.capacity_slots}"
+    )
+
+
 def _mutate_shrink_period(
     result: ParaConvResult, rng: random.Random
 ) -> Optional[str]:
@@ -292,6 +372,8 @@ MUTATORS: Dict[str, Mutator] = {
     "overfill-cache": _mutate_overfill_cache,
     "corrupt-profit": _mutate_corrupt_profit,
     "shrink-period": _mutate_shrink_period,
+    "search-overstate-profit": _mutate_search_overstate_profit,
+    "search-overfill-candidate": _mutate_search_overfill_candidate,
 }
 
 

@@ -25,6 +25,10 @@ from repro.verify.differential_failover import (
     FailoverDifferentialReport,
     failover_differential,
 )
+from repro.verify.differential_search import (
+    SearchDifferentialReport,
+    search_differential,
+)
 from repro.verify.differential_sim import (
     DEFAULT_SIM_ITERATIONS,
     SimDifferentialReport,
@@ -53,6 +57,10 @@ class WorkloadVerification:
     #: must equal a cold compile on the degraded machine (None when the
     #: failover stage was not requested).
     failover: Optional[FailoverDifferentialReport] = None
+    #: search-allocator battery: oracle equality, DP lower bound, anytime
+    #: monotonicity and plan validity per machine variant (empty when the
+    #: search stage was not requested).
+    search: List[SearchDifferentialReport] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -63,6 +71,8 @@ class WorkloadVerification:
         if self.faults is not None and not self.faults.ok:
             return False
         if self.failover is not None and not self.failover.ok:
+            return False
+        if any(not report.ok for report in self.search):
             return False
         for battery in self.simulation.values():
             if any(not report.ok for report in battery):
@@ -81,6 +91,7 @@ class WorkloadVerification:
             ),
             "faults": self.faults.as_dict() if self.faults else None,
             "failover": self.failover.as_dict() if self.failover else None,
+            "search": [report.as_dict() for report in self.search],
             "simulation": {
                 name: [report.as_dict() for report in battery]
                 for name, battery in self.simulation.items()
@@ -156,6 +167,12 @@ class SweepOutcome:
                 passed = sum(1 for r in batteries if r.ok)
                 verdict = "ok" if passed == len(batteries) else "FAIL"
                 extras.append(f"sim[{passed}/{len(batteries)}]={verdict}")
+            if workload.search:
+                passed = sum(1 for r in workload.search if r.ok)
+                verdict = "ok" if passed == len(workload.search) else "FAIL"
+                extras.append(
+                    f"search[{passed}/{len(workload.search)}]={verdict}"
+                )
             lines.append(
                 f"  {workload.workload:<16} {status:<5} "
                 f"errors={errors} warnings={warnings} "
@@ -181,6 +198,8 @@ def verify_workload(
     failover_unit_id: int = 0,
     failover_iteration: int = 3,
     failover_batch: int = 20,
+    with_search: bool = False,
+    search_budgets: Optional[List[int]] = None,
 ) -> WorkloadVerification:
     """Run the full verification battery for one workload.
 
@@ -250,6 +269,15 @@ def verify_workload(
             iterations=failover_batch,
             validator=validator,
         )
+    if with_search:
+        outcome.search = search_differential(
+            graph,
+            config,
+            budgets=search_budgets,
+            validator=validator,
+            oracle_limit=oracle_limit,
+            seed=fault_seed,
+        )
     return outcome
 
 
@@ -269,6 +297,8 @@ def run_verification_sweep(
     failover_unit_id: int = 0,
     failover_iteration: int = 3,
     failover_batch: int = 20,
+    with_search: bool = False,
+    search_budgets: Optional[List[int]] = None,
 ) -> SweepOutcome:
     """Verify benchmarks x allocators on one machine configuration."""
     config = config or PimConfig()
@@ -296,6 +326,8 @@ def run_verification_sweep(
                 failover_unit_id=failover_unit_id,
                 failover_iteration=failover_iteration,
                 failover_batch=failover_batch,
+                with_search=with_search,
+                search_budgets=search_budgets,
             )
         )
     return outcome

@@ -1,0 +1,249 @@
+"""Property battery for the anytime search allocators.
+
+Four families of seeded properties over random deadline-sorted knapsack
+instances (300+ generated cases), pinning the promises
+:mod:`repro.core.search` documents:
+
+* **DP lower bound + oracle equality** — the DP-seeded annealer never
+  returns less than the DP, and on enumerable instances returns exactly
+  the brute-force optimum;
+* **anytime monotonicity** — profit is monotone non-decreasing in the
+  evaluation budget, and a larger budget's improvement trajectory extends
+  (never rewrites) a smaller budget's trajectory — the prefix property;
+* **feasibility of every intermediate** — every *accepted* candidate of
+  the walk fits the capacity, not just the final answer, and compiled
+  anneal plans pass the full :class:`ScheduleValidator` battery;
+* **cross-process determinism** — the same (problem, seed, budget) triple
+  yields the same cached set in a fresh interpreter under a different
+  ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.core.allocation import (
+    AllocationItem,
+    AllocationProblem,
+    dp_allocate,
+    greedy_allocate,
+)
+from repro.core.search import AllocatorPortfolio, AnnealAllocator, SEEDERS
+from repro.graph.generators import SyntheticGraphGenerator
+from repro.verify.oracle import exhaustive_allocate
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+
+def make_problem(seed: int, max_items: int = 14) -> AllocationProblem:
+    """Random deadline-sorted knapsack instance (enumerable by default)."""
+    rng = random.Random(0x5EA8C4 ^ seed)
+    count = rng.randint(1, max_items)
+    items: List[AllocationItem] = []
+    for index in range(count):
+        items.append(
+            AllocationItem(
+                key=(index, index + 1),
+                slots=rng.randint(1, 8),
+                delta_r=rng.randint(1, 12),
+                deadline=rng.randint(0, 50),
+            )
+        )
+    items.sort(key=lambda item: (item.deadline, item.key))
+    demand = sum(item.slots for item in items)
+    capacity = rng.randint(0, demand + 4)
+    return AllocationProblem(items=items, capacity_slots=capacity)
+
+
+ORACLE_SEEDS = range(100)
+MONOTONE_SEEDS = range(100)
+FEASIBLE_SEEDS = range(100)
+PIPELINE_SEEDS = range(6)
+BUDGET_LADDER = (0, 37, 120, 400)
+
+
+# ----------------------------------------------------------------------
+# DP lower bound + oracle equality
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", ORACLE_SEEDS)
+def test_dp_lower_bound_and_oracle_equality(seed):
+    """anneal >= dp always; anneal == brute-force optimum when enumerable."""
+    problem = make_problem(seed)
+    dp = dp_allocate(problem)
+    anneal = AnnealAllocator(max_evals=400, seed=seed)(problem)
+    portfolio = AllocatorPortfolio(max_evals=400, seed=seed)(problem)
+
+    assert anneal.slots_used <= problem.capacity_slots
+    assert portfolio.slots_used <= problem.capacity_slots
+    assert anneal.total_delta_r >= dp.total_delta_r
+    assert portfolio.total_delta_r >= dp.total_delta_r
+
+    optimum = exhaustive_allocate(problem).total_delta_r
+    assert anneal.total_delta_r == optimum
+    assert portfolio.total_delta_r == optimum
+
+
+# ----------------------------------------------------------------------
+# anytime monotonicity + the prefix property
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", MONOTONE_SEEDS)
+def test_anytime_monotone_in_budget(seed):
+    """Profit never decreases with budget, from every seeding strategy."""
+    problem = make_problem(seed, max_items=20)
+    for seed_from in sorted(SEEDERS):
+        seed_profit = SEEDERS[seed_from](problem).total_delta_r
+        previous = None
+        for budget in BUDGET_LADDER:
+            result = AnnealAllocator(
+                max_evals=budget, seed=seed, seed_from=seed_from
+            )(problem)
+            assert result.total_delta_r >= seed_profit
+            if previous is not None:
+                assert result.total_delta_r >= previous
+            previous = result.total_delta_r
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_trajectory_prefix_property(seed):
+    """A bigger budget replays a smaller budget's walk, then extends it."""
+    problem = make_problem(seed, max_items=20)
+    small = AnnealAllocator(max_evals=120, seed=seed, seed_from="empty")(
+        problem
+    )
+    large = AnnealAllocator(max_evals=400, seed=seed, seed_from="empty")(
+        problem
+    )
+    large_prefix = [
+        point for point in large.search_stats.trajectory if point[0] <= 120
+    ]
+    assert small.search_stats.trajectory == large_prefix
+
+
+# ----------------------------------------------------------------------
+# feasibility of every intermediate candidate
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", FEASIBLE_SEEDS)
+def test_every_accepted_candidate_is_feasible(seed):
+    """The walk never *accepts* a capacity-violating candidate."""
+    problem = make_problem(seed, max_items=20)
+    allocator = AnnealAllocator(
+        max_evals=300, seed=seed, seed_from="empty", record_candidates=True
+    )
+    result = allocator(problem)
+    assert allocator.last_candidates, "walk recorded no candidates"
+    for profit, slots in allocator.last_candidates:
+        assert slots <= problem.capacity_slots
+        assert profit >= 0
+    assert result.slots_used <= problem.capacity_slots
+
+
+@pytest.mark.parametrize("seed", PIPELINE_SEEDS)
+def test_compiled_anneal_plans_pass_the_validator(seed):
+    """Full-pipeline anneal plans satisfy the whole validator battery."""
+    from repro.core.paraconv import ParaConv
+    from repro.pim.config import PimConfig
+    from repro.verify.validator import ScheduleValidator
+
+    rng = random.Random(0xA11 ^ seed)
+    n = rng.randint(6, 18)
+    graph = SyntheticGraphGenerator().generate(
+        n, n - 1 + rng.randint(0, n // 2), seed=seed,
+        name=f"search-prop-{seed}",
+    )
+    config = PimConfig(num_pes=8)
+    plan = ParaConv(config, allocator_name="anneal").run(graph)
+    report = ScheduleValidator().validate(plan)
+    assert report.ok, [str(v) for v in report.errors()]
+    assert plan.allocation.method == "anneal"
+    assert plan.compile_stats.search is not None
+    assert plan.compile_stats.search["budget"] == 2000
+
+
+# ----------------------------------------------------------------------
+# cross-process determinism
+# ----------------------------------------------------------------------
+_DETERMINISM_SCRIPT = """
+import random
+from repro.core.allocation import AllocationItem, AllocationProblem
+from repro.core.search import AnnealAllocator
+
+rng = random.Random(0x5EA8C4 ^ {seed})
+count = rng.randint(1, 14)
+items = []
+for index in range(count):
+    items.append(AllocationItem(
+        key=(index, index + 1),
+        slots=rng.randint(1, 8),
+        delta_r=rng.randint(1, 12),
+        deadline=rng.randint(0, 50),
+    ))
+items.sort(key=lambda item: (item.deadline, item.key))
+demand = sum(item.slots for item in items)
+capacity = rng.randint(0, demand + 4)
+problem = AllocationProblem(items=items, capacity_slots=capacity)
+result = AnnealAllocator(max_evals=250, seed={seed}, seed_from="empty")(
+    problem
+)
+print(sorted(result.cached), result.total_delta_r, result.slots_used)
+"""
+
+
+@pytest.mark.parametrize("hashseed", ["1", "4242"])
+def test_cross_process_determinism(hashseed):
+    """Same (problem, seed, budget) -> same answer under any hash seed."""
+    expected = {}
+    for seed in (3, 17):
+        problem = make_problem(seed)
+        result = AnnealAllocator(
+            max_evals=250, seed=seed, seed_from="empty"
+        )(problem)
+        expected[seed] = (
+            f"{sorted(result.cached)} {result.total_delta_r} "
+            f"{result.slots_used}"
+        )
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(SRC_DIR)
+    for seed, want in expected.items():
+        out = subprocess.run(
+            [sys.executable, "-c", _DETERMINISM_SCRIPT.format(seed=seed)],
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout.strip()
+        assert out == want
+
+
+# ----------------------------------------------------------------------
+# degenerate instances
+# ----------------------------------------------------------------------
+def test_zero_budget_returns_the_seed_verbatim():
+    problem = make_problem(11)
+    dp = dp_allocate(problem)
+    anneal = AnnealAllocator(max_evals=0)(problem)
+    assert sorted(anneal.cached) == sorted(dp.cached)
+    assert anneal.total_delta_r == dp.total_delta_r
+    assert anneal.search_stats.evals_used == 0
+
+
+def test_zero_capacity_instance():
+    problem = make_problem(5)
+    empty = AllocationProblem(items=problem.items, capacity_slots=0)
+    result = AnnealAllocator(max_evals=200, seed=1)(empty)
+    assert result.total_delta_r == 0
+    assert result.slots_used == 0
+    assert result.cached == []
+
+
+def test_greedy_seed_never_below_greedy():
+    problem = make_problem(23, max_items=20)
+    greedy = greedy_allocate(problem)
+    result = AnnealAllocator(max_evals=150, seed=2, seed_from="greedy")(
+        problem
+    )
+    assert result.total_delta_r >= greedy.total_delta_r

@@ -1,0 +1,140 @@
+"""Acceptance tests for the search-allocator differential battery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pim.config import PimConfig
+from repro.verify.differential_search import (
+    DEFAULT_BUDGET_LADDER,
+    SearchDifferentialReport,
+    machine_variants,
+    search_differential,
+    search_differential_sweep,
+)
+from repro.graph.generators import synthetic_benchmark
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PimConfig(num_pes=16, iterations=1000)
+
+
+@pytest.fixture(scope="module")
+def reports(config):
+    return search_differential(synthetic_benchmark("cat"), config)
+
+
+class TestMachineVariants:
+    def test_healthy_degraded_and_shards(self, config):
+        labels = [label for label, _ in machine_variants(config)]
+        assert labels == ["healthy", "degraded", "shard-0", "shard-1"]
+
+    def test_variant_machines_shrink(self, config):
+        variants = dict(machine_variants(config))
+        assert variants["degraded"].num_pes == config.num_pes - 1
+        assert (
+            variants["shard-0"].num_pes + variants["shard-1"].num_pes
+            == config.num_pes
+        )
+
+    def test_single_pe_machine_has_only_healthy(self):
+        labels = [label for label, _ in machine_variants(PimConfig(num_pes=1))]
+        assert labels == ["healthy"]
+
+
+class TestSearchDifferential:
+    def test_battery_is_green(self, reports):
+        for report in reports:
+            assert report.ok, report.failures + report.validator_errors
+
+    def test_covers_every_variant(self, reports):
+        assert [r.variant for r in reports] == [
+            "healthy", "degraded", "shard-0", "shard-1",
+        ]
+
+    def test_search_profits_at_least_dp(self, reports):
+        for report in reports:
+            assert report.profits["anneal"] >= report.profits["dp"]
+            assert report.profits["portfolio"] >= report.profits["dp"]
+
+    def test_oracle_equality_when_enumerable(self, reports):
+        for report in reports:
+            if report.exhaustive_checked:
+                assert (
+                    report.profits["anneal"] == report.profits["exhaustive"]
+                )
+
+    def test_budget_ladder_is_monotone(self, reports):
+        for report in reports:
+            profits = list(report.budget_profits.values())
+            assert sorted(report.budget_profits) == list(
+                report.budget_profits
+            )
+            assert profits == sorted(profits)
+            assert set(report.budget_profits) == set(DEFAULT_BUDGET_LADDER)
+
+    def test_validator_battery_ran_clean(self, reports):
+        for report in reports:
+            assert report.validator_errors == []
+
+    def test_report_dict_shape(self, reports):
+        payload = reports[0].as_dict()
+        assert payload["ok"] is True
+        assert payload["workload"] == "cat"
+        assert set(payload["budget_profits"]) == {
+            str(b) for b in DEFAULT_BUDGET_LADDER
+        }
+
+    def test_failures_flip_ok(self):
+        report = SearchDifferentialReport(
+            workload="w", variant="healthy", num_items=1, capacity_slots=1
+        )
+        assert report.ok
+        report.failures.append("boom")
+        assert not report.ok
+        broken = SearchDifferentialReport(
+            workload="w", variant="healthy", num_items=1, capacity_slots=1,
+            validator_errors=["bad plan"],
+        )
+        assert not broken.ok
+
+
+class TestSweepAndCli:
+    def test_sweep_subset_green(self, config):
+        outcome = search_differential_sweep(
+            config=config, benchmarks=["cat", "car"], budgets=[0, 150]
+        )
+        assert outcome.ok
+        assert len(outcome.reports) == 8  # 2 benchmarks x 4 variants
+        assert outcome.budgets == [0, 150]
+        text = outcome.summary()
+        assert "search differential" in text
+        assert "overall: ok" in text
+
+    def test_verify_cli_search_flag(self, capsys):
+        from repro.verify.__main__ import main
+
+        code = main([
+            "--benchmarks", "cat", "--no-mutations",
+            "--search", "--search-budgets", "0", "100",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "search[4/4]=ok" in out
+
+    def test_runner_wires_search_reports(self, config):
+        from repro.verify.runner import verify_workload
+
+        outcome = verify_workload(
+            synthetic_benchmark("cat"),
+            config,
+            allocators=["dp"],
+            with_differential=False,
+            with_faults=False,
+            with_search=True,
+            search_budgets=[0, 100],
+        )
+        assert outcome.ok
+        assert len(outcome.search) == 4
+        assert outcome.as_dict()["search"][0]["variant"] == "healthy"

@@ -93,3 +93,51 @@ class TestDetection:
         assert payload["detection_rate"] == 1.0
         assert payload["missed"] == []
         assert payload["injected"] >= 10
+
+
+class TestSearchMutators:
+    """The search-candidate corpus entries (100% detection required)."""
+
+    @pytest.mark.parametrize(
+        "name", ["search-overstate-profit", "search-overfill-candidate"]
+    )
+    def test_detected_whenever_applicable(self, config, name):
+        applied_somewhere = False
+        for benchmark in sorted(BENCHMARK_SIZES):
+            plan = ParaConv(config).run(synthetic_benchmark(benchmark))
+            report = fault_detection_report(plan, seed=0, mutators=[name])
+            if name in {f.mutator for f in report.injected}:
+                applied_somewhere = True
+                assert name in report.detected, (
+                    f"{benchmark}: {name} applied but not detected"
+                )
+        assert applied_somewhere, f"{name} never applied on any benchmark"
+
+    def test_overstate_profit_breaks_the_cached_set_invariant(self, plan):
+        import random
+
+        mutant = clone_result(plan)
+        description = MUTATORS["search-overstate-profit"](
+            mutant, random.Random(0)
+        )
+        if description is None:
+            pytest.skip("no eDRAM-placed edge on this plan")
+        report = ScheduleValidator().validate(mutant)
+        assert not report.ok
+        assert any(v.check == "allocation" for v in report.errors())
+
+    def test_overfill_candidate_only_breaks_capacity(self, plan):
+        """The overfill mutant is internally consistent by construction:
+        every violation it produces must come from the capacity check."""
+        import random
+
+        mutant = clone_result(plan)
+        description = MUTATORS["search-overfill-candidate"](
+            mutant, random.Random(0)
+        )
+        if description is None:
+            pytest.skip("every result fits the cache on this plan")
+        assert mutant.allocation.slots_used > mutant.allocation.capacity_slots
+        report = ScheduleValidator().validate(mutant)
+        assert not report.ok
+        assert {v.check for v in report.errors()} == {"cache-capacity"}
