@@ -1,0 +1,172 @@
+"""Benchmark A9: columnar anneal scoring vs the object re-walk.
+
+The annealing allocator's inner loop scores candidate cache subsets.
+Pre-columnar, each score re-walked ``problem.items`` (kept as
+:func:`repro.core.profit.score_masks_object`, the differential oracle
+and timing baseline); the columnar :class:`~repro.core.profit.ProfitTable`
+scores a whole batch with two ``int64`` matrix-vector products.
+
+Bit-identity is asserted unconditionally — per-candidate scores, the
+final allocation and every :class:`~repro.core.search.SearchStats`
+counter must match the object engine exactly (the RNG draw sequence is
+shared, so the two walks visit identical states). The wall-time floor
+(>= 3x on a batch of >= 2000 candidates, the default anneal budget) is
+enforced only under ``REPRO_ENFORCE_COMPILE_SPEEDUP=1`` (CI's
+compile-perf job), which also refreshes the committed
+``BENCH_compile.json`` trajectory file.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cnn.workloads import load_workload
+from repro.core.profit import ProfitTable, score_masks_object
+from repro.core.search import DEFAULT_SEARCH_BUDGET, AnnealAllocator
+from repro.eval.bench_io import dump_bench, new_report
+from repro.pim.config import PimConfig
+from repro.verify.differential_search import allocation_instance
+
+#: The widest PE configuration the evaluation sweeps (Section 4.1).
+WIDEST_PES = 64
+
+#: Scored candidates per timing batch — the ISSUE floor applies at the
+#: default anneal budget and above.
+NUM_CANDIDATES = max(2000, DEFAULT_SEARCH_BUDGET)
+
+#: Median-of-N timing keeps the ratio stable on noisy CI hosts.
+TIMING_REPEATS = 9
+
+#: The committed speedup floor (ISSUE acceptance: >= 3x batch scoring).
+SPEEDUP_FLOOR = 3.0
+
+#: Where the trajectory file lands (repo root; CI uploads it).
+BENCH_PATH = Path(
+    os.environ.get("REPRO_BENCH_DIR", Path(__file__).resolve().parents[1])
+) / "BENCH_compile.json"
+
+
+@pytest.fixture(scope="module")
+def compile_machine() -> PimConfig:
+    return PimConfig(num_pes=WIDEST_PES, iterations=1000)
+
+
+@pytest.fixture(scope="module")
+def problem(compile_machine):
+    instance, _width = allocation_instance(
+        load_workload("lenet5"), compile_machine
+    )
+    return instance
+
+
+@pytest.fixture(scope="module")
+def candidate_masks(problem):
+    """A seeded batch of random candidate subsets (the anneal's shape)."""
+    rng = np.random.default_rng(0)
+    n = len(problem.items)
+    assert n > 0, "lenet5 instance must expose movable items"
+    return rng.integers(0, 2, size=(NUM_CANDIDATES, n), dtype=np.int64) > 0
+
+
+def _median_seconds(fn) -> float:
+    samples = []
+    for _ in range(TIMING_REPEATS):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@pytest.mark.paper_artifact("columnar-compile")
+def test_batch_scores_are_bit_identical(problem, candidate_masks):
+    """Columnar scoring equals the object re-walk on every candidate."""
+    table = ProfitTable.of(problem)
+    profits, slots = table.score_masks(candidate_masks)
+    reference = score_masks_object(problem, candidate_masks)
+    assert [
+        (int(p), int(s)) for p, s in zip(profits, slots)
+    ] == reference
+
+
+@pytest.mark.paper_artifact("columnar-compile")
+def test_anneal_engines_are_bit_identical(problem):
+    """Both anneal engines produce the same allocation AND SearchStats."""
+    columnar = AnnealAllocator(seed=7, engine="columnar")(problem)
+    objectful = AnnealAllocator(seed=7, engine="object")(problem)
+    assert columnar.placements == objectful.placements
+    assert columnar.cached == objectful.cached
+    assert columnar.total_delta_r == objectful.total_delta_r
+    assert columnar.slots_used == objectful.slots_used
+    assert (
+        columnar.search_stats.as_dict() == objectful.search_stats.as_dict()
+    )
+
+
+@pytest.mark.paper_artifact("columnar-compile")
+def test_columnar_scoring_speedup(problem, candidate_masks, capsys):
+    """Median wall time, columnar batch scoring vs the object re-walk.
+
+    Always measured, printed and written to ``BENCH_compile.json``; the
+    >= 3x floor is asserted only under ``REPRO_ENFORCE_COMPILE_SPEEDUP=1``.
+    """
+    table = ProfitTable.of(problem)
+    columnar_s = _median_seconds(lambda: table.score_masks(candidate_masks))
+    object_s = _median_seconds(
+        lambda: score_masks_object(problem, candidate_masks)
+    )
+    scoring_speedup = object_s / columnar_s
+
+    anneal_columnar_s = _median_seconds(
+        lambda: AnnealAllocator(seed=7, engine="columnar")(problem)
+    )
+    anneal_object_s = _median_seconds(
+        lambda: AnnealAllocator(seed=7, engine="object")(problem)
+    )
+
+    report = new_report("compile", {
+        "workload": "lenet5",
+        "num_pes": WIDEST_PES,
+        "num_items": len(problem.items),
+        "capacity_slots": problem.capacity_slots,
+        "num_candidates": NUM_CANDIDATES,
+        "timing_repeats": TIMING_REPEATS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "floor_enforced": bool(
+            os.environ.get("REPRO_ENFORCE_COMPILE_SPEEDUP")
+        ),
+        "scoring": {
+            "columnar_seconds": columnar_s,
+            "object_seconds": object_s,
+            "speedup": scoring_speedup,
+        },
+        "anneal_walk": {
+            "budget": DEFAULT_SEARCH_BUDGET,
+            "columnar_seconds": anneal_columnar_s,
+            "object_seconds": anneal_object_s,
+            "speedup": anneal_object_s / anneal_columnar_s,
+        },
+    })
+    dump_bench(BENCH_PATH, report)
+
+    with capsys.disabled():
+        print()
+        print(
+            f"anneal scoring, lenet5 @ {WIDEST_PES} PEs, "
+            f"{NUM_CANDIDATES} candidates: "
+            f"columnar {columnar_s * 1e3:.3f} ms, "
+            f"object {object_s * 1e3:.3f} ms, "
+            f"speedup {scoring_speedup:.1f}x "
+            f"(trajectory -> {BENCH_PATH.name})"
+        )
+
+    if os.environ.get("REPRO_ENFORCE_COMPILE_SPEEDUP"):
+        assert scoring_speedup >= SPEEDUP_FLOOR, (
+            f"columnar anneal scoring regressed: {scoring_speedup:.2f}x "
+            f"< the committed {SPEEDUP_FLOOR}x floor "
+            f"(columnar {columnar_s * 1e3:.3f} ms vs object "
+            f"{object_s * 1e3:.3f} ms on {NUM_CANDIDATES} candidates)"
+        )

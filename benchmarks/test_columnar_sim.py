@@ -1,0 +1,150 @@
+"""Benchmark A10: columnar sim engine vs the object full unroll.
+
+The columnar engine (:class:`~repro.sim.columnar.ColumnarRun`) executes
+the same event-by-event round semantics as the object machine but keeps
+PE/vault/crossbar timelines in flat arrays and dispatches heap tuples
+directly, skipping per-event object construction. It must be a *perfect*
+stand-in: the aggregate signature is compared to the full unroll
+unconditionally, and the steady-detecting variant must converge at the
+same round, period and fingerprint as the object steady engine
+(``tests/sim/test_columnar_rounds.py`` additionally proves per-round
+counter equality through the ``round_probe`` hook).
+
+The wall-time floor (>= 2x vs the object full unroll on the LeNet-5
+partition at 64 PEs, paper-scale N) is enforced only under
+``REPRO_ENFORCE_SIM_SPEEDUP=1`` (CI's sim-perf job), which also
+refreshes the committed ``BENCH_sim.json`` trajectory file.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cnn.workloads import load_workload
+from repro.core.paraconv import ParaConv
+from repro.eval.bench_io import dump_bench, new_report
+from repro.pim.config import PimConfig
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.modes import SimMode
+from repro.sim.sinks import NullSink
+
+#: The widest PE configuration the evaluation sweeps (Section 4.1).
+WIDEST_PES = 64
+
+#: The paper's steady-state iteration count.
+ITERATIONS = 1000
+
+#: Median-of-N timing keeps the ratio stable on noisy CI hosts.
+TIMING_REPEATS = 5
+
+#: The committed speedup floor (ISSUE acceptance: >= 2x full-mode rounds).
+SPEEDUP_FLOOR = 2.0
+
+#: Where the trajectory file lands (repo root; CI uploads it).
+BENCH_PATH = Path(
+    os.environ.get("REPRO_BENCH_DIR", Path(__file__).resolve().parents[1])
+) / "BENCH_sim.json"
+
+
+@pytest.fixture(scope="module")
+def sim_machine() -> PimConfig:
+    return PimConfig(num_pes=WIDEST_PES, iterations=ITERATIONS)
+
+
+@pytest.fixture(scope="module")
+def plan(sim_machine):
+    return ParaConv(sim_machine).run(load_workload("lenet5"))
+
+
+def _execute(sim_machine, plan, mode, iterations=ITERATIONS):
+    executor = ScheduleExecutor(sim_machine, mode=mode)
+    return executor.execute(plan, iterations=iterations, sink=NullSink())
+
+
+def _median_execute_seconds(sim_machine, plan, mode) -> float:
+    samples = []
+    for _ in range(TIMING_REPEATS):
+        started = time.perf_counter()
+        _execute(sim_machine, plan, mode)
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@pytest.mark.paper_artifact("columnar-sim")
+def test_columnar_signature_matches_full_unroll(sim_machine, plan):
+    """Every aggregate of the columnar run equals the object oracle."""
+    full = _execute(sim_machine, plan, SimMode.FULL_UNROLL)
+    columnar = _execute(sim_machine, plan, SimMode.COLUMNAR)
+    assert columnar.aggregate_signature() == full.aggregate_signature()
+
+
+@pytest.mark.paper_artifact("columnar-sim")
+def test_columnar_steady_convergence_matches_object_steady(sim_machine, plan):
+    """Round/period/fingerprint equality is a cross-implementation check
+    of the convergence rule itself (the canonical forms are computed from
+    different machine representations)."""
+    steady = _execute(sim_machine, plan, SimMode.STEADY_STATE)
+    columnar = _execute(sim_machine, plan, SimMode.COLUMNAR_STEADY)
+    assert columnar.aggregate_signature() == steady.aggregate_signature()
+    assert columnar.converged_round == steady.converged_round
+    assert columnar.converged_period == steady.converged_period
+    assert columnar.rounds_fast_forwarded == steady.rounds_fast_forwarded
+    assert columnar.steady_fingerprint == steady.steady_fingerprint
+
+
+@pytest.mark.paper_artifact("columnar-sim")
+def test_columnar_speedup(sim_machine, plan, capsys):
+    """Median wall time of all four engines at the paper's N.
+
+    Always measured, printed and written to ``BENCH_sim.json``; the
+    >= 2x columnar-vs-full floor is asserted only under
+    ``REPRO_ENFORCE_SIM_SPEEDUP=1``.
+    """
+    timings = {
+        mode.value: _median_execute_seconds(sim_machine, plan, mode)
+        for mode in (
+            SimMode.FULL_UNROLL,
+            SimMode.COLUMNAR,
+            SimMode.STEADY_STATE,
+            SimMode.COLUMNAR_STEADY,
+        )
+    }
+    speedup = timings["full"] / timings["columnar"]
+
+    report = new_report("sim", {
+        "workload": "lenet5",
+        "num_pes": WIDEST_PES,
+        "iterations": ITERATIONS,
+        "num_vertices": plan.graph.num_vertices,
+        "timing_repeats": TIMING_REPEATS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "floor_enforced": bool(os.environ.get("REPRO_ENFORCE_SIM_SPEEDUP")),
+        "seconds": timings,
+        "speedups_vs_full": {
+            mode: timings["full"] / seconds
+            for mode, seconds in timings.items()
+            if mode != "full"
+        },
+    })
+    dump_bench(BENCH_PATH, report)
+
+    with capsys.disabled():
+        print()
+        print(
+            f"simulation, lenet5 @ {WIDEST_PES} PEs, N={ITERATIONS}: "
+            f"columnar {timings['columnar'] * 1e3:.2f} ms, "
+            f"full {timings['full'] * 1e3:.2f} ms, "
+            f"speedup {speedup:.1f}x "
+            f"(trajectory -> {BENCH_PATH.name})"
+        )
+
+    if os.environ.get("REPRO_ENFORCE_SIM_SPEEDUP"):
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"columnar sim engine regressed: {speedup:.2f}x < the "
+            f"committed {SPEEDUP_FLOOR}x floor "
+            f"(columnar {timings['columnar'] * 1e3:.2f} ms vs full "
+            f"{timings['full'] * 1e3:.2f} ms at N={ITERATIONS})"
+        )

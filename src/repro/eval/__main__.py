@@ -28,7 +28,7 @@ from repro.pim.config import PimConfig
 EXPERIMENTS = (
     "table1", "table2", "figure5", "figure6",
     "ablation", "validation", "energy", "architectures", "latency",
-    "heterogeneity", "sweeps", "workloads", "report", "all",
+    "heterogeneity", "sweeps", "workloads", "profile", "report", "all",
 )
 
 
@@ -38,6 +38,16 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the Para-CONV paper's tables and figures.",
     )
     parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "target", nargs="?", default=None, choices=("compile", "sim"),
+        help="with the 'profile' experiment: hot path to profile "
+             "(default: both)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=15,
+        help="with the 'profile' experiment: hotspot rows to print "
+             "(default 15)",
+    )
     parser.add_argument(
         "--benchmarks", nargs="*", default=None,
         help=f"benchmark subset (default: all of {', '.join(PAPER_BENCHMARKS)})",
@@ -55,7 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="eDRAM latency factor relative to cache (paper range 2-10)",
     )
     parser.add_argument(
-        "--sim-mode", choices=("full", "steady"), default=None,
+        "--sim-mode", choices=("full", "steady", "columnar", "columnar-steady"), default=None,
         help="discrete-event engine for simulation-backed experiments: "
         "'steady' fingerprints the machine state and fast-forwards "
         "converged rounds (default for validation), 'full' is the "
@@ -84,6 +94,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         edram_latency_factor=args.edram_factor,
     )
     sections: List[str] = []
+    if args.experiment == "profile":
+        from repro.eval.profile import run_profile
+
+        # Profiling needs the paper's widest machine to make the hot
+        # loops dominate; keep the user's N but pin 64 PEs.
+        machine = PimConfig(
+            num_pes=64,
+            iterations=args.iterations,
+            cache_bytes_per_pe=args.cache_bytes_per_pe,
+            edram_latency_factor=args.edram_factor,
+        )
+        targets = (args.target,) if args.target else ("compile", "sim")
+        for target in targets:
+            report = run_profile(
+                target, machine,
+                top=args.top,
+                sim_mode=args.sim_mode or "columnar",
+            )
+            sections.append(report.render())
+        print("\n\n".join(sections))
+        return 0
     if args.experiment == "report":
         from repro.eval.report_writer import write_report
 
@@ -93,7 +124,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # "all" covers the paper artifacts and the reproduction's own
     # experiments; the slower sweeps and the report writer stay opt-in.
     wants = (
-        tuple(e for e in EXPERIMENTS if e not in ("all", "sweeps", "report"))
+        tuple(e for e in EXPERIMENTS
+              if e not in ("all", "sweeps", "profile", "report"))
         if args.experiment == "all"
         else (args.experiment,)
     )

@@ -17,11 +17,11 @@ import argparse
 import json
 import sys
 import tempfile
-from pathlib import Path
 from typing import List, Optional
 
 from repro.cnn.workloads import WORKLOADS
 from repro.core.allocation import ALLOCATORS
+from repro.eval.bench_io import dump_bench
 from repro.pim.config import PimConfig
 
 from repro.fleet.hashing import HashRing
@@ -226,7 +226,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             store_dir.cleanup()
 
     if args.out != "-":
-        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        dump_bench(args.out, report)
     if args.json:
         print(json.dumps(report, indent=2))
     else:

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
+from repro.eval.bench_io import new_report
 from repro.runtime.server import QueueFullError
 
 from repro.fleet.router import FleetRouter
@@ -189,8 +190,7 @@ def run_bench(
     accounting = router.accounting()
     if accounting["lost"] != 0:
         raise RuntimeError(f"fleet lost requests: {accounting}")
-    report: Dict[str, Any] = {
-        "schema": "BENCH_fleet/v1",
+    report: Dict[str, Any] = new_report("fleet", {
         "num_requests": num_requests,
         "num_workers": len(router.workers),
         "live_workers": sum(
@@ -218,5 +218,5 @@ def run_bench(
         "requests_per_second": (
             len(overall) / wall_seconds if wall_seconds > 0 else 0.0
         ),
-    }
+    })
     return report

@@ -232,6 +232,34 @@ class ExecutionTrace:
         }
 
 
+def candidate_period(
+    boundary_round: int,
+    snapshots: Dict[int, "_BoundarySnapshot"],
+    max_period: int,
+    r_max: int,
+) -> Optional[int]:
+    """Smallest ``q`` whose counter deltas look ``q``-periodic.
+
+    Cheap necessary condition shared by the object and columnar engines:
+    the per-round counter increments over the last ``q`` rounds must
+    equal the increments over the ``q`` rounds before. Only then is the
+    exact (expensive) canonical-form confirmation attempted.
+    """
+    r = boundary_round
+    for q in range(1, max_period + 1):
+        if r - 2 * q < r_max + 1:
+            break  # comparison window would reach into the prologue
+        if all(
+            (r - i in snapshots and r - i - q in snapshots
+             and r - i - 1 in snapshots and r - i - q - 1 in snapshots
+             and snapshots[r - i].delta(snapshots[r - i - 1])
+             == snapshots[r - i - q].delta(snapshots[r - i - q - 1]))
+            for i in range(q)
+        ):
+            return q
+    return None
+
+
 @dataclass(frozen=True)
 class _BoundarySnapshot:
     """Monotone counters at a round boundary (for per-round deltas)."""
@@ -301,6 +329,7 @@ class ScheduleExecutor:
         steady_max_period: int = 8,
         steady_confirm_budget: int = 8,
         fault_model: Optional[FaultModel] = None,
+        round_probe=None,
     ):
         if steady_max_period < 1:
             raise SimulationError("steady_max_period must be >= 1")
@@ -313,6 +342,10 @@ class ScheduleExecutor:
         self.steady_max_period = steady_max_period
         self.steady_confirm_budget = steady_confirm_budget
         self.fault_model = fault_model
+        #: optional callable ``(boundary_round, _BoundarySnapshot) -> None``
+        #: invoked after every simulated round boundary -- the hook the
+        #: per-round columnar/object equivalence battery observes.
+        self.round_probe = round_probe
 
     def execute(
         self,
@@ -327,7 +360,15 @@ class ScheduleExecutor:
         run_sink = sink if sink is not None else (
             self._sink if self._sink is not None else InMemorySink()
         )
-        run = _ExecutorRun(
+        if self.mode.is_columnar:
+            # Imported lazily: columnar.py imports this module's trace
+            # and snapshot types.
+            from repro.sim.columnar import ColumnarRun
+
+            run_cls = ColumnarRun
+        else:
+            run_cls = _ExecutorRun
+        run = run_cls(
             self.config, self.num_vaults, result, iterations,
             self.mode, run_sink,
             max_period=self.steady_max_period,
@@ -335,6 +376,7 @@ class ScheduleExecutor:
             fault_model=(
                 fault_model if fault_model is not None else self.fault_model
             ),
+            round_probe=self.round_probe,
         )
         return run.execute()
 
@@ -353,6 +395,7 @@ class _ExecutorRun:
         max_period: int = 8,
         confirm_budget: int = 8,
         fault_model: Optional[FaultModel] = None,
+        round_probe=None,
     ):
         self.config = config
         self.result = result
@@ -405,6 +448,7 @@ class _ExecutorRun:
         # --- steady-state detector configuration -----------------------
         self.max_period = max_period
         self.confirm_budget = confirm_budget
+        self._round_probe = round_probe
 
     # ------------------------------------------------------------------
     # event plumbing
@@ -739,26 +783,11 @@ class _ExecutorRun:
     def _candidate_period(
         self, boundary_round: int, snapshots: Dict[int, _BoundarySnapshot]
     ) -> Optional[int]:
-        """Smallest ``q`` whose counter deltas look ``q``-periodic.
-
-        Cheap necessary condition: the per-round counter increments over
-        the last ``q`` rounds must equal the increments over the ``q``
-        rounds before. Only then is the exact (expensive) canonical-form
-        confirmation attempted.
-        """
-        r = boundary_round
-        for q in range(1, self.max_period + 1):
-            if r - 2 * q < self.r_max + 1:
-                break  # comparison window would reach into the prologue
-            if all(
-                (r - i in snapshots and r - i - q in snapshots
-                 and r - i - 1 in snapshots and r - i - q - 1 in snapshots
-                 and snapshots[r - i].delta(snapshots[r - i - 1])
-                 == snapshots[r - i - q].delta(snapshots[r - i - q - 1]))
-                for i in range(q)
-            ):
-                return q
-        return None
+        """Delegates to the module-level :func:`candidate_period` shared
+        with the columnar engine."""
+        return candidate_period(
+            boundary_round, snapshots, self.max_period, self.r_max
+        )
 
     # ------------------------------------------------------------------
     # main loop
@@ -799,6 +828,8 @@ class _ExecutorRun:
             boundary_time = boundary_round * self.period
             state.queue.run(until=boundary_time - 1)
             trace.rounds_simulated += 1
+            if self._round_probe is not None:
+                self._round_probe(boundary_round, self._snapshot())
             if not detecting or self._converged or boundary_round > n:
                 continue
 
@@ -908,7 +939,9 @@ def simulate_sparta(
         sink=sink if sink is not None else InMemorySink(),
         sim_mode=mode,
     )
-    simulated = 1 if mode is SimMode.STEADY_STATE else iterations
+    # SPARTA has no columnar machine state to batch, so the columnar
+    # modes degenerate to their object twins' replay structure.
+    simulated = 1 if mode.detects_steady_state else iterations
     for iteration in range(1, simulated + 1):
         base = (iteration - 1) * length
         for op in graph.operations():
@@ -928,7 +961,7 @@ def simulate_sparta(
             else:
                 memory.record_edram_transfer(edge.size_bytes)
     trace.rounds_simulated = simulated
-    if mode is SimMode.STEADY_STATE and iterations > 1:
+    if mode.detects_steady_state and iterations > 1:
         skipped = iterations - 1
         per_iteration_instances = trace.num_instances
         for name, value in list(trace.stats.as_dict().items()):

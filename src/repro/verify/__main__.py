@@ -83,9 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-mutations", action="store_true",
                         help="skip the fault-injection stage")
     parser.add_argument("--sim", action="store_true",
-                        help="differentially verify the steady-state "
-                             "simulation engine against the full unroll "
-                             "(every aggregate must match exactly)")
+                        help="differentially verify the steady-state and "
+                             "columnar simulation engines against the full "
+                             "unroll (every aggregate must match exactly, "
+                             "and the columnar-steady engine must converge "
+                             "at the same round/period/fingerprint)")
     parser.add_argument("--faults", action="store_true",
                         help="differentially verify runtime failover: a "
                              "batch that hits an injected unit failure and "
@@ -121,8 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="differentially verify the search allocators: "
                              "oracle equality on enumerable instances, the "
                              "DP lower bound and anytime monotonicity at "
-                             "every ladder budget, and full plan validation "
-                             "on healthy, degraded and partitioned machines")
+                             "every ladder budget, full plan validation "
+                             "on healthy, degraded and partitioned machines, "
+                             "and columnar/object engine bit-identity "
+                             "(allocation and SearchStats)")
     parser.add_argument("--search-budgets", type=int, nargs="+",
                         metavar="N", default=None,
                         help="budget ladder for the --search stage "

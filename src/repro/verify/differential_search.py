@@ -19,6 +19,13 @@ them to all three on real compiled instances:
    battery, on the healthy machine *and* on degraded
    (:meth:`repro.pim.config.PimConfig.degraded`) and partitioned
    (:meth:`~repro.pim.config.PimConfig.split`) variants.
+4. **Engine bit-identity** — the production ``columnar`` scorer
+   (:class:`repro.core.profit.ProfitTable`) must reproduce the ``object``
+   walk *byte for byte* on every variant: identical allocation
+   (placements, cached set, profit, slots) and identical
+   :class:`~repro.core.search.SearchStats` (same RNG trajectory, same
+   accept/reject counts), plus columnar-vs-object equality of the
+   exhaustive oracle where the instance is enumerable.
 
 Surfaced by ``python -m repro.verify --search`` and pinned by
 ``tests/verify/test_differential_search.py``.
@@ -74,6 +81,8 @@ class SearchDifferentialReport:
     capacity_slots: int
     profits: Dict[str, int] = field(default_factory=dict)
     exhaustive_checked: bool = False
+    #: whether the columnar-vs-object engine bit-identity stage ran.
+    engines_checked: bool = False
     budget_profits: Dict[int, int] = field(default_factory=dict)
     validator_errors: List[str] = field(default_factory=list)
     failures: List[str] = field(default_factory=list)
@@ -90,6 +99,7 @@ class SearchDifferentialReport:
             "capacity_slots": self.capacity_slots,
             "profits": dict(self.profits),
             "exhaustive_checked": self.exhaustive_checked,
+            "engines_checked": self.engines_checked,
             "budget_profits": {
                 str(budget): profit
                 for budget, profit in self.budget_profits.items()
@@ -214,6 +224,51 @@ def search_differential(
                         f"(n={problem.num_items}, "
                         f"S={problem.capacity_slots})"
                     )
+
+        # Engine bit-identity: the production columnar scorer must replay
+        # the object walk byte for byte -- same allocation, same
+        # SearchStats (RNG trajectory, accept/reject counts) -- and the
+        # vectorized oracle must agree with the incumbent scan.
+        report.engines_checked = True
+        object_anneal = AnnealAllocator(seed=seed, engine="object")(problem)
+        for what, columnar_value, object_value in (
+            ("placements", anneal.placements, object_anneal.placements),
+            ("cached", anneal.cached, object_anneal.cached),
+            ("profit", anneal.total_delta_r, object_anneal.total_delta_r),
+            ("slots", anneal.slots_used, object_anneal.slots_used),
+        ):
+            if columnar_value != object_value:
+                report.failures.append(
+                    f"anneal engine mismatch on {what}: "
+                    f"columnar={columnar_value!r} object={object_value!r}"
+                )
+        columnar_stats = anneal.search_stats.as_dict()
+        object_stats = object_anneal.search_stats.as_dict()
+        if columnar_stats != object_stats:
+            diverged = sorted(
+                key for key in set(columnar_stats) | set(object_stats)
+                if columnar_stats.get(key) != object_stats.get(key)
+            )
+            report.failures.append(
+                "anneal SearchStats diverged between engines on: "
+                + ", ".join(diverged)
+            )
+        if exhaustive is not None:
+            object_exhaustive = exhaustive_allocate(
+                problem, limit=oracle_limit, engine="object"
+            )
+            if (
+                exhaustive.placements != object_exhaustive.placements
+                or exhaustive.cached != object_exhaustive.cached
+                or exhaustive.total_delta_r
+                != object_exhaustive.total_delta_r
+                or exhaustive.slots_used != object_exhaustive.slots_used
+            ):
+                report.failures.append(
+                    "exhaustive oracle engines diverged: columnar="
+                    f"{exhaustive.cached!r} object="
+                    f"{object_exhaustive.cached!r}"
+                )
 
         previous: Optional[int] = None
         for budget in ladder:

@@ -27,9 +27,16 @@ from repro.core.allocation import (
     _finalize,
     dp_allocate,
 )
+from repro.core.profit import ProfitTable, np
 
 #: Largest item count enumerated exhaustively (2^n subsets).
 DEFAULT_EXHAUSTIVE_LIMIT = 16
+
+#: Enumeration engines: ``columnar`` scores all ``2^n`` subsets with two
+#: matrix products on the :class:`~repro.core.profit.ProfitTable`
+#: columns; ``object`` is the original incumbent scan (kept as the
+#: differential oracle for the vectorized tie-break).
+ORACLE_ENGINES = ("columnar", "object")
 
 #: Registry entries that are per-run factories needing the task graph
 #: (``ALLOCATORS[name](graph, timings)(problem)``) rather than plain
@@ -45,6 +52,7 @@ class OracleSizeError(ValueError):
 def exhaustive_allocate(
     problem: AllocationProblem,
     limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+    engine: str = "columnar",
 ) -> AllocationResult:
     """Optimal allocation by enumerating every subset of competing results.
 
@@ -53,9 +61,19 @@ def exhaustive_allocate(
     profit ``sum of DR(m)``. Ties prefer fewer slots, then the
     lexicographically smallest key set, making the outcome deterministic.
 
+    The default ``columnar`` engine batch-scores all ``2^n`` subsets with
+    two matrix products and reproduces the incumbent scan's tie-break
+    exactly (max profit, then min slots, then the *greatest* sorted key
+    tuple -- what the sequential replace-on-strictly-greater scan
+    converges to); ``engine="object"`` runs that original scan.
+
     Raises :class:`OracleSizeError` beyond ``limit`` items — the caller
     should fall back to dominance checking.
     """
+    if engine not in ORACLE_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {', '.join(ORACLE_ENGINES)}"
+        )
     problem.validate()
     items = problem.items
     n = len(items)
@@ -64,6 +82,8 @@ def exhaustive_allocate(
             f"{n} competing results exceed the exhaustive limit {limit} "
             f"(2^{n} subsets)"
         )
+    if engine == "columnar":
+        return _exhaustive_columnar(problem)
     capacity = problem.capacity_slots
     best_mask = 0
     best_profit, best_slots, best_keys = 0, 0, ()
@@ -93,6 +113,50 @@ def exhaustive_allocate(
         items[index] for index in range(n) if best_mask >> index & 1
     ]
     return _finalize("exhaustive", problem, chosen)
+
+
+def _exhaustive_columnar(problem: AllocationProblem) -> AllocationResult:
+    """Vectorized subset enumeration on the ProfitTable columns.
+
+    Every subset is one row of a ``(2^n, n)`` bit matrix; profits and
+    slot totals fall out of two matrix-vector products. The winner is
+    the lexicographic maximum of ``(profit, -slots, sorted keys)`` over
+    feasible rows -- provably what the object scan returns, because that
+    scan replaces its incumbent exactly on strict lexicographic
+    improvement and distinct subsets always differ in their key sets.
+    """
+    table = ProfitTable.of(problem)
+    n = table.num_items
+    capacity = problem.capacity_slots
+    if n == 0:
+        return table.result_from_mask(
+            "exhaustive", problem, np.zeros(0, dtype=bool)
+        )
+    subsets = np.arange(1 << n, dtype=np.uint64)
+    bits = (subsets[:, None] >> np.arange(n, dtype=np.uint64)) & 1
+    profits, slots = table.score_masks(bits)
+    feasible = slots <= capacity  # row 0 (the empty set) always qualifies
+    best_profit = int(profits[feasible].max())
+    candidates = feasible & (profits == best_profit)
+    min_slots = int(slots[candidates].min())
+    candidates &= slots == min_slots
+    indices = np.flatnonzero(candidates)
+    if len(indices) == 1:
+        winner = int(indices[0])
+    else:
+        # Full (profit, slots) tie: the incumbent scan keeps replacing on
+        # a strictly greater sorted key tuple, so the survivor is the
+        # maximum key tuple among the tied rows (typically a handful).
+        def sorted_keys(row: int):
+            mask = int(subsets[row])
+            return tuple(sorted(
+                table.keys[i] for i in range(n) if mask >> i & 1
+            ))
+
+        winner = max((int(row) for row in indices), key=sorted_keys)
+    return table.result_from_mask(
+        "exhaustive", problem, bits[winner].astype(bool)
+    )
 
 
 @dataclass

@@ -1,0 +1,126 @@
+"""The schema-versioned bench-trajectory writer (``repro.eval.bench_io``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.eval.bench_io import (
+    SCHEMA_KEY,
+    BenchSchemaError,
+    bench_environment,
+    dump_bench,
+    load_bench,
+    new_report,
+    parse_schema,
+    schema_tag,
+)
+
+
+class TestSchemaTags:
+    def test_tag_round_trips(self):
+        assert schema_tag("fleet") == "BENCH_fleet/v1"
+        assert schema_tag("compile", 3) == "BENCH_compile/v3"
+        assert parse_schema("BENCH_sim/v2") == ("sim", 2)
+
+    @pytest.mark.parametrize("bad", (
+        "", "fleet bench", "a/b",
+    ))
+    def test_invalid_kind_rejected(self, bad):
+        with pytest.raises(BenchSchemaError):
+            schema_tag(bad)
+
+    def test_invalid_version_rejected(self):
+        with pytest.raises(BenchSchemaError):
+            schema_tag("fleet", 0)
+
+    @pytest.mark.parametrize("bad", (
+        None, 7, "fleet/v1", "BENCH_", "BENCH_fleet", "BENCH_fleet/vX",
+        "BENCH_/v1",
+    ))
+    def test_malformed_tags_rejected(self, bad):
+        with pytest.raises(BenchSchemaError):
+            parse_schema(bad)
+
+
+class TestReports:
+    def test_schema_key_leads_the_report(self):
+        report = new_report("sim", {"speedup": 8.0})
+        assert next(iter(report)) == SCHEMA_KEY
+        assert report[SCHEMA_KEY] == "BENCH_sim/v1"
+        assert report["speedup"] == 8.0
+        assert "python" in report["environment"]
+        assert "numpy" in report["environment"]
+
+    def test_environment_block_is_optional(self):
+        report = new_report("sim", environment=False)
+        assert "environment" not in report
+
+    def test_payload_cannot_smuggle_its_own_tag(self):
+        with pytest.raises(BenchSchemaError):
+            new_report("sim", {SCHEMA_KEY: "BENCH_sim/v9"})
+
+    def test_environment_reports_running_stack(self):
+        import platform
+
+        assert bench_environment()["python"] == platform.python_version()
+
+
+class TestRoundTrip:
+    def test_dump_then_load(self, tmp_path):
+        path = tmp_path / "BENCH_sim.json"
+        written = dump_bench(path, new_report("sim", {"speedup": 2.5}))
+        assert written == path
+        assert path.read_text().endswith("\n")
+        loaded = load_bench(path, kind="sim")
+        assert loaded["speedup"] == 2.5
+
+    def test_dump_refuses_untagged_report(self, tmp_path):
+        with pytest.raises(BenchSchemaError):
+            dump_bench(tmp_path / "x.json", {"speedup": 1.0})
+
+    def test_load_refuses_wrong_kind(self, tmp_path):
+        path = tmp_path / "BENCH_sim.json"
+        dump_bench(path, new_report("sim"))
+        with pytest.raises(BenchSchemaError):
+            load_bench(path, kind="compile")
+
+    def test_load_refuses_untagged_document(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({"speedup": 1.0}))
+        with pytest.raises(BenchSchemaError):
+            load_bench(path)
+
+    def test_load_refuses_non_object_root(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(BenchSchemaError):
+            load_bench(path)
+
+
+class TestFleetMigration:
+    def test_fleet_report_rides_the_shared_writer(self):
+        """The fleet bench report is a bench_io trajectory now."""
+        from repro.fleet.loadgen import FleetLoadGenerator, run_bench
+        from repro.fleet.router import FleetRouter  # noqa: F401
+
+        # A tiny healthy-fleet run; the schema/environment stamp is what
+        # this test pins (behavior is covered by tests/fleet/).
+        import tempfile
+
+        from repro.fleet.store import SharedPlanStore
+        from repro.fleet.__main__ import build_fleet
+
+        with tempfile.TemporaryDirectory() as store_dir:
+            router = build_fleet(
+                2, 8, 16, SharedPlanStore(store_dir),
+                batch_window=4, max_queue=32,
+            )
+            report = run_bench(
+                router,
+                FleetLoadGenerator(["cat"], seed=1),
+                num_requests=6,
+            )
+        assert parse_schema(report[SCHEMA_KEY]) == ("fleet", 1)
+        assert "environment" in report
