@@ -23,7 +23,7 @@ from repro.cnn.layers import (
 )
 from repro.cnn.network import Network, NetworkError
 from repro.cnn.googlenet import build_googlenet, inception_module
-from repro.cnn.partition import PartitionConfig, partition_network
+from repro.cnn.partition import FusionSpec, PartitionConfig, partition_network
 from repro.cnn.workloads import WORKLOADS, load_workload
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "Conv2D",
     "Flatten",
     "FullyConnected",
+    "FusionSpec",
     "InputLayer",
     "Layer",
     "LayerError",

@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.cnn.layers import Conv2D, FullyConnected, MaxPool2D, AvgPool2D
-from repro.cnn.network import Network, NetworkError
+from repro.cnn.network import LayerInfo, Network, NetworkError
 from repro.graph.taskgraph import OperationKind, TaskGraph
 
 
@@ -66,8 +66,194 @@ def _kind_of(layer) -> OperationKind:
     return OperationKind.GENERIC
 
 
+# ----------------------------------------------------------------------
+# fused-layer lowering (ROADMAP item 4a, PIMfused-style)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FusionSpec:
+    """Which runs of adjacent layers lower into single fused stages.
+
+    A run's *internal* intermediate results never become task-graph edges
+    — fused stages keep them cache-resident by construction — while the
+    run's *boundary* IRs keep their ordinary eDRAM-vs-cache placement
+    choice. That trades eDRAM traffic for cache pressure: a genuinely
+    different ΔR profile for the same network.
+
+    Attributes:
+        runs: explicit runs of layer names, each lowered to one stage.
+        auto: additionally discover maximal chains of adjacent ``Conv2D``
+            layers (each feeding only the next) and fuse them too.
+        max_run: cap on auto-discovered run length.
+    """
+
+    runs: Tuple[Tuple[str, ...], ...] = ()
+    auto: bool = False
+    max_run: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "runs",
+            tuple(tuple(str(m) for m in run) for run in self.runs),
+        )
+        if self.max_run < 2:
+            raise NetworkError("max_run must be >= 2")
+
+    @classmethod
+    def of(cls, *runs: Sequence[str]) -> "FusionSpec":
+        """Explicit runs: ``FusionSpec.of(["c1", "s2"], ["c3", "s4"])``."""
+        return cls(runs=tuple(tuple(run) for run in runs))
+
+    @classmethod
+    def auto_chains(cls, max_run: int = 2) -> "FusionSpec":
+        """Greedy conv-chain fusion up to ``max_run`` layers per stage."""
+        return cls(auto=True, max_run=max_run)
+
+    def resolve(
+        self, network: Network, info: Mapping[str, LayerInfo]
+    ) -> Tuple[Tuple[str, ...], ...]:
+        """Validated runs for ``network``: explicit first, then auto.
+
+        Every run must be a chain of compute layers in which each
+        non-last member's output is consumed (resolving through
+        pass-through layers) by exactly the next member — otherwise the
+        internal IR would escape the fused stage, and the run is
+        rejected with :class:`NetworkError` rather than mis-lowered.
+        """
+        assigned: Dict[str, int] = {}
+        resolved: List[Tuple[str, ...]] = []
+        for run in self.runs:
+            if len(run) < 2:
+                raise NetworkError(f"fusion run needs >= 2 layers: {run}")
+            for member in run:
+                if member not in info:
+                    raise NetworkError(
+                        f"fusion run names unknown layer {member!r}"
+                    )
+                if not info[member].layer.is_compute:
+                    raise NetworkError(
+                        f"fusion run member {member!r} is not a compute layer"
+                    )
+                if member in assigned:
+                    raise NetworkError(
+                        f"layer {member!r} appears in more than one fusion run"
+                    )
+                assigned[member] = len(resolved)
+            for earlier, later in zip(run, run[1:]):
+                consumers, dead_end = _resolved_consumers(
+                    network, info, earlier
+                )
+                if dead_end or consumers != [later]:
+                    raise NetworkError(
+                        f"cannot fuse {earlier!r}->{later!r}: {earlier!r} "
+                        f"feeds {consumers or 'nothing'}"
+                        + (" and a non-compute sink" if dead_end else "")
+                        + "; its intermediate result would escape the run"
+                    )
+            resolved.append(run)
+        if self.auto:
+            for run in self._auto_runs(network, info, assigned):
+                for member in run:
+                    assigned[member] = len(resolved)
+                resolved.append(run)
+        return tuple(resolved)
+
+    def _auto_runs(
+        self,
+        network: Network,
+        info: Mapping[str, LayerInfo],
+        assigned: Mapping[str, int],
+    ) -> List[Tuple[str, ...]]:
+        taken = set(assigned)
+        runs: List[Tuple[str, ...]] = []
+        for name in network.layer_names():
+            if name in taken or not isinstance(info[name].layer, Conv2D):
+                continue
+            run = [name]
+            while len(run) < self.max_run:
+                consumers, dead_end = _resolved_consumers(
+                    network, info, run[-1]
+                )
+                if dead_end or len(consumers) != 1:
+                    break
+                succ = consumers[0]
+                if (
+                    succ in taken
+                    or not isinstance(info[succ].layer, Conv2D)
+                    or _resolved_producers(network, info, succ) != [run[-1]]
+                ):
+                    break
+                run.append(succ)
+            if len(run) >= 2:
+                taken.update(run)
+                runs.append(tuple(run))
+        return runs
+
+
+def _resolved_consumers(
+    network: Network, info: Mapping[str, LayerInfo], name: str
+) -> Tuple[List[str], bool]:
+    """Compute layers consuming ``name``'s output, through pass-throughs.
+
+    Returns the consumer names (first-reached order, deduplicated) and
+    whether any path dead-ends in a non-compute sink (data leaving the
+    graph without a compute consumer — an escape for fusion purposes).
+    """
+    consumers: List[str] = []
+    dead_end = False
+    for consumer in network.consumers_of(name):
+        if info[consumer].layer.is_compute:
+            if consumer not in consumers:
+                consumers.append(consumer)
+        else:
+            if not network.consumers_of(consumer):
+                dead_end = True
+            sub, sub_dead = _resolved_consumers(network, info, consumer)
+            dead_end |= sub_dead
+            for c in sub:
+                if c not in consumers:
+                    consumers.append(c)
+    return consumers, dead_end
+
+
+def _resolved_producers(
+    network: Network, info: Mapping[str, LayerInfo], name: str
+) -> List[str]:
+    """Compute layers feeding ``name``'s inputs, through pass-throughs."""
+    producers: List[str] = []
+    for src in info[name].inputs:
+        if info[src].layer.is_compute:
+            if src not in producers:
+                producers.append(src)
+        else:
+            for p in _resolved_producers(network, info, src):
+                if p not in producers:
+                    producers.append(p)
+    return producers
+
+
+FusionArg = Union[None, str, FusionSpec, Iterable[Sequence[str]]]
+
+
+def _as_fusion_spec(fusion: FusionArg) -> Optional[FusionSpec]:
+    if fusion is None:
+        return None
+    if isinstance(fusion, FusionSpec):
+        return fusion
+    if isinstance(fusion, str):
+        if fusion == "auto":
+            return FusionSpec.auto_chains()
+        raise NetworkError(
+            f"unknown fusion spec {fusion!r}; expected 'auto', a "
+            "FusionSpec, or explicit runs of layer names"
+        )
+    return FusionSpec.of(*fusion)
+
+
 def partition_network(
-    network: Network, config: PartitionConfig = PartitionConfig()
+    network: Network,
+    config: PartitionConfig = PartitionConfig(),
+    fusion: FusionArg = None,
 ) -> TaskGraph:
     """Lower ``network`` into a :class:`TaskGraph`.
 
@@ -75,39 +261,95 @@ def partition_network(
     edges route through them, so an inception concat feeding a convolution
     yields direct edges from every branch's tasks to the convolution's
     tasks -- the fan-in the paper's graphs exhibit.
+
+    With ``fusion`` (a :class:`FusionSpec`, ``"auto"``, or explicit runs
+    of layer names), each named run of adjacent layers lowers into a
+    *single* fused stage: its channel-group tasks carry the run's exact
+    summed MACs (conserved to the unit), its internal IRs never become
+    edges, and only the run-boundary IRs remain placement candidates.
+    Unfused layers lower exactly as before — an empty fusion spec is
+    byte-identical to no spec at all.
     """
     info = network.infer_shapes()
+    spec = _as_fusion_spec(fusion)
+    runs = spec.resolve(network, info) if spec is not None else ()
+    run_of: Dict[str, int] = {}
+    for run_idx, run in enumerate(runs):
+        for member in run:
+            run_of[member] = run_idx
 
-    # Pass 1: create tasks for compute layers.
+    # Lowering units in network order: singleton units are single compute
+    # layers (the legacy path, bit-identical to pre-fusion lowering so
+    # every existing fingerprint survives); fused units are whole runs.
+    units: List[Tuple[str, ...]] = []
+    for name in network.layer_names():
+        if not info[name].layer.is_compute:
+            continue
+        if name in run_of:
+            run = runs[run_of[name]]
+            if run[0] == name:
+                units.append(run)
+            continue
+        units.append((name,))
+
+    # Pass 1: create tasks, one group per unit.
     graph = TaskGraph(name=network.name)
     next_id = 0
     tasks_of: Dict[str, List[int]] = {}
-    for name in network.layer_names():
-        rec = info[name]
-        if not rec.layer.is_compute:
-            continue
-        splits = min(
-            config.max_splits,
-            max(1, math.ceil(rec.macs / config.macs_per_task)),
-        )
-        per_task_macs = rec.macs / splits if splits else 0
-        exec_time = min(
-            config.max_execution_time,
-            max(1, round(per_task_macs / config.macs_per_time_unit)),
-        )
+    for unit in units:
+        if len(unit) == 1:
+            rec = info[unit[0]]
+            splits = min(
+                config.max_splits,
+                max(1, math.ceil(rec.macs / config.macs_per_task)),
+            )
+            per_task_macs = rec.macs / splits if splits else 0
+            exec_time = min(
+                config.max_execution_time,
+                max(1, round(per_task_macs / config.macs_per_time_unit)),
+            )
+            works = [int(per_task_macs)] * splits
+            kind = _kind_of(rec.layer)
+            label = unit[0]
+            fused_count = 1
+        else:
+            total_macs = sum(info[m].macs for m in unit)
+            splits = min(
+                config.max_splits,
+                max(1, math.ceil(total_macs / config.macs_per_task)),
+            )
+            per_task_macs = total_macs / splits
+            # A fused stage stands for len(unit) layers, so its time
+            # clamp scales with the run: fusing must not let a stage
+            # dodge the coarse-time model by summing past the cap.
+            time_clamp = config.max_execution_time * len(unit)
+            exec_time = min(
+                time_clamp,
+                max(1, round(per_task_macs / config.macs_per_time_unit)),
+            )
+            # Exact integer distribution: the stage's tasks sum to the
+            # run's total MACs to the unit (the conservation property
+            # the fused verify stage asserts).
+            base, extra = divmod(total_macs, splits)
+            works = [base + (1 if part < extra else 0) for part in range(splits)]
+            kind = _kind_of(info[unit[0]].layer)
+            label = "+".join(unit)
+            fused_count = len(unit)
         ids = []
         for part in range(splits):
             suffix = f"#{part}" if splits > 1 else ""
             graph.add_op(
                 next_id,
                 execution_time=exec_time,
-                name=f"{name}{suffix}",
-                kind=_kind_of(rec.layer),
-                work=int(per_task_macs),
+                name=f"{label}{suffix}",
+                kind=kind,
+                work=works[part],
+                fused_count=fused_count,
             )
             ids.append(next_id)
             next_id += 1
-        tasks_of[name] = ids
+        for member in unit:
+            tasks_of[member] = ids
 
     # Pass 2: resolve producers through pass-through layers.
     def terminal_producers(name: str) -> List[Tuple[int, int]]:
@@ -127,16 +369,24 @@ def partition_network(
     def clamp(size: int) -> int:
         return max(config.min_ir_bytes, min(config.max_ir_bytes, size))
 
-    # Pass 3: connect producers to consumers.
-    for name in network.layer_names():
-        rec = info[name]
-        if not rec.layer.is_compute:
-            continue
+    # Pass 3: connect producers to consumers, unit by unit. For a fused
+    # unit, producers internal to the unit are skipped (those IRs are
+    # cache-resident inside the fused stage); external producers of any
+    # member (e.g. a skip connection into the middle of the run) become
+    # boundary edges into the fused stage.
+    for unit in units:
+        own_ids = set(tasks_of[unit[0]])
         producers: List[Tuple[int, int]] = []
-        for src in rec.inputs:
-            producers.extend(terminal_producers(src))
-        consumers = tasks_of[name]
-        pool_like = _kind_of(rec.layer) is OperationKind.POOL
+        for member in unit:
+            for src in info[member].inputs:
+                for producer in terminal_producers(src):
+                    if producer[0] not in own_ids:
+                        producers.append(producer)
+        consumers = tasks_of[unit[0]]
+        pool_like = (
+            len(unit) == 1
+            and _kind_of(info[unit[0]].layer) is OperationKind.POOL
+        )
         for c_index, consumer in enumerate(consumers):
             if pool_like and len(producers) >= len(consumers):
                 # Pooling is per-channel: each task reads its own slice(s).

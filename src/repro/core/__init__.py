@@ -27,10 +27,12 @@ from repro.core.scheduler import (
     load_balance_bound,
 )
 from repro.core.retiming import (
+    DeltaRAccounting,
     EdgeTiming,
     RetimingError,
     RetimingSolution,
     analyze_edges,
+    delta_r_accounting,
     required_retiming,
     solve_retiming,
 )
@@ -69,7 +71,9 @@ from repro.core.baseline import SpartaScheduler, SpartaResult
 __all__ = [
     "AllocationProblem",
     "AllocationResult",
+    "DeltaRAccounting",
     "EdgeTiming",
+    "delta_r_accounting",
     "ExpandedSchedule",
     "KernelSchedule",
     "ParaConv",

@@ -139,6 +139,81 @@ def analyze_edges(
     return timings
 
 
+@dataclass(frozen=True)
+class DeltaRAccounting:
+    """Aggregate ΔR mass of a graph, split by fused-dataflow provenance.
+
+    Fused lowering changes *which* intermediate results exist, not how
+    any single one is priced: a fused stage's internal IRs vanish from
+    the graph (cache-resident by construction, zero allocator pressure)
+    while its boundary IRs stay ordinary candidates. This accounting
+    makes that shift measurable — the verify battery uses it to assert
+    that every surviving candidate still prices normally, and the eval
+    bench reports it as the fused-vs-unfused ΔR profile.
+
+    Attributes:
+        total_edges: intermediate results analyzed.
+        candidate_edges: edges with ``ΔR > 0`` (worth caching at all).
+        total_delta_r: ``Σ max(ΔR, 0)`` over every edge.
+        fused_stages: vertices standing for more than one original op.
+        fused_ops_absorbed: original ops folded away by fusion
+            (``Σ (fused_count - 1)``); 0 on an unfused graph.
+        fused_boundary_edges: edges touching at least one fused vertex.
+        fused_boundary_delta_r: ``Σ max(ΔR, 0)`` over those edges.
+    """
+
+    total_edges: int
+    candidate_edges: int
+    total_delta_r: int
+    fused_stages: int
+    fused_ops_absorbed: int
+    fused_boundary_edges: int
+    fused_boundary_delta_r: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "total_edges": self.total_edges,
+            "candidate_edges": self.candidate_edges,
+            "total_delta_r": self.total_delta_r,
+            "fused_stages": self.fused_stages,
+            "fused_ops_absorbed": self.fused_ops_absorbed,
+            "fused_boundary_edges": self.fused_boundary_edges,
+            "fused_boundary_delta_r": self.fused_boundary_delta_r,
+        }
+
+
+def delta_r_accounting(
+    graph: TaskGraph, timings: Dict[Tuple[int, int], EdgeTiming]
+) -> DeltaRAccounting:
+    """Fold per-edge :class:`EdgeTiming` into a :class:`DeltaRAccounting`."""
+    fused_ids = {
+        op.op_id for op in graph.operations() if op.fused_count > 1
+    }
+    total_delta = 0
+    candidates = 0
+    boundary_edges = 0
+    boundary_delta = 0
+    for key, timing in timings.items():
+        gain = max(0, timing.delta_r)
+        total_delta += gain
+        if gain > 0:
+            candidates += 1
+        if key[0] in fused_ids or key[1] in fused_ids:
+            boundary_edges += 1
+            boundary_delta += gain
+    return DeltaRAccounting(
+        total_edges=len(timings),
+        candidate_edges=candidates,
+        total_delta_r=total_delta,
+        fused_stages=len(fused_ids),
+        fused_ops_absorbed=sum(
+            op.fused_count - 1 for op in graph.operations()
+        ),
+        fused_boundary_edges=boundary_edges,
+        fused_boundary_delta_r=boundary_delta,
+    )
+
+
 @dataclass
 class RetimingSolution:
     """A legal vertex/edge retiming induced by per-edge requirements.

@@ -28,7 +28,8 @@ from repro.pim.config import PimConfig
 EXPERIMENTS = (
     "table1", "table2", "figure5", "figure6",
     "ablation", "validation", "energy", "architectures", "latency",
-    "heterogeneity", "sweeps", "workloads", "profile", "report", "all",
+    "heterogeneity", "sweeps", "workloads", "tenancy", "profile",
+    "report", "all",
 )
 
 
@@ -122,10 +123,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"report written to {args.out}")
         return 0
     # "all" covers the paper artifacts and the reproduction's own
-    # experiments; the slower sweeps and the report writer stay opt-in.
+    # experiments; the slower sweeps, the report writer and the
+    # artifact-writing tenancy bench stay opt-in.
     wants = (
         tuple(e for e in EXPERIMENTS
-              if e not in ("all", "sweeps", "profile", "report"))
+              if e not in ("all", "sweeps", "tenancy", "profile", "report"))
         if args.experiment == "all"
         else (args.experiment,)
     )
@@ -218,6 +220,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "|V|",
             "Scalability: synthetic graph size",
         ))
+    if "tenancy" in wants:
+        from repro.eval.bench_io import dump_bench
+        from repro.eval.tenancy import render_tenancy, run_tenancy_bench
+
+        bench = run_tenancy_bench(config)
+        sections.append(render_tenancy(bench))
+        target = dump_bench("BENCH_tenancy.json", bench)
+        sections.append(f"trajectory written to {target}")
     if "workloads" in wants:
         from repro.eval.workload_stats import (
             render_workload_stats,

@@ -33,6 +33,7 @@ from repro.fleet.slo import (
     SloPolicy,
 )
 from repro.fleet.store import SharedPlanStore, StoreStats
+from repro.fleet.tenancy import TenancyError, TenantResult, TenantScheduler
 from repro.fleet.worker import (
     FleetResult,
     FleetWorker,
@@ -56,6 +57,9 @@ __all__ = [
     "SloClass",
     "SloPolicy",
     "StoreStats",
+    "TenancyError",
+    "TenantResult",
+    "TenantScheduler",
     "TraceRequest",
     "WorkerDeadError",
     "run_bench",

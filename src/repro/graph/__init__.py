@@ -32,8 +32,11 @@ from repro.graph.analysis import (
     parallelism_profile,
 )
 from repro.graph.io import graph_from_dict, graph_from_json, graph_to_dict, graph_to_json
+from repro.graph.transforms import coarsen_chains, fuse_stages
 
 __all__ = [
+    "coarsen_chains",
+    "fuse_stages",
     "GraphValidationError",
     "IntermediateInstance",
     "IntermediateResult",

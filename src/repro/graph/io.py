@@ -33,6 +33,8 @@ def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
         "format_version": FORMAT_VERSION,
         "name": graph.name,
         "period_hint": graph.period_hint,
+        # fused_count emitted only when non-default so files written
+        # before fused lowering existed round-trip byte-identically.
         "operations": [
             {
                 "op_id": op.op_id,
@@ -40,6 +42,11 @@ def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
                 "kind": op.kind.value,
                 "execution_time": op.execution_time,
                 "work": op.work,
+                **(
+                    {"fused_count": op.fused_count}
+                    if op.fused_count != 1
+                    else {}
+                ),
             }
             for op in graph.operations()
         ],
@@ -75,6 +82,7 @@ def graph_from_dict(payload: Dict[str, Any]) -> TaskGraph:
                 kind=OperationKind(record.get("kind", "conv")),
                 execution_time=int(record.get("execution_time", 1)),
                 work=int(record.get("work", 0)),
+                fused_count=int(record.get("fused_count", 1)),
             )
         )
     for record in payload.get("edges", []):

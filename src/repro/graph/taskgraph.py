@@ -69,6 +69,11 @@ class Operation:
         kind: functional class (conv, pool, ...).
         execution_time: ``c_i`` in time units, strictly positive.
         work: abstract operation count (MACs for convolutions); informational.
+        fused_count: number of original operations this vertex stands for.
+            ``1`` for ordinary vertices; fused-dataflow lowering
+            (:func:`repro.graph.transforms.fuse_stages`, PIMfused-style)
+            contracts a run of stages into one vertex and records the run
+            length here so accounting and reports can attribute work.
     """
 
     op_id: int
@@ -76,6 +81,7 @@ class Operation:
     kind: OperationKind = OperationKind.CONV
     execution_time: int = 1
     work: int = 0
+    fused_count: int = 1
 
     def __post_init__(self) -> None:
         if self.op_id < 0:
@@ -87,6 +93,8 @@ class Operation:
             )
         if self.work < 0:
             raise GraphValidationError("work must be non-negative")
+        if self.fused_count < 1:
+            raise GraphValidationError("fused_count must be >= 1")
         if not self.name:
             object.__setattr__(self, "name", f"T{self.op_id}")
 
@@ -177,6 +185,7 @@ class TaskGraph:
         name: str = "",
         kind: OperationKind = OperationKind.CONV,
         work: int = 0,
+        fused_count: int = 1,
     ) -> Operation:
         """Convenience wrapper around :meth:`add_operation`."""
         return self.add_operation(
@@ -186,6 +195,7 @@ class TaskGraph:
                 kind=kind,
                 execution_time=execution_time,
                 work=work,
+                fused_count=fused_count,
             )
         )
 
@@ -372,8 +382,13 @@ class TaskGraph:
         canonical = {
             "fingerprint_version": GRAPH_FINGERPRINT_VERSION,
             "period_hint": self.period_hint,
+            # fused_count is appended only when non-default so every
+            # pre-fusion graph keeps its historical fingerprint (cached
+            # plans and golden fixtures stay valid), while any fused
+            # vertex changes identity as it must.
             "operations": [
                 [op.op_id, op.kind.value, op.execution_time, op.work]
+                + ([op.fused_count] if op.fused_count != 1 else [])
                 for op in sorted(self._ops.values(), key=lambda o: o.op_id)
             ],
             "edges": [

@@ -9,7 +9,8 @@ PE cache (Section 2.2), which is what makes intermediate-result placement
 worth optimizing.
 """
 
-from repro.pim.config import PimConfig, ConfigurationError
+from repro.pim.config import PimConfig, ConfigurationError, assert_disjoint
+from repro.pim.tenancy import TenantPlacement, TenantSpec
 from repro.pim.faults import FaultEvent, FaultModel, FaultModelError
 from repro.pim.memory import CacheModel, EdramVault, MemorySystem, Placement
 from repro.pim.pe import ProcessingEngine, PEArray
@@ -34,6 +35,9 @@ __all__ = [
     "PimConfig",
     "Placement",
     "ProcessingEngine",
+    "TenantPlacement",
+    "TenantSpec",
     "TrafficStats",
     "architecture",
+    "assert_disjoint",
 ]

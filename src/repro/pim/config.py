@@ -438,5 +438,52 @@ class PimConfig:
         return base
 
 
+def assert_disjoint(configs: Iterable["PimConfig"]) -> None:
+    """Prove a set of sub-machine views shares no physical unit.
+
+    Spatial partitioning (fleet shards, multi-tenant placements) is only
+    sound when no physical PE or vault is owned by two views at once — a
+    shared unit would make "co-resident aggregates == sum of isolated
+    runs" false by construction. This helper is the one place that check
+    lives: it maps every config back to *physical* unit ids (``pe_mask``
+    when set, else the whole ``0..num_pes-1`` array; ``vault_mask`` when
+    set — a view without a vault mask claims no specific vaults) and
+    raises :class:`ConfigurationError` naming every overlapping id.
+
+    Deliberately independent of :class:`~repro.pim.tenancy.TenantPlacement`
+    so ad-hoc carvings (``PimConfig.split`` results, hand-built
+    partitions) can be validated too.
+    """
+    views = list(configs)
+    pe_owners: Dict[int, int] = {}
+    vault_owners: Dict[int, int] = {}
+    pe_overlap: set = set()
+    vault_overlap: set = set()
+    for index, view in enumerate(views):
+        pes = view.pe_mask if view.pe_mask is not None else range(view.num_pes)
+        for pe in pes:
+            if pe in pe_owners and pe_owners[pe] != index:
+                pe_overlap.add(pe)
+            else:
+                pe_owners[pe] = index
+        if view.vault_mask is not None:
+            for vault in view.vault_mask:
+                if vault in vault_owners and vault_owners[vault] != index:
+                    vault_overlap.add(vault)
+                else:
+                    vault_owners[vault] = index
+    if pe_overlap or vault_overlap:
+        parts = []
+        if pe_overlap:
+            parts.append(f"physical PE ids {sorted(pe_overlap)}")
+        if vault_overlap:
+            parts.append(f"physical vault ids {sorted(vault_overlap)}")
+        raise ConfigurationError(
+            "partitions are not disjoint: "
+            + " and ".join(parts)
+            + " are owned by more than one config"
+        )
+
+
 #: The three PE-array configurations the paper sweeps in every experiment.
 PAPER_PE_SWEEP = (16, 32, 64)

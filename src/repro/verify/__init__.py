@@ -28,6 +28,13 @@ from repro.verify.differential_fleet import (
     FleetReplayMismatch,
     fleet_differential,
 )
+from repro.verify.differential_tenancy import (
+    TENANCY_SCENARIOS,
+    TenancyDifferentialReport,
+    TenancyMismatch,
+    TenancyScenarioReport,
+    tenancy_differential,
+)
 from repro.verify.differential_sim import (
     DEFAULT_SIM_ITERATIONS,
     SimDifferentialReport,
@@ -90,6 +97,10 @@ __all__ = [
     "FleetReplayMismatch",
     "SimDifferentialReport",
     "SimMismatch",
+    "TENANCY_SCENARIOS",
+    "TenancyDifferentialReport",
+    "TenancyMismatch",
+    "TenancyScenarioReport",
     "FaultDetectionReport",
     "InjectedFault",
     "MUTATORS",
@@ -117,6 +128,7 @@ __all__ = [
     "inject_faults",
     "run_verification_sweep",
     "sim_differential_battery",
+    "tenancy_differential",
     "verify_result",
     "verify_workload",
     "worst_of",

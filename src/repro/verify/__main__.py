@@ -12,6 +12,8 @@ Usage::
     python -m repro.verify --fleet                      # fleet differential
     python -m repro.verify --search                     # search-allocator battery
     python -m repro.verify --search --search-budgets 0 100 2000
+    python -m repro.verify --tenancy                    # multi-tenant isolation
+    python -m repro.verify --all                        # every battery at once
     python -m repro.verify --list-checks         # print the check catalog
     python -m repro.verify --json                # machine-readable output
 
@@ -30,6 +32,7 @@ from repro.core.allocation import ALLOCATORS
 from repro.graph.generators import BENCHMARK_SIZES
 from repro.pim.config import PimConfig
 from repro.verify.differential_fleet import fleet_differential
+from repro.verify.differential_tenancy import tenancy_differential
 from repro.verify.validator import CHECK_CATALOG, ScheduleValidator
 from repro.verify.runner import run_verification_sweep
 
@@ -131,6 +134,24 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N", default=None,
                         help="budget ladder for the --search stage "
                              "(default: 0 100 500 2000)")
+    parser.add_argument("--tenancy", action="store_true",
+                        help="differentially verify multi-tenant isolation: "
+                             "on 2-tenant, 3-tenant and degraded-partition "
+                             "co-residency scenarios, every batch a tenant's "
+                             "server executed must replay identically on an "
+                             "isolated server over the same partition, "
+                             "aggregate counters must equal the sum of "
+                             "isolated runs, every tenant plan must pass the "
+                             "full validator, and fused-dataflow lowerings "
+                             "must conserve work and pass the sim and search "
+                             "differentials unchanged")
+    parser.add_argument("--tenancy-requests", type=positive_int, default=12,
+                        help="requests per tenant for the --tenancy stage "
+                             "(default 12)")
+    parser.add_argument("--all", action="store_true", dest="all_batteries",
+                        help="run every differential battery (--sim --faults "
+                             "--search --fleet --tenancy) and print a "
+                             "per-battery ok/FAIL summary")
     parser.add_argument("--json", action="store_true",
                         help="emit the full outcome as JSON")
     parser.add_argument("--list-checks", action="store_true",
@@ -145,6 +166,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, description in CHECK_CATALOG.items():
             print(f"{name:<{width}}  {description}")
         return 0
+
+    if args.all_batteries:
+        args.sim = True
+        args.faults = True
+        args.search = True
+        args.fleet = True
+        args.tenancy = True
 
     config = PimConfig(num_pes=args.pes, iterations=args.iterations)
     validator = ScheduleValidator(
@@ -175,11 +203,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             requests=args.fleet_requests,
             seed=args.seed,
         )
-    ok = outcome.ok and (fleet_report is None or fleet_report.ok)
+    tenancy_report = None
+    if args.tenancy:
+        tenancy_report = tenancy_differential(
+            requests_per_tenant=args.tenancy_requests,
+            validator=validator,
+        )
+    ok = (
+        outcome.ok
+        and (fleet_report is None or fleet_report.ok)
+        and (tenancy_report is None or tenancy_report.ok)
+    )
     if args.json:
         payload = outcome.as_dict()
         payload["fleet"] = (
             fleet_report.as_dict() if fleet_report is not None else None
+        )
+        payload["tenancy"] = (
+            tenancy_report.as_dict() if tenancy_report is not None else None
         )
         payload["ok"] = ok
         print(json.dumps(payload, indent=2))
@@ -187,6 +228,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(outcome.summary())
         if fleet_report is not None:
             print(fleet_report.describe())
+        if tenancy_report is not None:
+            print(tenancy_report.describe())
+        if args.all_batteries:
+            sweep = outcome.workloads
+            batteries = [
+                ("schedule", all(
+                    r.ok for w in sweep for r in w.reports.values()
+                ) and all(
+                    w.differential is None or w.differential.ok for w in sweep
+                )),
+                ("sim", all(
+                    r.ok
+                    for w in sweep
+                    for battery in w.simulation.values()
+                    for r in battery
+                )),
+                ("search", all(r.ok for w in sweep for r in w.search)),
+                ("faults", all(
+                    (w.faults is None or w.faults.ok)
+                    and (w.failover is None or w.failover.ok)
+                    for w in sweep
+                )),
+                ("fleet", fleet_report.ok),
+                ("tenancy", tenancy_report.ok),
+            ]
+            for name, passed in batteries:
+                print(f"battery {name:<8} {'ok' if passed else 'FAIL'}")
     return 0 if ok else 1
 
 

@@ -1,0 +1,547 @@
+"""Tenancy differential: co-resident serving must equal isolated serving.
+
+Multi-tenant spatial partitioning claims *perfect isolation*: tenants on
+validated-disjoint slices of one machine share nothing but the chassis,
+so running them together changes no result and no aggregate. This module
+machine-checks that claim end to end on ≥3 co-residency scenarios
+(2-tenant, 3-tenant, and a tenant whose slice lost PEs):
+
+1. **Per-request replay equivalence** — every batch a tenant's server
+   executed co-residently is replayed, with identical composition, on a
+   fresh standalone :class:`~repro.runtime.server.BatchingServer` over
+   the *same partition view* with a private cache; each request's
+   ``sim_latency`` and batch size must match exactly.
+2. **Aggregate additivity** — for every conserved counter
+   (requests/inferences served, busy units, spills, batches), the
+   co-resident scheduler's machine-wide total equals the sum of the
+   isolated runs. Disjoint partitions ⇒ aggregates add.
+3. **Per-tenant validator battery** — every plan a tenant compiled
+   passes the full :class:`~repro.verify.validator.ScheduleValidator`
+   on its partition config.
+4. **Distinct plan identity** — tenants serving the *same workload* on
+   shape-identical slices still compile separate plans into the shared
+   cache (partition fingerprints embed physical placement), so the
+   cache ends the run holding exactly one plan per (tenant, workload).
+
+A fifth, fused-dataflow stage lowers paper models with ``fusion="auto"``
+and holds the fused plans to the existing sim and search differentials
+unchanged — the new ΔR profile flows through the stock pipeline.
+
+A mismatch is a tenancy bug (a leaked unit, a cross-tenant cache hit, a
+scheduler that serialized what the hardware runs in parallel), which is
+why this check rides in ``python -m repro.verify --tenancy``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cnn.models import MODEL_BUILDERS
+from repro.cnn.partition import partition_network
+from repro.core.retiming import analyze_edges, delta_r_accounting
+from repro.pim.config import PimConfig, assert_disjoint
+from repro.pim.tenancy import TenantPlacement
+from repro.runtime.server import BatchingServer, RequestResult
+from repro.fleet.tenancy import TenantScheduler
+from repro.verify.differential_sim import sim_differential_battery
+from repro.verify.differential_search import search_differential
+from repro.verify.validator import ScheduleValidator
+
+__all__ = [
+    "TENANCY_SCENARIOS",
+    "TenancyDifferentialReport",
+    "TenancyMismatch",
+    "TenancyScenarioReport",
+    "tenancy_differential",
+]
+
+#: Workloads tenants serve: paper models whose steady-state sim converges
+#: quickly (mirrors the fleet differential's defaults).
+DEFAULT_TENANT_WORKLOADS = ("flower", "stock-predict", "string-matching")
+
+#: Conserved counters that must add across disjoint tenants.
+ADDITIVE_COUNTERS = (
+    "requests_served",
+    "inferences_served",
+    "sim_units_busy",
+    "cache_spills",
+    "batches_executed",
+)
+
+#: The three co-residency scenarios the acceptance criteria name.
+TENANCY_SCENARIOS = ("two-tenant", "three-tenant", "degraded-tenant")
+
+#: Models the fused-dataflow stage lowers with ``fusion="auto"``: both
+#: have adjacent conv runs, so auto-fusion genuinely rewrites the graph.
+DEFAULT_FUSED_MODELS = ("alexnet", "vgg16")
+
+
+@dataclass(frozen=True)
+class TenancyMismatch:
+    """One divergence between co-resident serving and its isolated replay."""
+
+    tenant: str
+    kind: str  # "replay" | "counter"
+    detail: str
+    co_resident: object
+    isolated: object
+
+    def describe(self) -> str:
+        return (
+            f"{self.tenant} {self.kind} {self.detail}: "
+            f"co-resident={self.co_resident!r} isolated={self.isolated!r}"
+        )
+
+
+@dataclass
+class TenancyScenarioReport:
+    """Outcome of one co-residency scenario."""
+
+    scenario: str
+    tenants: List[str]
+    workloads: Dict[str, str]
+    requests: int
+    placement_fingerprint: str = ""
+    replayed_batches: int = 0
+    mismatches: List[TenancyMismatch] = field(default_factory=list)
+    #: "tenant/allocator: <error>" lines from the validator battery.
+    validator_failures: List[str] = field(default_factory=list)
+    #: plans the shared cache holds at the end (must be one per
+    #: (tenant, workload) pair — distinct identity per tenant).
+    cached_plans: int = 0
+    expected_plans: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.error is not None or self.mismatches:
+            return False
+        if self.validator_failures:
+            return False
+        return self.cached_plans == self.expected_plans
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "tenants": list(self.tenants),
+            "workloads": dict(self.workloads),
+            "requests": self.requests,
+            "ok": self.ok,
+            "placement_fingerprint": self.placement_fingerprint,
+            "replayed_batches": self.replayed_batches,
+            "mismatches": [m.describe() for m in self.mismatches],
+            "validator_failures": list(self.validator_failures),
+            "cached_plans": self.cached_plans,
+            "expected_plans": self.expected_plans,
+            "error": self.error,
+        }
+
+    def describe(self) -> str:
+        tag = f"tenancy[{self.scenario} x{len(self.tenants)} N={self.requests}]"
+        if self.ok:
+            return (
+                f"{tag}: ok [{self.replayed_batches} batches replayed, "
+                f"{self.cached_plans} distinct plans cached]"
+            )
+        if self.error is not None:
+            return f"{tag}: ERROR {self.error}"
+        details = "; ".join(
+            m.describe() for m in self.mismatches[:3]
+        ) or "; ".join(self.validator_failures[:3])
+        return (
+            f"{tag}: FAIL mismatches={len(self.mismatches)} "
+            f"validator={len(self.validator_failures)} "
+            f"plans={self.cached_plans}/{self.expected_plans} {details}"
+        )
+
+
+@dataclass
+class FusedModelReport:
+    """Fused-mode lowering held to the stock sim/search differentials."""
+
+    model: str
+    unfused_ops: int = 0
+    fused_ops: int = 0
+    fused_stages: int = 0
+    ops_absorbed: int = 0
+    #: every fused run's tasks sum to its member layers' MACs exactly.
+    work_conserved: bool = False
+    #: every op fusion did *not* absorb is bit-identical to its unfused
+    #: counterpart (same name, work, execution time, kind).
+    singletons_untouched: bool = False
+    sim_ok: bool = False
+    search_ok: bool = False
+    delta_r: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.error is not None:
+            return False
+        return (
+            self.work_conserved
+            and self.singletons_untouched
+            and self.sim_ok
+            and self.search_ok
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "ok": self.ok,
+            "unfused_ops": self.unfused_ops,
+            "fused_ops": self.fused_ops,
+            "fused_stages": self.fused_stages,
+            "ops_absorbed": self.ops_absorbed,
+            "work_conserved": self.work_conserved,
+            "singletons_untouched": self.singletons_untouched,
+            "sim_ok": self.sim_ok,
+            "search_ok": self.search_ok,
+            "delta_r": dict(self.delta_r),
+            "error": self.error,
+        }
+
+    def describe(self) -> str:
+        tag = f"fused[{self.model} {self.unfused_ops}->{self.fused_ops} ops]"
+        if self.ok:
+            return (
+                f"{tag}: ok [{self.ops_absorbed} stages absorbed, "
+                f"sim+search differentials pass unchanged]"
+            )
+        if self.error is not None:
+            return f"{tag}: ERROR {self.error}"
+        return (
+            f"{tag}: FAIL work={self.work_conserved} "
+            f"singletons={self.singletons_untouched} sim={self.sim_ok} "
+            f"search={self.search_ok}"
+        )
+
+
+@dataclass
+class TenancyDifferentialReport:
+    """Outcome of the whole tenancy + fused-dataflow differential."""
+
+    scenarios: List[TenancyScenarioReport] = field(default_factory=list)
+    fused: List[FusedModelReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        if not self.scenarios:
+            return False
+        return all(s.ok for s in self.scenarios) and all(
+            f.ok for f in self.fused
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "scenarios": [s.as_dict() for s in self.scenarios],
+            "fused": [f.as_dict() for f in self.fused],
+        }
+
+    def describe(self) -> str:
+        lines = [s.describe() for s in self.scenarios]
+        lines.extend(f.describe() for f in self.fused)
+        return "\n".join(lines)
+
+
+def _build_placement(
+    scenario: str, machine: PimConfig, num_vaults: int
+) -> Tuple[TenantPlacement, Dict[str, str]]:
+    """The placement and per-tenant workload map for one scenario."""
+    if scenario == "two-tenant":
+        placement = TenantPlacement.even(
+            machine, ["tenant-a", "tenant-b"], num_vaults=num_vaults
+        )
+        # Both tenants serve the SAME workload on shape-identical slices:
+        # the sharpest possible test of per-tenant plan identity.
+        workloads = {
+            "tenant-a": DEFAULT_TENANT_WORKLOADS[0],
+            "tenant-b": DEFAULT_TENANT_WORKLOADS[0],
+        }
+    elif scenario == "three-tenant":
+        placement = TenantPlacement.even(
+            machine,
+            ["tenant-a", "tenant-b", "tenant-c"],
+            num_vaults=num_vaults,
+        )
+        workloads = {
+            "tenant-a": DEFAULT_TENANT_WORKLOADS[0],
+            "tenant-b": DEFAULT_TENANT_WORKLOADS[1],
+            "tenant-c": DEFAULT_TENANT_WORKLOADS[2],
+        }
+    elif scenario == "degraded-tenant":
+        placement = TenantPlacement.even(
+            machine, ["tenant-a", "tenant-b"], num_vaults=num_vaults
+        )
+        # Tenant B lost half its slice (fault inside its partition); the
+        # degraded tenant must still validate and still isolate.
+        half = len(placement.config_for("tenant-b").pe_mask) // 2
+        placement = placement.with_degraded("tenant-b", range(half))
+        workloads = {
+            "tenant-a": DEFAULT_TENANT_WORKLOADS[0],
+            "tenant-b": DEFAULT_TENANT_WORKLOADS[1],
+        }
+    else:
+        raise ValueError(f"unknown tenancy scenario {scenario!r}")
+    return placement, workloads
+
+
+def _replay_tenant(
+    tenant: str,
+    view: PimConfig,
+    results: List[RequestResult],
+    batch_window: int,
+    allocator: str,
+    report: TenancyScenarioReport,
+) -> Optional[BatchingServer]:
+    """Replay one tenant's co-resident batches on a standalone server.
+
+    The standalone server runs on the *same partition view* with a fresh
+    private cache — an isolated run of the same tenant on the same
+    hardware slice. Same batch composition in, same per-request
+    ``sim_latency`` out, or co-residency changed what was computed.
+    """
+    if not results:
+        return None
+    baseline = BatchingServer(
+        view,
+        batch_window=batch_window,
+        max_queue=max(batch_window, len(results), 64),
+        allocator=allocator,
+    )
+    batches: Dict[int, List[RequestResult]] = {}
+    for res in results:
+        batches.setdefault(res.batch_id, []).append(res)
+    for batch_id in sorted(batches):
+        co_batch = batches[batch_id]
+        for res in co_batch:
+            baseline.submit(
+                res.request.workload, iterations=res.request.iterations
+            )
+        replay = baseline.step()
+        report.replayed_batches += 1
+        if len(replay) != len(co_batch):  # pragma: no cover - defensive
+            report.mismatches.append(
+                TenancyMismatch(
+                    tenant=tenant,
+                    kind="replay",
+                    detail=f"batch {batch_id} size",
+                    co_resident=len(co_batch),
+                    isolated=len(replay),
+                )
+            )
+            continue
+        for co_res, base_res in zip(co_batch, replay):
+            for field_name in ("sim_latency", "batch_size"):
+                co_value = getattr(co_res, field_name)
+                base_value = getattr(base_res, field_name)
+                if co_value != base_value:
+                    report.mismatches.append(
+                        TenancyMismatch(
+                            tenant=tenant,
+                            kind="replay",
+                            detail=(
+                                f"batch {batch_id} request "
+                                f"{co_res.request.request_id} {field_name}"
+                            ),
+                            co_resident=co_value,
+                            isolated=base_value,
+                        )
+                    )
+    return baseline
+
+
+def run_scenario(
+    scenario: str,
+    num_pes: int = 64,
+    num_vaults: int = 32,
+    requests_per_tenant: int = 12,
+    iterations: int = 5,
+    batch_window: int = 4,
+    allocator: str = "dp",
+    validator: Optional[ScheduleValidator] = None,
+) -> TenancyScenarioReport:
+    """Run one co-residency scenario end to end."""
+    machine = PimConfig(num_pes=num_pes)
+    placement, workloads = _build_placement(scenario, machine, num_vaults)
+    report = TenancyScenarioReport(
+        scenario=scenario,
+        tenants=list(placement.names),
+        workloads=workloads,
+        requests=requests_per_tenant * len(placement.names),
+        placement_fingerprint=placement.fingerprint(),
+    )
+    validator = validator or ScheduleValidator()
+    try:
+        # Disjointness is the scenario's premise; prove it, don't assume.
+        assert_disjoint(view for _, view in placement.items())
+
+        scheduler = TenantScheduler(
+            placement,
+            slos={placement.names[0]: "interactive"},
+            batch_window=batch_window,
+            allocator=allocator,
+        )
+        # Deterministic interleaved arrivals: round-robin across tenants
+        # so co-resident scheduling genuinely interleaves service.
+        for _ in range(requests_per_tenant):
+            for tenant in placement.names:
+                scheduler.submit(
+                    tenant, workloads[tenant], iterations=iterations
+                )
+        scheduler.drain()
+
+        # 1. per-request replay equivalence + 2. aggregate additivity.
+        isolated_totals: Dict[str, int] = {c: 0 for c in ADDITIVE_COUNTERS}
+        co_totals: Dict[str, int] = {c: 0 for c in ADDITIVE_COUNTERS}
+        for tenant in placement.names:
+            server = scheduler.server_for(tenant)
+            baseline = _replay_tenant(
+                tenant,
+                placement.config_for(tenant),
+                server.results,
+                batch_window,
+                allocator,
+                report,
+            )
+            co_counters = server.metrics.snapshot()["counters"]
+            base_counters = (
+                baseline.metrics.snapshot()["counters"]
+                if baseline is not None
+                else {}
+            )
+            for counter in ADDITIVE_COUNTERS:
+                co_totals[counter] += co_counters.get(counter, 0)
+                isolated_totals[counter] += base_counters.get(counter, 0)
+        for counter in ADDITIVE_COUNTERS:
+            if co_totals[counter] != isolated_totals[counter]:
+                report.mismatches.append(
+                    TenancyMismatch(
+                        tenant="<aggregate>",
+                        kind="counter",
+                        detail=counter,
+                        co_resident=co_totals[counter],
+                        isolated=isolated_totals[counter],
+                    )
+                )
+
+        # 3. per-tenant validator battery on every compiled plan.
+        for tenant in placement.names:
+            for workload, session in (
+                scheduler.server_for(tenant).sessions().items()
+            ):
+                verdict = validator.validate(session.plan)
+                if not verdict.ok:
+                    for violation in verdict.errors():
+                        report.validator_failures.append(
+                            f"{tenant}/{workload}: {violation}"
+                        )
+
+        # 4. distinct plan identity in the shared cache.
+        report.cached_plans = len(scheduler.cache)
+        report.expected_plans = len(placement.names)
+    except Exception as exc:  # noqa: BLE001 — differential must report, not crash
+        report.error = f"{type(exc).__name__}: {exc}"
+    return report
+
+
+def verify_fused_model(
+    model: str,
+    num_pes: int = 16,
+    validator: Optional[ScheduleValidator] = None,
+) -> FusedModelReport:
+    """Lower one paper model fused and hold it to sim+search differentials."""
+    report = FusedModelReport(model=model)
+    validator = validator or ScheduleValidator()
+    try:
+        network = MODEL_BUILDERS[model]()
+        info = network.infer_shapes()
+        unfused = partition_network(network)
+        fused = partition_network(network, fusion="auto")
+        report.unfused_ops = unfused.num_vertices
+        report.fused_ops = fused.num_vertices
+        report.ops_absorbed = sum(
+            op.fused_count - 1 for op in fused.operations()
+        )
+        report.fused_stages = sum(
+            1 for op in fused.operations() if op.fused_count > 1
+        )
+
+        # Work conservation: each fused run's tasks (named "a+b#k") must
+        # sum to its member layers' MACs to the unit — fusion sums
+        # compute, it never invents or drops any.
+        run_work: Dict[str, int] = {}
+        for op in fused.operations():
+            if op.fused_count > 1:
+                run_work.setdefault(op.name.split("#")[0], 0)
+                run_work[op.name.split("#")[0]] += op.work
+        report.work_conserved = bool(run_work) and all(
+            total == sum(info[member].macs for member in label.split("+"))
+            for label, total in run_work.items()
+        )
+
+        # Ops outside every fused run must lower exactly as before.
+        unfused_by_name = {op.name: op for op in unfused.operations()}
+        report.singletons_untouched = all(
+            (ref := unfused_by_name.get(op.name)) is not None
+            and ref.work == op.work
+            and ref.execution_time == op.execution_time
+            and ref.kind == op.kind
+            for op in fused.operations()
+            if op.fused_count == 1
+        )
+
+        config = PimConfig(num_pes=num_pes)
+        # The fused ΔR profile, for the record (and the eval bench).
+        from repro.core.paraconv import ParaConv
+
+        plan = ParaConv(config, validate=False).run(fused)
+        timings = analyze_edges(fused, plan.schedule.kernel, config)
+        report.delta_r = delta_r_accounting(fused, timings).as_dict()
+
+        sim_reports = sim_differential_battery(
+            plan, config=config, iteration_counts=[1, 20]
+        )
+        report.sim_ok = bool(sim_reports) and all(r.ok for r in sim_reports)
+        search_reports = search_differential(
+            fused, config, budgets=[64, 256], validator=validator
+        )
+        report.search_ok = bool(search_reports) and all(
+            r.ok for r in search_reports
+        )
+    except Exception as exc:  # noqa: BLE001 — differential must report, not crash
+        report.error = f"{type(exc).__name__}: {exc}"
+    return report
+
+
+def tenancy_differential(
+    scenarios: Sequence[str] = TENANCY_SCENARIOS,
+    fused_models: Sequence[str] = DEFAULT_FUSED_MODELS,
+    num_pes: int = 64,
+    num_vaults: int = 32,
+    requests_per_tenant: int = 12,
+    iterations: int = 5,
+    batch_window: int = 4,
+    allocator: str = "dp",
+    validator: Optional[ScheduleValidator] = None,
+) -> TenancyDifferentialReport:
+    """Run every co-residency scenario plus the fused-dataflow stage."""
+    report = TenancyDifferentialReport()
+    for scenario in scenarios:
+        report.scenarios.append(
+            run_scenario(
+                scenario,
+                num_pes=num_pes,
+                num_vaults=num_vaults,
+                requests_per_tenant=requests_per_tenant,
+                iterations=iterations,
+                batch_window=batch_window,
+                allocator=allocator,
+                validator=validator,
+            )
+        )
+    for model in fused_models:
+        report.fused.append(verify_fused_model(model, validator=validator))
+    return report

@@ -1,0 +1,133 @@
+"""Fused-layer lowering through partition_network."""
+
+import pytest
+
+from repro.cnn.models import MODEL_BUILDERS
+from repro.cnn.network import NetworkError
+from repro.cnn.partition import FusionSpec, partition_network
+
+
+@pytest.fixture(scope="module")
+def lenet5():
+    return MODEL_BUILDERS["lenet5"]()
+
+
+@pytest.fixture(scope="module")
+def vgg16():
+    return MODEL_BUILDERS["vgg16"]()
+
+
+def run_work(graph):
+    """Summed task work per fused run label ('a+b#k' -> 'a+b')."""
+    totals = {}
+    for op in graph.operations():
+        if op.fused_count > 1:
+            label = op.name.split("#")[0]
+            totals[label] = totals.get(label, 0) + op.work
+    return totals
+
+
+class TestNoOpSpec:
+    def test_empty_spec_is_bit_identical(self, lenet5):
+        plain = partition_network(lenet5)
+        empty = partition_network(lenet5, fusion=FusionSpec())
+        assert empty.fingerprint() == plain.fingerprint()
+
+    def test_auto_without_conv_chains_is_noop(self, lenet5):
+        # LeNet-5 alternates conv/pool, so Conv2D-chain auto-fusion
+        # finds nothing and the lowering must be untouched.
+        auto = partition_network(lenet5, fusion="auto")
+        assert auto.fingerprint() == partition_network(lenet5).fingerprint()
+
+
+class TestExplicitRuns:
+    def test_conv_pool_run_fuses(self, lenet5):
+        fused = partition_network(lenet5, fusion=FusionSpec.of(["c1", "s2"]))
+        labels = {
+            op.name.split("#")[0]
+            for op in fused.operations()
+            if op.fused_count > 1
+        }
+        assert labels == {"c1+s2"}
+
+    def test_run_conserves_member_macs(self, lenet5):
+        info = lenet5.infer_shapes()
+        fused = partition_network(lenet5, fusion=FusionSpec.of(["c1", "s2"]))
+        assert run_work(fused) == {
+            "c1+s2": info["c1"].macs + info["s2"].macs
+        }
+
+    def test_singletons_lower_identically(self, lenet5):
+        plain = {op.name: op for op in partition_network(lenet5).operations()}
+        fused = partition_network(lenet5, fusion=FusionSpec.of(["c1", "s2"]))
+        for op in fused.operations():
+            if op.fused_count == 1:
+                ref = plain[op.name]
+                assert (op.work, op.execution_time, op.kind) == (
+                    ref.work, ref.execution_time, ref.kind
+                )
+
+    def test_fusion_as_iterable_of_runs(self, lenet5):
+        via_spec = partition_network(lenet5, fusion=FusionSpec.of(["c1", "s2"]))
+        via_list = partition_network(lenet5, fusion=[["c1", "s2"]])
+        assert via_list.fingerprint() == via_spec.fingerprint()
+
+
+class TestAutoChains:
+    def test_vgg16_auto_fuses_conv_runs(self, vgg16):
+        info = vgg16.infer_shapes()
+        plain = partition_network(vgg16)
+        fused = partition_network(vgg16, fusion="auto")
+        assert fused.num_vertices < plain.num_vertices
+        totals = run_work(fused)
+        assert totals  # auto found real runs
+        for label, total in totals.items():
+            assert total == sum(info[m].macs for m in label.split("+"))
+
+    def test_max_run_bounds_chain_length(self, vgg16):
+        fused = partition_network(
+            vgg16, fusion=FusionSpec.auto_chains(max_run=3)
+        )
+        assert max(op.fused_count for op in fused.operations()) <= 3
+
+    def test_fused_graph_validates(self, vgg16):
+        partition_network(vgg16, fusion="auto").validate()
+
+
+class TestErrors:
+    def test_unknown_layer_rejected(self, lenet5):
+        with pytest.raises(NetworkError, match="unknown"):
+            partition_network(lenet5, fusion=[["c1", "ghost"]])
+
+    def test_non_adjacent_run_rejected(self, lenet5):
+        with pytest.raises(NetworkError):
+            partition_network(lenet5, fusion=[["c1", "c3"]])
+
+    def test_overlapping_runs_rejected(self, lenet5):
+        with pytest.raises(NetworkError):
+            partition_network(
+                lenet5, fusion=[["c1", "s2"], ["s2", "c3"]]
+            )
+
+    def test_short_run_rejected(self, lenet5):
+        with pytest.raises(NetworkError):
+            partition_network(lenet5, fusion=[["c1"]])
+
+    def test_unknown_fusion_string_rejected(self, lenet5):
+        with pytest.raises(NetworkError, match="auto"):
+            partition_network(lenet5, fusion="bogus")
+
+    def test_max_run_must_allow_a_pair(self):
+        with pytest.raises(NetworkError):
+            FusionSpec.auto_chains(max_run=1)
+
+
+class TestCompilability:
+    def test_fused_plan_compiles_and_validates(self):
+        from repro.core.paraconv import ParaConv
+        from repro.pim.config import PimConfig
+
+        network = MODEL_BUILDERS["alexnet"]()
+        fused = partition_network(network, fusion="auto")
+        plan = ParaConv(PimConfig(num_pes=16)).run(fused)
+        assert plan.total_time() > 0

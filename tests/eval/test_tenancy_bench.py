@@ -1,0 +1,64 @@
+"""BENCH_tenancy trajectory: schema, payload shape, CLI artifact."""
+
+from repro.eval.bench_io import dump_bench, load_bench
+from repro.eval.tenancy import render_tenancy, run_tenancy_bench
+
+FAST = dict(
+    scenarios=(
+        ("2-tenant", ("tenant-a", "tenant-b"), ("flower", "stock-predict")),
+    ),
+    fused_models=("alexnet",),
+    num_pes=16,
+    requests_per_tenant=2,
+    iterations=2,
+)
+
+
+class TestRunTenancyBench:
+    def test_schema_and_shape(self):
+        report = run_tenancy_bench(**FAST)
+        assert report["schema"] == "BENCH_tenancy/v1"
+        assert "environment" in report
+        assert len(report["scenarios"]) == 1
+        assert len(report["fused"]) == 1
+
+    def test_scenario_row(self):
+        row = run_tenancy_bench(**FAST)["scenarios"][0]
+        assert row["requests"] == 4
+        assert row["plans_cached"] == 2
+        assert row["makespan_units"] > 0
+        # Disjoint partitions: concurrent makespan never exceeds serial.
+        assert row["makespan_units"] <= row["serial_units"]
+        assert row["consolidation_speedup"] >= 1.0
+        for info in row["tenants"].values():
+            assert info["served"] == 2
+
+    def test_fused_row(self):
+        row = run_tenancy_bench(**FAST)["fused"][0]
+        assert row["model"] == "alexnet"
+        assert row["fused"]["ops"] < row["unfused"]["ops"]
+        assert row["fused"]["delta_r"]["fused_ops_absorbed"] > 0
+        assert row["unfused"]["delta_r"]["fused_ops_absorbed"] == 0
+        assert row["latency_ratio"] > 0
+
+    def test_render(self):
+        report = run_tenancy_bench(**FAST)
+        text = render_tenancy(report)
+        assert "consolidation" in text
+        assert "2-tenant" in text
+        assert "alexnet" in text
+
+    def test_round_trip(self, tmp_path):
+        report = run_tenancy_bench(**FAST)
+        path = dump_bench(tmp_path / "BENCH_tenancy.json", report)
+        assert load_bench(path, kind="tenancy") == report
+
+
+class TestCli:
+    def test_eval_tenancy_writes_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        from repro.eval.__main__ import main
+
+        assert main(["tenancy"]) == 0
+        loaded = load_bench(tmp_path / "BENCH_tenancy.json", kind="tenancy")
+        assert loaded["scenarios"]

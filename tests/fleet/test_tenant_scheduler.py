@@ -1,0 +1,195 @@
+"""Cross-tenant scheduling: admission, SLO order, horizons, accounting."""
+
+import pytest
+
+from repro.fleet.slo import FleetAdmissionError, SloClass, SloPolicy
+from repro.fleet.tenancy import TenancyError, TenantScheduler
+from repro.pim.config import PimConfig
+from repro.pim.tenancy import TenantPlacement
+from repro.runtime.plan_cache import PlanCache
+
+
+def make_scheduler(names=("a", "b"), num_pes=8, **kwargs):
+    placement = TenantPlacement.even(PimConfig(num_pes=num_pes), list(names))
+    kwargs.setdefault("batch_window", 2)
+    return TenantScheduler(placement, **kwargs)
+
+
+class TestConstruction:
+    def test_one_server_per_tenant_on_partition_view(self):
+        scheduler = make_scheduler()
+        assert scheduler.tenants == ("a", "b")
+        # Servers run on the *partition* views: physical masks present.
+        assert scheduler.server_for("a").config.pe_mask == (0, 1, 2, 3)
+        assert scheduler.server_for("b").config.pe_mask == (4, 5, 6, 7)
+
+    def test_slo_for_unknown_tenant_rejected(self):
+        with pytest.raises(TenancyError, match="unknown tenants"):
+            make_scheduler(slos={"ghost": "interactive"})
+
+    def test_default_slo_is_standard(self):
+        scheduler = make_scheduler(slos={"a": "interactive"})
+        assert scheduler.slo_for("a") is SloClass.INTERACTIVE
+        assert scheduler.slo_for("b") is SloClass.STANDARD
+
+    def test_unknown_tenant_queries_rejected(self):
+        scheduler = make_scheduler()
+        with pytest.raises(TenancyError, match="unknown tenant"):
+            scheduler.server_for("ghost")
+        with pytest.raises(TenancyError, match="unknown tenant"):
+            scheduler.submit("ghost", "cat")
+
+
+class TestAdmission:
+    def test_queue_bound_is_per_tenant(self):
+        policies = {SloClass.STANDARD: SloPolicy(max_queue_depth=2)}
+        scheduler = make_scheduler(policies=policies)
+        scheduler.submit("a", "cat")
+        scheduler.submit("a", "cat")
+        with pytest.raises(FleetAdmissionError) as excinfo:
+            scheduler.submit("a", "cat")
+        assert excinfo.value.slo is SloClass.STANDARD
+        # Tenant b's budget is untouched by a's overload.
+        scheduler.submit("b", "cat")
+        counters = scheduler.metrics.snapshot()["counters"]
+        assert counters["requests_rejected"] == 1
+        assert counters["requests_accepted"] == 3
+
+    def test_invalid_iterations_rejected_before_accounting(self):
+        scheduler = make_scheduler()
+        with pytest.raises(ValueError):
+            scheduler.submit("a", "cat", iterations=0)
+        assert scheduler.queue_depth() == 0
+
+
+class TestScheduling:
+    def test_strictest_slo_served_first(self):
+        scheduler = make_scheduler(slos={"b": "interactive"})
+        scheduler.submit("a", "cat")
+        scheduler.submit("b", "cat")
+        served = scheduler.step()
+        assert served and all(r.tenant == "b" for r in served)
+
+    def test_horizon_advances_only_for_served_tenant(self):
+        scheduler = make_scheduler()
+        scheduler.submit("a", "cat")
+        scheduler.submit("b", "car")
+        served = scheduler.step()
+        first = served[0].tenant
+        other = "b" if first == "a" else "a"
+        assert scheduler.horizon(first) > 0
+        assert scheduler.horizon(other) == 0
+
+    def test_horizon_fair_share_tiebreak(self):
+        scheduler = make_scheduler()
+        for _ in range(2):
+            scheduler.submit("a", "cat")
+            scheduler.submit("b", "cat")
+        first = scheduler.step()[0].tenant
+        # Same SLO class: the not-yet-served tenant goes next.
+        second = scheduler.step()[0].tenant
+        assert {first, second} == {"a", "b"}
+
+    def test_step_idle_returns_empty(self):
+        assert make_scheduler().step() == []
+
+    def test_drain_serves_everything(self):
+        scheduler = make_scheduler()
+        for _ in range(3):
+            scheduler.submit("a", "cat")
+            scheduler.submit("b", "car")
+        results = scheduler.drain()
+        assert len(results) == 6
+        assert scheduler.queue_depth() == 0
+
+    def test_batches_coalesce_per_tenant(self):
+        scheduler = make_scheduler(batch_window=4)
+        for _ in range(4):
+            scheduler.submit("a", "cat")
+        served = scheduler.step()
+        assert len(served) == 4
+        assert {r.result.batch_id for r in served} == {served[0].result.batch_id}
+
+
+class TestShedding:
+    def test_expired_requests_shed_and_counted(self):
+        policies = {
+            SloClass.STANDARD: SloPolicy(max_queue_depth=100, deadline_units=1)
+        }
+        scheduler = make_scheduler(names=("a",), policies=policies)
+        for _ in range(6):
+            scheduler.submit("a", "cat", iterations=50)
+        # First batch serves (age 0); its completion pushes the horizon
+        # far past the 1-unit deadline, so the rest shed at dispatch.
+        scheduler.drain()
+        accounting = scheduler.accounting()
+        row = accounting["tenants"]["a"]
+        assert row["accepted"] == 6
+        assert row["served"] == 2
+        assert row["shed"] == 4
+        assert row["queued"] == 0
+        counters = scheduler.metrics.snapshot()["counters"]
+        assert counters["requests_shed"] == 4
+
+    def test_no_deadline_means_no_shedding(self):
+        scheduler = make_scheduler(names=("a",))
+        for _ in range(4):
+            scheduler.submit("a", "cat", iterations=50)
+        scheduler.drain()
+        assert scheduler.accounting()["tenants"]["a"]["shed"] == 0
+
+
+class TestAccountingAndMetrics:
+    def test_accounting_closes_per_tenant_and_total(self):
+        scheduler = make_scheduler()
+        for _ in range(3):
+            scheduler.submit("a", "cat")
+            scheduler.submit("b", "car")
+        scheduler.step()
+        accounting = scheduler.accounting()
+        for row in accounting["tenants"].values():
+            assert row["accepted"] == row["served"] + row["shed"] + row["queued"]
+        totals = accounting["totals"]
+        assert totals["accepted"] == 6
+        assert totals["served"] + totals["queued"] == 6
+
+    def test_fleet_view_namespaces_and_aggregates(self):
+        scheduler = make_scheduler()
+        scheduler.submit("a", "cat")
+        scheduler.submit("b", "car")
+        scheduler.drain()
+        counters = scheduler.fleet_view().snapshot()["counters"]
+        assert counters["tenant.a.requests_served"] == 1
+        assert counters["tenant.b.requests_served"] == 1
+        # Plain names aggregate across tenants plus the scheduler's own.
+        assert counters["inferences_served"] == 2
+
+    def test_shared_cache_holds_one_plan_per_tenant(self):
+        cache = PlanCache()
+        scheduler = make_scheduler(cache=cache)
+        # Same workload for both tenants: partition fingerprints must
+        # still give each tenant its own cache entry.
+        scheduler.submit("a", "cat")
+        scheduler.submit("b", "cat")
+        scheduler.drain()
+        assert len(cache) == 2
+
+    def test_tenant_metrics_are_per_server(self):
+        scheduler = make_scheduler()
+        scheduler.submit("a", "cat")
+        scheduler.drain()
+        assert (
+            scheduler.tenant_metrics("a").snapshot()["counters"][
+                "requests_served"
+            ]
+            == 1
+        )
+        assert (
+            "requests_served"
+            not in scheduler.tenant_metrics("b").snapshot()["counters"]
+        )
+
+    def test_describe_mentions_every_tenant(self):
+        scheduler = make_scheduler()
+        text = scheduler.describe()
+        assert "a:" in text and "b:" in text

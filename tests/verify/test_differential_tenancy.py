@@ -1,0 +1,78 @@
+"""Tenancy differential: isolation scenarios and the fused-dataflow stage."""
+
+import pytest
+
+from repro.verify.differential_tenancy import (
+    TENANCY_SCENARIOS,
+    run_scenario,
+    tenancy_differential,
+    verify_fused_model,
+)
+
+# Small-but-real sizes: 16 PEs carve into slices that still compile the
+# fleet workloads, and 4 requests per tenant exercise multiple batches.
+FAST = dict(num_pes=16, requests_per_tenant=4, iterations=3)
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("scenario", TENANCY_SCENARIOS)
+    def test_scenario_passes(self, scenario):
+        report = run_scenario(scenario, **FAST)
+        assert report.error is None
+        assert report.mismatches == []
+        assert report.validator_failures == []
+        assert report.ok, report.describe()
+
+    def test_two_tenant_proves_distinct_plan_identity(self):
+        report = run_scenario("two-tenant", **FAST)
+        # Both tenants serve the SAME workload: one cached plan each.
+        assert len(set(report.workloads.values())) == 1
+        assert report.cached_plans == 2
+
+    def test_batches_actually_replayed(self):
+        report = run_scenario("two-tenant", **FAST)
+        assert report.replayed_batches >= 2
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown tenancy scenario"):
+            run_scenario("warp-tenant", **FAST)
+
+    def test_describe_and_as_dict(self):
+        report = run_scenario("degraded-tenant", **FAST)
+        assert "degraded-tenant" in report.describe()
+        payload = report.as_dict()
+        assert payload["ok"] is True
+        assert payload["scenario"] == "degraded-tenant"
+        assert payload["placement_fingerprint"]
+
+
+class TestFusedStage:
+    def test_alexnet_fused_plans_pass_differentials(self):
+        report = verify_fused_model("alexnet")
+        assert report.error is None
+        assert report.ok, report.describe()
+        assert report.fused_stages > 0
+        assert report.ops_absorbed > 0
+        assert report.delta_r["fused_ops_absorbed"] == report.ops_absorbed
+
+    def test_unknown_model_reported_not_raised(self):
+        report = verify_fused_model("ghostnet")
+        assert not report.ok
+        assert "KeyError" in report.error
+
+
+class TestBattery:
+    def test_full_battery(self):
+        report = tenancy_differential(
+            fused_models=("alexnet",), **FAST
+        )
+        assert report.ok, report.describe()
+        assert len(report.scenarios) == len(TENANCY_SCENARIOS)
+        payload = report.as_dict()
+        assert payload["ok"] is True
+        assert len(payload["scenarios"]) == 3
+        assert len(payload["fused"]) == 1
+
+    def test_empty_battery_is_not_ok(self):
+        report = tenancy_differential(scenarios=(), fused_models=())
+        assert not report.ok
