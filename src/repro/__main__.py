@@ -12,7 +12,11 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.cnn.workloads import WORKLOADS, load_workload
+from repro.cnn.workloads import (
+    WORKLOADS,
+    UnknownWorkloadError,
+    load_workload,
+)
 from repro.core.allocation import (
     ALLOCATORS,
     UnknownAllocatorError,
@@ -115,7 +119,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         build_parser().print_usage()
         return 2
     config = PimConfig(num_pes=args.pes, iterations=args.iterations)
-    graph = load_workload(args.workload)
+    try:
+        graph = load_workload(args.workload)
+    except UnknownWorkloadError as exc:
+        # Typed rejection, mirroring UnknownAllocatorError: name what was
+        # asked for and enumerate everything that would have worked.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = ParaConv(
         config,
         allocator_name=args.allocator,

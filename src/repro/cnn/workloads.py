@@ -3,7 +3,10 @@
 The paper's twelve applications (Table 1) are regenerated as seeded
 synthetic graphs with the published vertex/edge counts; the CNN-derived
 entries additionally expose real GoogLeNet partitions for users who want
-structure that comes from an actual network rather than a generator.
+structure that comes from an actual network rather than a generator; and
+the ``randwired-*`` entries are randomly-wired DAGs (ER/WS/BA families,
+:mod:`repro.graph.randwired`) that stress the stack with irregular
+high-fan-in dataflow the layered benchmarks never produce.
 """
 
 from __future__ import annotations
@@ -14,9 +17,29 @@ from repro.cnn.googlenet import build_googlenet, googlenet_prefix
 from repro.cnn.models import MODEL_BUILDERS
 from repro.cnn.partition import PartitionConfig, partition_network
 from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
+from repro.graph.randwired import RANDWIRED_SPECS, randwired_benchmark
 from repro.graph.taskgraph import GraphValidationError, TaskGraph
 
 GraphBuilder = Callable[[], TaskGraph]
+
+
+class UnknownWorkloadError(GraphValidationError):
+    """A workload name matched nothing in the registry.
+
+    Mirrors :class:`~repro.core.allocation.UnknownAllocatorError`: carries
+    the offending ``name`` and the sorted registry ``choices`` so CLIs and
+    error paths can enumerate what *would* have worked. Subclasses
+    :class:`GraphValidationError` (itself a ``ValueError``) so existing
+    guards keep catching it.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.choices = sorted(WORKLOADS)
+        super().__init__(
+            f"unknown workload {name!r}; known workloads: "
+            f"{', '.join(self.choices)}"
+        )
 
 
 def _googlenet_graph() -> TaskGraph:
@@ -41,25 +64,38 @@ def _model_graph(name: str) -> GraphBuilder:
     return build
 
 
+def _randwired(name: str) -> GraphBuilder:
+    def build() -> TaskGraph:
+        return randwired_benchmark(name)
+
+    return build
+
+
 #: Every named workload; the first twelve are the paper's Table 1 rows.
 WORKLOADS: Dict[str, GraphBuilder] = {
     **{name: _synthetic(name) for name in BENCHMARK_SIZES},
     "googlenet": _googlenet_graph,
     "googlenet-small": _googlenet_small_graph,
     **{name: _model_graph(name) for name in MODEL_BUILDERS},
+    **{name: _randwired(name) for name in RANDWIRED_SPECS},
 }
 
 #: The paper's evaluation set, in Table 1 row order.
 PAPER_BENCHMARKS: List[str] = list(BENCHMARK_SIZES)
 
+#: The randomly-wired stress set, in registry order.
+RANDWIRED_BENCHMARKS: List[str] = list(RANDWIRED_SPECS)
+
 
 def load_workload(name: str) -> TaskGraph:
-    """Build the named workload's task graph (deterministic per name)."""
+    """Build the named workload's task graph (deterministic per name).
+
+    Raises :class:`UnknownWorkloadError` — a typed
+    :class:`GraphValidationError` enumerating the registry — when the
+    name matches nothing.
+    """
     try:
         builder = WORKLOADS[name]
     except KeyError:
-        known = ", ".join(sorted(WORKLOADS))
-        raise GraphValidationError(
-            f"unknown workload {name!r}; known workloads: {known}"
-        ) from None
+        raise UnknownWorkloadError(name) from None
     return builder()

@@ -28,8 +28,8 @@ from repro.pim.config import PimConfig
 EXPERIMENTS = (
     "table1", "table2", "figure5", "figure6",
     "ablation", "validation", "energy", "architectures", "latency",
-    "heterogeneity", "sweeps", "workloads", "tenancy", "profile",
-    "report", "all",
+    "heterogeneity", "sweeps", "workloads", "tenancy", "randwired",
+    "profile", "report", "all",
 )
 
 
@@ -124,10 +124,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     # "all" covers the paper artifacts and the reproduction's own
     # experiments; the slower sweeps, the report writer and the
-    # artifact-writing tenancy bench stay opt-in.
+    # artifact-writing tenancy/randwired benches stay opt-in.
     wants = (
         tuple(e for e in EXPERIMENTS
-              if e not in ("all", "sweeps", "tenancy", "profile", "report"))
+              if e not in ("all", "sweeps", "tenancy", "randwired",
+                           "profile", "report"))
         if args.experiment == "all"
         else (args.experiment,)
     )
@@ -227,6 +228,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         bench = run_tenancy_bench(config)
         sections.append(render_tenancy(bench))
         target = dump_bench("BENCH_tenancy.json", bench)
+        sections.append(f"trajectory written to {target}")
+    if "randwired" in wants:
+        from repro.eval.bench_io import dump_bench
+        from repro.eval.randwired import render_randwired, run_randwired_bench
+
+        bench = run_randwired_bench(
+            config, benchmarks=args.benchmarks,
+            sim_mode=args.sim_mode or "steady",
+        )
+        sections.append(render_randwired(bench))
+        target = dump_bench("BENCH_randwired.json", bench)
         sections.append(f"trajectory written to {target}")
     if "workloads" in wants:
         from repro.eval.workload_stats import (

@@ -25,7 +25,11 @@ from repro.fleet.loadgen import (
     TraceRequest,
     run_bench,
 )
-from repro.fleet.router import FleetConfigurationError, FleetRouter
+from repro.fleet.router import (
+    FleetConfigurationError,
+    FleetRewireResult,
+    FleetRouter,
+)
 from repro.fleet.slo import (
     DEFAULT_SLO_POLICIES,
     FleetAdmissionError,
@@ -49,6 +53,7 @@ __all__ = [
     "FleetConfigurationError",
     "FleetLoadGenerator",
     "FleetResult",
+    "FleetRewireResult",
     "FleetRouter",
     "FleetWorker",
     "HashRing",

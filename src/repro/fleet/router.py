@@ -18,11 +18,17 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from dataclasses import dataclass
+
 from repro.cnn.workloads import load_workload
 from repro.graph.taskgraph import TaskGraph
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.plan_cache import PlanKey
-from repro.runtime.server import InferenceRequest, QueueFullError
+from repro.runtime.server import (
+    REWIRE_CUT_POINTS,
+    InferenceRequest,
+    QueueFullError,
+)
 
 from repro.fleet.hashing import HashRing
 from repro.fleet.slo import (
@@ -36,6 +42,35 @@ from repro.fleet.worker import FleetResult, FleetWorker, RequestMeta
 
 class FleetConfigurationError(ValueError):
     """Raised for inconsistent fleet wiring."""
+
+
+@dataclass(frozen=True)
+class FleetRewireResult:
+    """Outcome of one fleet-wide live rewire.
+
+    Accounting closes by construction: every request queued for the
+    workload at the cut-point is either in ``drained`` (served before
+    the swap, on the old plan) or counted in ``rerouted`` (re-submitted,
+    fleet identity intact, to the shard owning the new digest) — nothing
+    is dropped, and the fleet ``accounting()`` residual stays zero.
+    """
+
+    workload: str
+    cut_point: str
+    #: shard that owned the workload's old plan digest.
+    old_worker: str
+    #: shard the new graph's plan digest hashes to.
+    new_worker: str
+    #: requests served at the cut-point ("drain" only; a pump serves the
+    #: affected shards' whole queues, so other workloads may appear too).
+    drained: List[FleetResult]
+    #: queued requests carried across the swap to the new owner.
+    rerouted: int
+    #: live sessions hot-swapped across the fleet.
+    sessions_swapped: int
+    #: True when any shard's swap needed an actual compile; False means
+    #: every swapped shard found the new plan warm in its cache.
+    recompiled: bool
 
 
 class FleetRouter:
@@ -81,6 +116,9 @@ class FleetRouter:
             slo: 0 for slo in SloClass
         }
         self._affinity_keys: Dict[str, str] = {}
+        #: live-rewire overrides: workload -> the graph whose plan digest
+        #: the workload now routes on (set by :meth:`rewire`).
+        self._graph_overrides: Dict[str, TaskGraph] = {}
 
     # ------------------------------------------------------------------
     # routing
@@ -97,8 +135,13 @@ class FleetRouter:
         key = self._affinity_keys.get(workload)
         if key is None:
             reference = next(iter(self.workers.values()))
+            override = self._graph_overrides.get(workload)
+            graph = (
+                override if override is not None
+                else self.graph_loader(workload)
+            )
             key = PlanKey(
-                graph_fingerprint=self.graph_loader(workload).fingerprint(),
+                graph_fingerprint=graph.fingerprint(),
                 config_fingerprint=(
                     reference.serving_config.fingerprint()
                 ),
@@ -282,6 +325,94 @@ class FleetRouter:
                 self._record_served(
                     target.pump(self.now_units)
                 )
+
+    # ------------------------------------------------------------------
+    # live rewiring
+    # ------------------------------------------------------------------
+    def rewire(
+        self,
+        workload: str,
+        new_graph: TaskGraph,
+        cut_point: str = "drain",
+    ) -> FleetRewireResult:
+        """Hot-swap one workload's graph across the whole fleet.
+
+        The single-server :meth:`~repro.runtime.server.BatchingServer.rewire`
+        lifted to fleet granularity, with the extra obligation the fleet
+        adds: *plan affinity moves with the graph*. After the swap the
+        workload hashes on the new graph's plan digest, so it may land on
+        a different shard than before.
+
+        Cut-point semantics (queued requests, nothing dropped):
+
+        * ``"drain"`` — every live shard holding queued requests for the
+          workload is pumped first, so those requests are served on the
+          *old* plan with exact fleet attribution before the swap lands.
+        * ``"reroute"`` — queued requests are evicted with their fleet
+          identity (arrival time, SLO class, fleet id) and re-submitted
+          after the swap, landing on the shard that owns the *new*
+          digest and serving on the *new* plan.
+
+        Every live session for the workload is swapped through the
+        recompile-through-cache path; shards that never served it get
+        the override installed so their first session compiles the new
+        graph. Repeat swaps to a previously served graph come back with
+        ``recompiled=False`` — the plan store already holds the plan.
+        """
+        if cut_point not in REWIRE_CUT_POINTS:
+            raise ValueError(
+                f"cut_point must be one of {REWIRE_CUT_POINTS}, "
+                f"got {cut_point!r}"
+            )
+        old_worker = self.worker_for(workload).worker_id
+        drained: List[FleetResult] = []
+        evicted: List[tuple] = []
+        if cut_point == "drain":
+            for worker in self.workers.values():
+                if worker.alive and any(
+                    request.workload == workload
+                    for request in worker.server.queued_requests()
+                ):
+                    served = worker.pump(self.now_units)
+                    self._record_served(served)
+                    drained.extend(served)
+        else:
+            for worker in self.workers.values():
+                if worker.alive:
+                    evicted.extend(worker.evict_workload(workload))
+        # Remap plan affinity: drop the cached digest and pin the
+        # override, so the next affinity_key() hashes the new graph.
+        self._graph_overrides[workload] = new_graph
+        self._affinity_keys.pop(workload, None)
+        sessions_swapped = 0
+        recompiled = False
+        for worker in self.workers.values():
+            if not worker.alive:
+                continue
+            if workload in worker.server.sessions():
+                result = worker.server.rewire(
+                    workload, new_graph, cut_point="reroute"
+                )
+                recompiled = recompiled or result.recompiled
+                sessions_swapped += 1
+            else:
+                worker.server.set_graph_override(workload, new_graph)
+        new_worker = self.worker_for(workload).worker_id
+        for request, meta in evicted:
+            self._reroute(request, meta)
+        if evicted:
+            self.metrics.counter("fleet.requests_rerouted").inc(len(evicted))
+        self.metrics.counter("fleet.graph_rewires").inc()
+        return FleetRewireResult(
+            workload=workload,
+            cut_point=cut_point,
+            old_worker=old_worker,
+            new_worker=new_worker,
+            drained=drained,
+            rerouted=len(evicted),
+            sessions_swapped=sessions_swapped,
+            recompiled=recompiled,
+        )
 
     # ------------------------------------------------------------------
     # reporting

@@ -253,6 +253,21 @@ class FleetWorker:
         removed = self.server.remove_queued()
         return [(r, self._meta.pop(r.request_id)) for r in removed]
 
+    def evict_workload(
+        self, workload: str
+    ) -> List[Tuple[InferenceRequest, RequestMeta]]:
+        """Evict only ``workload``'s queued requests, fleet identity intact.
+
+        The live-rewire analogue of :meth:`drain_queued`: the router pulls
+        one workload's requests off the shard (FIFO order, other
+        workloads untouched) so they can be re-routed to the shard owning
+        the *new* graph's plan digest.
+        """
+        removed = self.server.remove_queued(
+            lambda request: request.workload == workload
+        )
+        return [(r, self._meta.pop(r.request_id)) for r in removed]
+
     # -- reporting -----------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """Operator-facing shard summary (JSON-compatible)."""

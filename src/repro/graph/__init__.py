@@ -32,6 +32,14 @@ from repro.graph.analysis import (
     parallelism_profile,
 )
 from repro.graph.io import graph_from_dict, graph_from_json, graph_to_dict, graph_to_json
+from repro.graph.randwired import (
+    RandwiredSpec,
+    barabasi_albert_dag,
+    erdos_renyi_dag,
+    randwired_benchmark,
+    randwired_graph,
+    watts_strogatz_dag,
+)
 from repro.graph.transforms import coarsen_chains, fuse_stages
 
 __all__ = [
@@ -43,11 +51,14 @@ __all__ = [
     "Operation",
     "OperationInstance",
     "OperationKind",
+    "RandwiredSpec",
     "SyntheticGraphGenerator",
     "TaskGraph",
+    "barabasi_albert_dag",
     "critical_path",
     "critical_path_length",
     "degree_histogram",
+    "erdos_renyi_dag",
     "generate_series_parallel",
     "graph_from_dict",
     "graph_from_json",
@@ -56,6 +67,9 @@ __all__ = [
     "graph_to_json",
     "max_parallelism",
     "parallelism_profile",
+    "randwired_benchmark",
+    "randwired_graph",
     "synthetic_benchmark",
     "unroll",
+    "watts_strogatz_dag",
 ]

@@ -1,0 +1,362 @@
+"""Randomly-wired task-graph generators (ER / WS / BA families).
+
+The paper's twelve benchmarks are regular layered CNN pipelines, but
+production model zoos are not: randomly-wired architectures (Xie et al.,
+"Exploring Randomly Wired Neural Networks") build their dataflow from
+classic random-graph families and stress exactly the parts of the stack
+a layered generator never exercises — high fan-in joins, long skip
+edges, hub vertices. This module reproduces that lowering with *pure
+stdlib* generators (``random.Random`` only, no networkx dependency):
+
+1. draw an undirected random graph on ``n`` core vertices from one of
+   the three classic families —
+
+   * **ER** (Erdős–Rényi): every pair ``{i, j}`` is an edge with
+     independent probability ``p``;
+   * **WS** (Watts–Strogatz): a ring lattice where each vertex connects
+     to its ``k`` nearest neighbours, with each edge rewired to a random
+     partner with probability ``p`` (small-world shortcuts);
+   * **BA** (Barabási–Albert): vertices arrive one at a time and attach
+     ``m`` edges preferentially to high-degree vertices (scale-free
+     hubs, i.e. extreme fan-in);
+
+2. orient every edge from the lower to the higher vertex id — the
+   orientation of the randwired paper, which makes any undirected graph
+   a DAG by construction;
+3. add a *stem* vertex feeding every in-degree-0 core vertex and a
+   *head* vertex collecting every out-degree-0 core vertex, so the
+   graph is weakly connected with a single source and a single sink
+   (the head is the canonical high-fan-in stress vertex);
+4. draw execution times, intermediate-result sizes and conv/pool kinds
+   from the seeded stream, exactly like the layered generator.
+
+Everything is a deterministic function of ``(spec, seed)``: iteration
+is over sorted structures only, so the generated graph — and its
+fingerprint — is byte-identical across processes regardless of
+``PYTHONHASHSEED`` (property-tested).
+
+Any :class:`~repro.verify.validator.ScheduleValidator` violation on a
+graph produced here is a bug by definition: the generators only emit
+legal workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.generators import GeneratorParams
+from repro.graph.taskgraph import (
+    GraphValidationError,
+    OperationKind,
+    TaskGraph,
+)
+
+__all__ = [
+    "RANDWIRED_KINDS",
+    "RANDWIRED_SPECS",
+    "RandwiredSpec",
+    "all_randwired_benchmarks",
+    "barabasi_albert_dag",
+    "erdos_renyi_dag",
+    "randwired_benchmark",
+    "randwired_graph",
+    "watts_strogatz_dag",
+]
+
+#: The three supported random-graph families.
+RANDWIRED_KINDS = ("er", "ws", "ba")
+
+
+@dataclass(frozen=True)
+class RandwiredSpec:
+    """Full recipe for one randomly-wired workload.
+
+    Attributes:
+        kind: random-graph family (``er``, ``ws`` or ``ba``).
+        num_vertices: core vertex count (stem and head are added on top).
+        p: ER edge probability / WS rewiring probability (unused by BA).
+        k: WS ring-lattice degree — each vertex connects to its ``k``
+            nearest neighbours; must be even and ``< num_vertices``.
+        m: BA attachment count — edges each arriving vertex brings.
+        seed: RNG seed; the graph is a pure function of the spec.
+    """
+
+    kind: str
+    num_vertices: int
+    p: float = 0.25
+    k: int = 4
+    m: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in RANDWIRED_KINDS:
+            raise GraphValidationError(
+                f"unknown randwired kind {self.kind!r}; "
+                f"supported: {', '.join(RANDWIRED_KINDS)}"
+            )
+        if self.num_vertices < 2:
+            raise GraphValidationError("need at least 2 core vertices")
+        if not 0.0 <= self.p <= 1.0:
+            raise GraphValidationError("p must be in [0, 1]")
+        if self.kind == "ws":
+            if self.k < 2 or self.k % 2 != 0:
+                raise GraphValidationError("WS k must be even and >= 2")
+            if self.k >= self.num_vertices:
+                raise GraphValidationError(
+                    f"WS k={self.k} must be < num_vertices={self.num_vertices}"
+                )
+        if self.kind == "ba" and not 1 <= self.m < self.num_vertices:
+            raise GraphValidationError(
+                f"BA m={self.m} must be in [1, num_vertices)"
+            )
+
+
+# ----------------------------------------------------------------------
+# undirected edge sets (deterministic: sorted pairs only)
+# ----------------------------------------------------------------------
+def _er_edges(n: int, p: float, rng: random.Random) -> List[Tuple[int, int]]:
+    """Erdős–Rényi G(n, p): each forward pair drawn independently."""
+    return [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < p
+    ]
+
+
+def _ws_edges(
+    n: int, k: int, p: float, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """Watts–Strogatz ring lattice with probabilistic rewiring.
+
+    The lattice edge ``(i, i+j)`` (mod n) is kept with probability
+    ``1 - p`` or rewired to ``(i, random partner)``; duplicates and
+    self-loops are rejected by redrawing, like networkx's generator.
+    """
+    edges: Set[Tuple[int, int]] = set()
+    for j in range(1, k // 2 + 1):
+        for i in range(n):
+            edges.add(tuple(sorted((i, (i + j) % n))))
+    rewired: Set[Tuple[int, int]] = set()
+    for edge in sorted(edges):
+        if rng.random() < p:
+            i = edge[0]
+            for _attempt in range(4 * n):
+                partner = rng.randrange(n)
+                candidate = tuple(sorted((i, partner)))
+                if (
+                    partner != i
+                    and candidate not in edges
+                    and candidate not in rewired
+                ):
+                    rewired.add(candidate)
+                    break
+            else:  # saturated neighbourhood: keep the lattice edge
+                rewired.add(edge)
+        else:
+            rewired.add(edge)
+    return sorted(rewired)
+
+
+def _ba_edges(n: int, m: int, rng: random.Random) -> List[Tuple[int, int]]:
+    """Barabási–Albert preferential attachment.
+
+    Vertices ``m..n-1`` arrive in order and attach ``m`` edges to
+    distinct earlier vertices, sampled from the degree-weighted repeated
+    -nodes list (the standard O(E) construction).
+    """
+    targets = list(range(m))
+    repeated: List[int] = []
+    edges: List[Tuple[int, int]] = []
+    for source in range(m, n):
+        chosen: Set[int] = set()
+        pool = repeated if repeated else targets
+        while len(chosen) < m:
+            chosen.add(pool[rng.randrange(len(pool))])
+        for target in sorted(chosen):
+            edges.append((target, source))
+            repeated.extend((target, source))
+    return edges
+
+
+# ----------------------------------------------------------------------
+# lowering: undirected edges -> legal weighted task graph
+# ----------------------------------------------------------------------
+def _lower(
+    spec: RandwiredSpec,
+    edges: List[Tuple[int, int]],
+    rng: random.Random,
+    params: GeneratorParams,
+    name: str,
+) -> TaskGraph:
+    """Orient low->high, add stem/head, draw weights from the stream."""
+    n = spec.num_vertices
+    graph = TaskGraph(name=name)
+    pool_count = int(params.pool_fraction * n)
+    pool_ids = (
+        set(rng.sample(range(1, n), pool_count)) if pool_count else set()
+    )
+    stem, head = n, n + 1
+    for op_id in range(n):
+        graph.add_op(
+            op_id,
+            execution_time=rng.randint(params.min_exec, params.max_exec),
+            kind=(
+                OperationKind.POOL
+                if op_id in pool_ids
+                else OperationKind.CONV
+            ),
+        )
+    graph.add_op(
+        stem,
+        execution_time=rng.randint(params.min_exec, params.max_exec),
+        name="stem",
+    )
+    graph.add_op(
+        head,
+        execution_time=rng.randint(params.min_exec, params.max_exec),
+        name="head",
+    )
+
+    oriented = sorted({(min(i, j), max(i, j)) for i, j in edges})
+    in_deg = {op_id: 0 for op_id in range(n)}
+    out_deg = {op_id: 0 for op_id in range(n)}
+    for producer, consumer in oriented:
+        in_deg[consumer] += 1
+        out_deg[producer] += 1
+    # Stem feeds every core source, head collects every core sink, in id
+    # order so the edge-insertion sequence is deterministic.
+    stitched = (
+        [(stem, v) for v in range(n) if in_deg[v] == 0]
+        + oriented
+        + [(v, head) for v in range(n) if out_deg[v] == 0]
+    )
+    for producer, consumer in stitched:
+        graph.connect(
+            producer,
+            consumer,
+            size_bytes=rng.randint(params.min_size, params.max_size),
+        )
+    graph.validate()
+    return graph
+
+
+def randwired_graph(
+    spec: RandwiredSpec,
+    params: Optional[GeneratorParams] = None,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """Generate the task graph for one :class:`RandwiredSpec`."""
+    rng = random.Random(spec.seed)
+    p = params or GeneratorParams()
+    if spec.kind == "er":
+        edges = _er_edges(spec.num_vertices, spec.p, rng)
+    elif spec.kind == "ws":
+        edges = _ws_edges(spec.num_vertices, spec.k, spec.p, rng)
+    else:
+        edges = _ba_edges(spec.num_vertices, spec.m, rng)
+    label = name or (
+        f"randwired-{spec.kind}-{spec.num_vertices}s{spec.seed}"
+    )
+    return _lower(spec, edges, rng, p, label)
+
+
+def erdos_renyi_dag(
+    num_vertices: int,
+    p: float = 0.25,
+    seed: int = 0,
+    params: Optional[GeneratorParams] = None,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """ER random DAG (see module docstring for the lowering)."""
+    return randwired_graph(
+        RandwiredSpec(kind="er", num_vertices=num_vertices, p=p, seed=seed),
+        params=params,
+        name=name,
+    )
+
+
+def watts_strogatz_dag(
+    num_vertices: int,
+    k: int = 4,
+    p: float = 0.25,
+    seed: int = 0,
+    params: Optional[GeneratorParams] = None,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """WS small-world DAG (see module docstring for the lowering)."""
+    return randwired_graph(
+        RandwiredSpec(
+            kind="ws", num_vertices=num_vertices, k=k, p=p, seed=seed
+        ),
+        params=params,
+        name=name,
+    )
+
+
+def barabasi_albert_dag(
+    num_vertices: int,
+    m: int = 3,
+    seed: int = 0,
+    params: Optional[GeneratorParams] = None,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """BA scale-free DAG (see module docstring for the lowering)."""
+    return randwired_graph(
+        RandwiredSpec(kind="ba", num_vertices=num_vertices, m=m, seed=seed),
+        params=params,
+        name=name,
+    )
+
+
+# ----------------------------------------------------------------------
+# named benchmark registry (mirrors the Table 1 benchmark registry)
+# ----------------------------------------------------------------------
+#: Named randwired benchmarks every CLI can address, sized so the full
+#: verification battery stays interactive. Seeds are fixed per name so
+#: the graphs (and their fingerprints) never change between runs.
+RANDWIRED_SPECS: Dict[str, RandwiredSpec] = {
+    "randwired-er": RandwiredSpec(
+        kind="er", num_vertices=24, p=0.22, seed=0x5EED + 0
+    ),
+    "randwired-ws": RandwiredSpec(
+        kind="ws", num_vertices=32, k=4, p=0.3, seed=0x5EED + 1
+    ),
+    "randwired-ba": RandwiredSpec(
+        kind="ba", num_vertices=32, m=3, seed=0x5EED + 2
+    ),
+    "randwired-er-64": RandwiredSpec(
+        kind="er", num_vertices=64, p=0.1, seed=0x5EED + 3
+    ),
+    "randwired-ba-64": RandwiredSpec(
+        kind="ba", num_vertices=64, m=4, seed=0x5EED + 4
+    ),
+}
+
+
+def randwired_benchmark(
+    name: str, params: Optional[GeneratorParams] = None
+) -> TaskGraph:
+    """Build one named randwired benchmark (deterministic per name)."""
+    try:
+        spec = RANDWIRED_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(RANDWIRED_SPECS))
+        raise GraphValidationError(
+            f"unknown randwired benchmark {name!r}; known: {known}"
+        ) from None
+    return randwired_graph(spec, params=params, name=name)
+
+
+def all_randwired_benchmarks(
+    params: Optional[GeneratorParams] = None,
+) -> List[TaskGraph]:
+    """Every named randwired benchmark, in registry order."""
+    return [randwired_benchmark(name, params) for name in RANDWIRED_SPECS]
+
+
+def reseeded(spec: RandwiredSpec, seed: int) -> RandwiredSpec:
+    """The same recipe under a different seed (property sweeps)."""
+    return replace(spec, seed=seed)

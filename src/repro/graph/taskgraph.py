@@ -21,7 +21,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 #: Version tag baked into every task-graph fingerprint; bump when the
 #: canonical form changes so cached plans keyed on old fingerprints are
@@ -31,6 +31,21 @@ GRAPH_FINGERPRINT_VERSION = 1
 
 class GraphValidationError(ValueError):
     """Raised when a :class:`TaskGraph` violates a structural invariant."""
+
+
+#: How many cycle members a cycle error names before truncating — enough
+#: to localize the bug in a user-supplied graph, bounded so a pathological
+#: whole-graph cycle cannot produce a megabyte error message.
+CYCLE_REPORT_LIMIT = 12
+
+
+def _describe_cycle(cycle: List[int]) -> str:
+    """``3 -> 7 -> 9 -> 3`` rendering, truncated past the report limit."""
+    shown = cycle[:CYCLE_REPORT_LIMIT]
+    arrow = " -> ".join(str(v) for v in shown)
+    if len(cycle) > CYCLE_REPORT_LIMIT:
+        return f"{arrow} -> ... ({len(cycle) - CYCLE_REPORT_LIMIT} more) -> {cycle[0]}"
+    return f"{arrow} -> {cycle[0]}"
 
 
 class OperationKind(enum.Enum):
@@ -346,11 +361,38 @@ class TaskGraph:
             if inserted:
                 ready.sort()
         if len(order) != len(self._ops):
+            remaining = {i for i in self._ops if i not in set(order)}
+            cycle = self._find_cycle(remaining)
             raise GraphValidationError(
                 f"graph '{self.name}' contains a cycle; a CNN dataflow must be "
-                "a DAG"
+                f"a DAG (cycle: {_describe_cycle(cycle)})"
             )
         return order
+
+    def _find_cycle(self, remaining: "Set[int]") -> List[int]:
+        """One concrete cycle among the vertices Kahn could not order.
+
+        Every vertex left over after Kahn's algorithm has at least one
+        predecessor that is also left over, so walking predecessors
+        (smallest id first, for determinism) must revisit a vertex; the
+        walk between the two visits — reversed into edge direction — is
+        a cycle. Used only to make the cycle error actionable.
+        """
+        start = min(remaining)
+        path = [start]
+        seen = {start: 0}
+        node = start
+        while True:
+            node = min(p for p in self._pred[node] if p in remaining)
+            if node in seen:
+                cycle = list(reversed(path[seen[node]:]))
+                # Rotate the smallest member to the front so the same
+                # cycle always renders identically regardless of where
+                # the predecessor walk happened to close it.
+                pivot = cycle.index(min(cycle))
+                return cycle[pivot:] + cycle[:pivot]
+            seen[node] = len(path)
+            path.append(node)
 
     def is_acyclic(self) -> bool:
         try:

@@ -22,11 +22,21 @@ from repro.graph.taskgraph import (
 def scale_execution_times(
     graph: TaskGraph, factor: float, name: Optional[str] = None
 ) -> TaskGraph:
-    """Multiply every ``c_i`` by ``factor`` (rounded, floor 1)."""
+    """Multiply every ``c_i`` by ``factor`` (rounded, floor 1).
+
+    ``period_hint`` is a statement about the *execution times* of the
+    graph it is attached to, so it scales with them — same rounding,
+    same floor. Copying it verbatim (the old behaviour) left a hint that
+    was stale for the scaled graph: infeasibly small after scaling up,
+    needlessly loose after scaling down.
+    """
     if factor <= 0:
         raise GraphValidationError("factor must be positive")
-    out = TaskGraph(name=name or f"{graph.name}-x{factor:g}",
-                    period_hint=graph.period_hint)
+    hint = graph.period_hint
+    out = TaskGraph(
+        name=name or f"{graph.name}-x{factor:g}",
+        period_hint=None if hint is None else max(1, round(hint * factor)),
+    )
     for op in graph.operations():
         out.add_operation(
             replace(op, execution_time=max(1, round(op.execution_time * factor)))
@@ -39,7 +49,11 @@ def scale_execution_times(
 def with_uniform_sizes(
     graph: TaskGraph, size_bytes: int, name: Optional[str] = None
 ) -> TaskGraph:
-    """Rewrite every intermediate result to the same footprint."""
+    """Rewrite every intermediate result to the same footprint.
+
+    Execution times are untouched, so ``period_hint`` — a statement
+    about those times — survives the rewrite unchanged.
+    """
     if size_bytes < 1:
         raise GraphValidationError("size_bytes must be positive")
     out = TaskGraph(name=name or f"{graph.name}-uniform",
@@ -166,8 +180,14 @@ def fuse_stages(
         for member in members:
             reps[member] = members[0]
 
+    # A fused vertex carries the run's *summed* execution time, so a
+    # period that was feasible for the original granularity can be
+    # infeasible after fusion (p >= max c_i no longer holds). There is no
+    # principled rescale, so a fusing rewrite drops the hint and lets the
+    # schedulers recompute the period; a no-op call keeps it.
     out = TaskGraph(
-        name=name or f"{graph.name}-fused", period_hint=graph.period_hint
+        name=name or f"{graph.name}-fused",
+        period_hint=graph.period_hint if not runs else None,
     )
     for op in graph.operations():
         if op.op_id not in reps:
@@ -236,8 +256,11 @@ def coarsen_chains(graph: TaskGraph, name: Optional[str] = None) -> TaskGraph:
         else:
             head[op_id] = op_id
 
+    # Same stale-metadata hazard as fuse_stages: chain fusion sums
+    # execution times, so the hint only survives a no-op coarsening.
+    coarsened = any(head[op_id] != op_id for op_id in order)
     out = TaskGraph(name=name or f"{graph.name}-coarse",
-                    period_hint=graph.period_hint)
+                    period_hint=None if coarsened else graph.period_hint)
     for op in graph.operations():
         if head[op.op_id] == op.op_id:
             out.add_operation(

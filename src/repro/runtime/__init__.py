@@ -39,10 +39,12 @@ from repro.runtime.plan_cache import (
     plan_to_dict,
 )
 from repro.runtime.server import (
+    REWIRE_CUT_POINTS,
     BatchingServer,
     InferenceRequest,
     QueueFullError,
     RequestResult,
+    RewireResult,
 )
 from repro.runtime.session import (
     BatchResult,
@@ -65,7 +67,9 @@ __all__ = [
     "PlanCache",
     "PlanKey",
     "QueueFullError",
+    "REWIRE_CUT_POINTS",
     "RequestResult",
+    "RewireResult",
     "WarmupReport",
     "plan_from_dict",
     "plan_key_for",

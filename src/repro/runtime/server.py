@@ -99,6 +99,37 @@ class _WorkloadState:
     queued: int = 0
 
 
+#: legal ``cut_point`` values for :meth:`BatchingServer.rewire`.
+REWIRE_CUT_POINTS = ("drain", "reroute")
+
+
+@dataclass(frozen=True)
+class RewireResult:
+    """Outcome of one live :meth:`BatchingServer.rewire` call.
+
+    The accounting closes by construction: every request queued for the
+    workload at the cut-point is either in ``drained`` (served on the old
+    plan before the swap) or counted in ``rerouted`` (left queued, served
+    on the new plan) — nothing is dropped.
+    """
+
+    workload: str
+    cut_point: str
+    #: requests served on the *old* plan before the swap ("drain" only).
+    drained: List[RequestResult]
+    #: queued requests carried across the swap onto the *new* plan.
+    rerouted: int
+    #: True when the swap needed an actual compile (cold new graph);
+    #: False means the new plan came warm from the cache.
+    recompiled: bool
+    old_period: Optional[int]
+    new_period: int
+
+    @property
+    def drained_requests(self) -> int:
+        return len(self.drained)
+
+
 class BatchingServer:
     """Deterministic single-host serving core over the plan cache.
 
@@ -168,6 +199,10 @@ class BatchingServer:
         self.metrics = MetricsRegistry()
         self._queue: Deque[InferenceRequest] = deque()
         self._sessions: Dict[str, _WorkloadState] = {}
+        #: live-rewire overrides: workload name -> graph that replaces
+        #: whatever ``graph_loader`` would resolve (set by :meth:`rewire`
+        #: so sessions created *after* a rewire also serve the new graph).
+        self._graph_overrides: Dict[str, TaskGraph] = {}
         self._ids = itertools.count(1)
         self._batches = itertools.count(1)
         self._results: Deque[RequestResult] = deque(maxlen=results_retention)
@@ -271,6 +306,84 @@ class BatchingServer:
         """The per-workload sessions created so far (read-only view)."""
         return {name: state.session for name, state in self._sessions.items()}
 
+    # ------------------------------------------------------------------
+    # live rewiring
+    # ------------------------------------------------------------------
+    def rewire(
+        self,
+        workload: str,
+        new_graph: TaskGraph,
+        cut_point: str = "drain",
+    ) -> RewireResult:
+        """Hot-swap ``workload``'s graph mid-session; nothing is dropped.
+
+        The cut-point declares what happens to requests already queued
+        for the workload when the swap lands:
+
+        * ``"drain"`` — queued requests are served on the *old* plan
+          first (coalesced into batches exactly like :meth:`step`, other
+          workloads' queue order preserved), then the plan is swapped.
+        * ``"reroute"`` — queued requests stay queued across the swap
+          and are served on the *new* plan; the swap is atomic from the
+          queue's point of view.
+
+        Either way the session is rewired through
+        :meth:`InferenceSession.swap_graph` — the recompile-through-cache
+        failover path with a non-fault trigger — so a repeat swap to a
+        previously served graph is a warm lookup (``recompiled=False``),
+        and future sessions for this workload name (e.g. after a server
+        restart with the same ``graph_loader`` override map) compile the
+        new graph. Accounting closes: every request queued at the
+        cut-point ends up served (drained) or still queued (rerouted).
+        """
+        if cut_point not in REWIRE_CUT_POINTS:
+            raise ValueError(
+                f"cut_point must be one of {REWIRE_CUT_POINTS}, "
+                f"got {cut_point!r}"
+            )
+        state = self._state_for(workload)
+        old_period = (
+            state.session.plan.period if state.session.is_compiled else None
+        )
+        drained: List[RequestResult] = []
+        if cut_point == "drain":
+            # Targeted step() loop: serve every queued request for this
+            # workload on the old plan, batch_window at a time, without
+            # disturbing other workloads' FIFO order.
+            while state.queued > 0:
+                batch: List[InferenceRequest] = []
+                kept: Deque[InferenceRequest] = deque()
+                while self._queue:
+                    request = self._queue.popleft()
+                    if (
+                        request.workload == workload
+                        and len(batch) < self.batch_window
+                    ):
+                        batch.append(request)
+                    else:
+                        kept.append(request)
+                self._queue = kept
+                self.metrics.gauge("queue_depth").set(len(self._queue))
+                drained.extend(self._execute_batch(batch))
+        rerouted = state.queued
+        recompiles_before = state.session.swap_recompiles
+        # swap_graph validates the new graph before tearing anything
+        # down, so an illegal graph raises here and the override below
+        # is never installed — loader state stays consistent.
+        new_plan = state.session.swap_graph(new_graph)
+        self._graph_overrides[workload] = new_graph
+        recompiled = state.session.swap_recompiles != recompiles_before
+        self.metrics.counter("graph_rewires").inc()
+        return RewireResult(
+            workload=workload,
+            cut_point=cut_point,
+            drained=drained,
+            rerouted=rerouted,
+            recompiled=recompiled,
+            old_period=old_period,
+            new_period=new_plan.period,
+        )
+
     @property
     def results(self) -> List[RequestResult]:
         """Retained results in batch order (newest ``results_retention``).
@@ -280,13 +393,28 @@ class BatchingServer:
         """
         return list(self._results)
 
+    def set_graph_override(self, workload: str, new_graph: TaskGraph) -> None:
+        """Pin ``workload`` to ``new_graph`` without touching live sessions.
+
+        The fleet router uses this on shards that have never served the
+        workload: their *first* session must already compile the new
+        graph, but there is nothing to swap or drain yet.
+        """
+        new_graph.validate()
+        self._graph_overrides[workload] = new_graph
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _load_graph(self, workload: str) -> TaskGraph:
+        """Resolve a workload name, honouring live-rewire overrides."""
+        override = self._graph_overrides.get(workload)
+        return override if override is not None else self.graph_loader(workload)
+
     def _state_for(self, workload: str) -> _WorkloadState:
         state = self._sessions.get(workload)
         if state is None:
-            graph = self.graph_loader(workload)
+            graph = self._load_graph(workload)
             state = _WorkloadState(
                 session=InferenceSession(
                     graph,

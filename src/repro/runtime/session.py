@@ -225,6 +225,11 @@ class InferenceSession:
         self.failover_recompiles: int = 0
         #: total failovers performed (cache hits included).
         self.failovers: int = 0
+        #: live rewirings performed via :meth:`swap_graph`.
+        self.graph_swaps: int = 0
+        #: swaps that required an actual (cache-missing) recompile; a
+        #: repeat swap to a previously served graph stays flat.
+        self.swap_recompiles: int = 0
         #: the trace of the last successful batch (None before the first).
         self.last_trace: Optional[ExecutionTrace] = None
         self._plan: Optional[ParaConvResult] = None
@@ -353,6 +358,37 @@ class InferenceSession:
             self.failover_recompiles += 1
             self._metric_inc("failover_recompiles")
         self._publish_degraded_gauge()
+
+    # ------------------------------------------------------------------
+    # live rewiring
+    # ------------------------------------------------------------------
+    def swap_graph(self, new_graph: TaskGraph) -> ParaConvResult:
+        """Hot-swap the served workload's graph and recompile in place.
+
+        This is the failover path with a non-fault trigger: the session
+        keeps its machine, cache, knobs and counters, drops the active
+        plan/executor pair, and recompiles *through the plan cache* for
+        the new graph. The plan key embeds the graph fingerprint, so a
+        swap back to a previously served graph — or a repeat swap to the
+        same one — is a pure warm lookup (``swap_recompiles`` stays
+        flat), exactly like a repeated fault pattern.
+
+        The new graph is validated before anything is torn down, so an
+        illegal graph leaves the session serving the old plan untouched.
+        Returns the plan now being served.
+        """
+        new_graph.validate()
+        self.graph = new_graph
+        self._plan = None
+        self._executor = None
+        compiles_before = self.compilations
+        plan = self.compile()
+        self.graph_swaps += 1
+        self._metric_inc("graph_swaps")
+        if self.compilations != compiles_before:
+            self.swap_recompiles += 1
+            self._metric_inc("swap_recompiles")
+        return plan
 
     # ------------------------------------------------------------------
     # compilation

@@ -28,6 +28,15 @@ from repro.verify.differential_fleet import (
     FleetReplayMismatch,
     fleet_differential,
 )
+from repro.verify.differential_rewire import (
+    RandwiredPropertyReport,
+    RewireCaseReport,
+    RewireDifferentialReport,
+    RewireMismatch,
+    randwired_property_battery,
+    rewire_case,
+    rewire_differential,
+)
 from repro.verify.differential_tenancy import (
     TENANCY_SCENARIOS,
     TenancyDifferentialReport,
@@ -95,6 +104,10 @@ __all__ = [
     "FailoverMismatch",
     "FleetDifferentialReport",
     "FleetReplayMismatch",
+    "RandwiredPropertyReport",
+    "RewireCaseReport",
+    "RewireDifferentialReport",
+    "RewireMismatch",
     "SimDifferentialReport",
     "SimMismatch",
     "TENANCY_SCENARIOS",
@@ -126,6 +139,9 @@ __all__ = [
     "fault_detection_report",
     "fleet_differential",
     "inject_faults",
+    "randwired_property_battery",
+    "rewire_case",
+    "rewire_differential",
     "run_verification_sweep",
     "sim_differential_battery",
     "tenancy_differential",

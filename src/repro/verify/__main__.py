@@ -13,6 +13,7 @@ Usage::
     python -m repro.verify --search                     # search-allocator battery
     python -m repro.verify --search --search-budgets 0 100 2000
     python -m repro.verify --tenancy                    # multi-tenant isolation
+    python -m repro.verify --rewire                     # live-rewiring differential
     python -m repro.verify --all                        # every battery at once
     python -m repro.verify --list-checks         # print the check catalog
     python -m repro.verify --json                # machine-readable output
@@ -28,10 +29,11 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.cnn.workloads import WORKLOADS
 from repro.core.allocation import ALLOCATORS
-from repro.graph.generators import BENCHMARK_SIZES
 from repro.pim.config import PimConfig
 from repro.verify.differential_fleet import fleet_differential
+from repro.verify.differential_rewire import rewire_differential
 from repro.verify.differential_tenancy import tenancy_differential
 from repro.verify.validator import CHECK_CATALOG, ScheduleValidator
 from repro.verify.runner import run_verification_sweep
@@ -60,8 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--benchmarks", nargs="+", metavar="NAME", default=None,
-        choices=sorted(BENCHMARK_SIZES),
-        help="benchmarks to sweep (default: all 12 paper benchmarks)",
+        choices=sorted(WORKLOADS),
+        help="workloads to sweep — any registry name, including the "
+             "randwired-* irregular graphs (default: all 12 paper "
+             "benchmarks)",
     )
     parser.add_argument(
         "--allocators", nargs="+", metavar="NAME", default=None,
@@ -148,6 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--tenancy-requests", type=positive_int, default=12,
                         help="requests per tenant for the --tenancy stage "
                              "(default 12)")
+    parser.add_argument("--rewire", action="store_true",
+                        help="differentially verify live rewiring: "
+                             "post-swap serving must match a cold compile "
+                             "of the new graph field by field, queued "
+                             "requests must cross the cut-point with zero "
+                             "loss (single server and fleet), repeat swaps "
+                             "must not recompile, and the seeded ER/WS/BA "
+                             "randwired battery must be deterministic and "
+                             "validator-clean")
+    parser.add_argument("--rewire-seeds", type=positive_int, default=3,
+                        help="seeds per family for the --rewire randwired "
+                             "battery (default 3)")
     parser.add_argument("--all", action="store_true", dest="all_batteries",
                         help="run every differential battery (--sim --faults "
                              "--search --fleet --tenancy) and print a "
@@ -173,6 +189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.search = True
         args.fleet = True
         args.tenancy = True
+        args.rewire = True
 
     config = PimConfig(num_pes=args.pes, iterations=args.iterations)
     validator = ScheduleValidator(
@@ -209,10 +226,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             requests_per_tenant=args.tenancy_requests,
             validator=validator,
         )
+    rewire_report = None
+    if args.rewire:
+        rewire_report = rewire_differential(
+            config=PimConfig(num_pes=args.pes, iterations=args.iterations),
+            seeds=args.rewire_seeds,
+            validator=validator,
+        )
     ok = (
         outcome.ok
         and (fleet_report is None or fleet_report.ok)
         and (tenancy_report is None or tenancy_report.ok)
+        and (rewire_report is None or rewire_report.ok)
     )
     if args.json:
         payload = outcome.as_dict()
@@ -222,6 +247,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         payload["tenancy"] = (
             tenancy_report.as_dict() if tenancy_report is not None else None
         )
+        payload["rewire"] = (
+            rewire_report.as_dict() if rewire_report is not None else None
+        )
         payload["ok"] = ok
         print(json.dumps(payload, indent=2))
     else:
@@ -230,6 +258,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(fleet_report.describe())
         if tenancy_report is not None:
             print(tenancy_report.describe())
+        if rewire_report is not None:
+            print(rewire_report.describe())
         if args.all_batteries:
             sweep = outcome.workloads
             batteries = [
@@ -252,6 +282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )),
                 ("fleet", fleet_report.ok),
                 ("tenancy", tenancy_report.ok),
+                ("rewire", rewire_report.ok),
             ]
             for name, passed in batteries:
                 print(f"battery {name:<8} {'ok' if passed else 'FAIL'}")

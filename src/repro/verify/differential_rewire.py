@@ -1,0 +1,465 @@
+"""Live-rewiring differential + seeded randwired property battery.
+
+The serving stack claims that hot-swapping a served workload's graph is
+*exactly* the failover recovery path with a non-fault trigger: after
+:meth:`~repro.runtime.server.BatchingServer.rewire` the session serves
+the same results a cold compile of the new graph would produce, queued
+requests cross the cut-point without loss, and a repeat swap to a
+previously served graph never recompiles. This module machine-checks
+each claim:
+
+1. serve a workload, queue more requests, then ``rewire`` at a declared
+   cut-point (``drain``: queued requests served on the old plan first;
+   ``reroute``: carried across and served on the new plan);
+2. serve one post-swap batch and compare its
+   :meth:`~repro.sim.executor.ExecutionTrace.aggregate_signature`
+   field by field against an independent cold compile of the new graph
+   executed on the full-unroll oracle engine (exact match);
+3. close the request accounting — every admitted request must be served
+   or still queued, ``lost == 0``;
+4. swap back and forth once more and require zero ``swap_recompiles`` —
+   both plans are warm in the content-addressed cache;
+5. run the same zero-loss check through the fleet router (affinity
+   remap on the new digest, queued requests rerouted with fleet
+   identity intact, ``accounting()['lost'] == 0``).
+
+Alongside rides the seeded randwired property battery: every ER/WS/BA
+graph across a seed sweep must regenerate to an identical fingerprint
+(pure function of the spec) and compile into a plan with zero
+:class:`~repro.verify.validator.ScheduleValidator` errors — the
+generators only emit legal workloads, so any violation is a bug by
+definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.paraconv import ParaConv
+from repro.graph.randwired import (
+    RANDWIRED_SPECS,
+    RandwiredSpec,
+    randwired_graph,
+    reseeded,
+)
+from repro.graph.taskgraph import TaskGraph
+from repro.pim.config import PimConfig
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.server import BatchingServer
+from repro.sim.executor import ScheduleExecutor
+from repro.sim.modes import SimMode
+from repro.sim.sinks import NullSink
+from repro.verify.validator import ScheduleValidator
+
+__all__ = [
+    "RewireCaseReport",
+    "RewireDifferentialReport",
+    "RewireMismatch",
+    "RandwiredPropertyReport",
+    "randwired_property_battery",
+    "rewire_case",
+    "rewire_differential",
+]
+
+
+@dataclass(frozen=True)
+class RewireMismatch:
+    """One aggregate field where post-swap serving and cold compile differ."""
+
+    field: str
+    post_swap_value: object
+    cold_value: object
+
+    def describe(self) -> str:
+        return (
+            f"{self.field}: post_swap={self.post_swap_value!r} "
+            f"cold={self.cold_value!r}"
+        )
+
+
+@dataclass
+class RewireCaseReport:
+    """Outcome of one old-graph -> new-graph live-rewire comparison."""
+
+    workload: str
+    new_graph: str
+    cut_point: str
+    iterations: int
+    mismatches: List[RewireMismatch] = field(default_factory=list)
+    #: requests served on the old plan at the cut-point ("drain").
+    drained: int = 0
+    #: queued requests carried across the swap ("reroute").
+    rerouted: int = 0
+    #: admitted - served - queued after the full scenario; must be 0.
+    lost: Optional[int] = None
+    #: swaps the session performed (first + the two repeats).
+    graph_swaps: int = 0
+    #: recompiles across the *repeat* swaps — must be 0 (warm plans).
+    repeat_recompiles: Optional[int] = None
+    #: validator errors in the cold reference plan (must be 0).
+    validator_errors: int = 0
+    #: unexpected exception text (None on a clean run).
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.error is not None or self.mismatches:
+            return False
+        if self.lost not in (None, 0):
+            return False
+        if self.repeat_recompiles not in (None, 0):
+            return False
+        return self.validator_errors == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "new_graph": self.new_graph,
+            "cut_point": self.cut_point,
+            "iterations": self.iterations,
+            "ok": self.ok,
+            "mismatches": [
+                {
+                    "field": m.field,
+                    "post_swap": repr(m.post_swap_value),
+                    "cold": repr(m.cold_value),
+                }
+                for m in self.mismatches
+            ],
+            "drained": self.drained,
+            "rerouted": self.rerouted,
+            "lost": self.lost,
+            "graph_swaps": self.graph_swaps,
+            "repeat_recompiles": self.repeat_recompiles,
+            "validator_errors": self.validator_errors,
+            "error": self.error,
+        }
+
+    def describe(self) -> str:
+        tag = (
+            f"{self.workload}->{self.new_graph} [{self.cut_point}] "
+            f"N={self.iterations}"
+        )
+        if self.ok:
+            return (
+                f"{tag}: ok [drained={self.drained} "
+                f"rerouted={self.rerouted} "
+                f"repeat={self.repeat_recompiles}rc]"
+            )
+        if self.error is not None:
+            return f"{tag}: ERROR {self.error}"
+        details = "; ".join(m.describe() for m in self.mismatches)
+        return (
+            f"{tag}: FAIL lost={self.lost} "
+            f"repeat={self.repeat_recompiles} "
+            f"validator_errors={self.validator_errors} {details}"
+        )
+
+
+@dataclass
+class RandwiredPropertyReport:
+    """Seeded ER/WS/BA sweep: determinism + legality of every graph."""
+
+    cases: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.cases > 0 and not self.failures
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cases": self.cases,
+            "ok": self.ok,
+            "failures": list(self.failures),
+        }
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"randwired battery: ok [{self.cases} graphs]"
+        return (
+            f"randwired battery: FAIL {len(self.failures)}/{self.cases} — "
+            + "; ".join(self.failures)
+        )
+
+
+@dataclass
+class RewireDifferentialReport:
+    """Everything the ``--rewire`` battery verified."""
+
+    cases: List[RewireCaseReport] = field(default_factory=list)
+    randwired: RandwiredPropertyReport = field(
+        default_factory=RandwiredPropertyReport
+    )
+    #: fleet-level zero-loss check: accounting residual after a rewire
+    #: with queued traffic (must be 0; None when the stage errored).
+    fleet_lost: Optional[int] = None
+    #: queued requests the fleet rerouted across the swap.
+    fleet_rerouted: int = 0
+    #: True when the fleet repeat swap found every plan warm.
+    fleet_repeat_warm: Optional[bool] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.error is not None:
+            return False
+        if any(not case.ok for case in self.cases):
+            return False
+        if not self.randwired.ok:
+            return False
+        if self.fleet_lost not in (None, 0):
+            return False
+        return self.fleet_repeat_warm in (None, True)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "cases": [case.as_dict() for case in self.cases],
+            "randwired": self.randwired.as_dict(),
+            "fleet_lost": self.fleet_lost,
+            "fleet_rerouted": self.fleet_rerouted,
+            "fleet_repeat_warm": self.fleet_repeat_warm,
+            "error": self.error,
+        }
+
+    def describe(self) -> str:
+        lines = ["rewire differential:"]
+        for case in self.cases:
+            lines.append(f"  {case.describe()}")
+        lines.append(f"  {self.randwired.describe()}")
+        fleet = (
+            f"  fleet: lost={self.fleet_lost} "
+            f"rerouted={self.fleet_rerouted} "
+            f"repeat_warm={self.fleet_repeat_warm}"
+        )
+        lines.append(fleet)
+        if self.error is not None:
+            lines.append(f"  ERROR {self.error}")
+        lines.append(f"overall rewire: {'ok' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def rewire_case(
+    old_graph: TaskGraph,
+    new_graph: TaskGraph,
+    config: PimConfig,
+    cut_point: str = "drain",
+    iterations: int = 20,
+    queued: int = 5,
+    allocator: str = "dp",
+    num_vaults: int = 32,
+    validator: Optional[ScheduleValidator] = None,
+) -> RewireCaseReport:
+    """Assert post-swap serving == cold compile of the new graph.
+
+    The scenario: serve one warm batch of ``old_graph``, queue ``queued``
+    more requests plus one bystander workload, swap to ``new_graph`` at
+    ``cut_point``, drain everything, then serve one dedicated batch of
+    ``iterations`` inferences and compare its aggregate signature against
+    an independently compiled full-unroll execution of the new graph.
+    """
+    report = RewireCaseReport(
+        workload=old_graph.name,
+        new_graph=new_graph.name,
+        cut_point=cut_point,
+        iterations=iterations,
+    )
+    workload = old_graph.name
+    bystander = f"{workload}-bystander"
+    graphs = {workload: old_graph, bystander: old_graph}
+    try:
+        server = BatchingServer(
+            config,
+            cache=PlanCache(),
+            batch_window=4,
+            allocator=allocator,
+            num_vaults=num_vaults,
+            graph_loader=lambda name: graphs[name],
+        )
+        server.submit(workload, iterations=1)
+        server.step()  # warm the old plan
+        for _ in range(queued):
+            server.submit(workload, iterations=1)
+        server.submit(bystander, iterations=1)
+
+        result = server.rewire(workload, new_graph, cut_point=cut_point)
+        report.drained = result.drained_requests
+        report.rerouted = result.rerouted
+        server.drain()
+
+        # Post-swap differential batch: one request, dedicated trace.
+        server.submit(workload, iterations=iterations)
+        server.drain()
+        session = server.sessions()[workload]
+        assert session.last_trace is not None
+        candidate = session.last_trace.aggregate_signature()
+
+        cold_plan = ParaConv(config, allocator_name=allocator).run(new_graph)
+        cold_trace = ScheduleExecutor(
+            config, num_vaults=num_vaults, mode=SimMode.FULL_UNROLL
+        ).execute(cold_plan, iterations=iterations, sink=NullSink())
+        reference = cold_trace.aggregate_signature()
+        for key in sorted(set(reference) | set(candidate)):
+            cold_value = reference.get(key)
+            post_value = candidate.get(key)
+            if cold_value != post_value:
+                report.mismatches.append(
+                    RewireMismatch(
+                        field=key,
+                        post_swap_value=post_value,
+                        cold_value=cold_value,
+                    )
+                )
+
+        battery = (validator or ScheduleValidator()).validate(cold_plan)
+        report.validator_errors = len(battery.errors())
+
+        # Repeat swaps: old and new plans are both warm now, so neither
+        # direction may recompile.
+        recompiles_before = session.swap_recompiles
+        server.rewire(workload, old_graph, cut_point=cut_point)
+        server.drain()
+        server.rewire(workload, new_graph, cut_point=cut_point)
+        server.drain()
+        report.graph_swaps = session.graph_swaps
+        report.repeat_recompiles = session.swap_recompiles - recompiles_before
+
+        snap = server.metrics.snapshot()["counters"]
+        report.lost = (
+            snap.get("requests_accepted", 0)
+            - snap.get("requests_served", 0)
+            - server.queue_depth
+        )
+    except Exception as exc:  # noqa: BLE001 — differential must report, not crash
+        report.error = f"{type(exc).__name__}: {exc}"
+    return report
+
+
+def _fleet_check(
+    report: RewireDifferentialReport,
+    new_graph: TaskGraph,
+    requests: int = 8,
+) -> None:
+    """Zero-loss rewire through the router: reroute + affinity remap.
+
+    Shards share a plan store (the production configuration), so the
+    affinity move a rewire causes — the workload may hash onto a
+    *different* shard under the new digest — still finds warm plans:
+    compiled once anywhere, warm everywhere.
+    """
+    import tempfile
+
+    from repro.fleet.router import FleetRouter
+    from repro.fleet.store import SharedPlanStore
+    from repro.fleet.worker import FleetWorker
+
+    base = PimConfig(num_pes=64)
+    with tempfile.TemporaryDirectory(prefix="rewire-store-") as tmp:
+        store = SharedPlanStore(tmp)
+        workers = [
+            FleetWorker(f"w{i}", part, store=store)
+            for i, part in enumerate(base.split(4))
+        ]
+        router = FleetRouter(workers)
+        # Warm the old plan with served traffic before the swap.
+        for _ in range(requests):
+            router.submit("cat", iterations=1)
+        router.drain()
+        for _ in range(requests):
+            router.submit("cat", iterations=1)
+        swap = router.rewire("cat", new_graph, cut_point="reroute")
+        report.fleet_rerouted = swap.rerouted
+        router.drain()
+        repeat = router.rewire(
+            "cat", router.graph_loader("cat"), cut_point="reroute"
+        )
+        report.fleet_repeat_warm = (
+            not repeat.recompiled
+            and not router.rewire(
+                "cat", new_graph, cut_point="reroute"
+            ).recompiled
+        )
+        report.fleet_lost = router.accounting()["lost"]
+
+
+def randwired_property_battery(
+    config: Optional[PimConfig] = None,
+    specs: Optional[List[RandwiredSpec]] = None,
+    seeds: int = 3,
+    validator: Optional[ScheduleValidator] = None,
+) -> RandwiredPropertyReport:
+    """Determinism + legality across a seeded ER/WS/BA sweep.
+
+    Every spec is regenerated twice (fingerprints must match — the graph
+    is a pure function of the spec) and compiled through the full
+    pipeline; validator errors are failures by definition.
+    """
+    config = config or PimConfig(num_pes=16)
+    validator = validator or ScheduleValidator()
+    if specs is None:
+        base = [
+            RandwiredSpec(kind="er", num_vertices=16, p=0.3),
+            RandwiredSpec(kind="ws", num_vertices=16, k=4, p=0.4),
+            RandwiredSpec(kind="ba", num_vertices=16, m=2),
+        ]
+        specs = [
+            reseeded(spec, seed) for spec in base for seed in range(seeds)
+        ]
+    report = RandwiredPropertyReport()
+    for spec in specs:
+        report.cases += 1
+        tag = f"{spec.kind}/n{spec.num_vertices}/s{spec.seed}"
+        try:
+            graph = randwired_graph(spec)
+            again = randwired_graph(spec)
+            if graph.fingerprint() != again.fingerprint():
+                report.failures.append(f"{tag}: fingerprint not deterministic")
+                continue
+            plan = ParaConv(config).run(graph)
+            errors = validator.validate(plan).errors()
+            if errors:
+                report.failures.append(
+                    f"{tag}: {len(errors)} validator errors ({errors[0]})"
+                )
+        except Exception as exc:  # noqa: BLE001 — battery must report, not crash
+            report.failures.append(f"{tag}: {type(exc).__name__}: {exc}")
+    return report
+
+
+def rewire_differential(
+    config: Optional[PimConfig] = None,
+    iterations: int = 20,
+    seeds: int = 3,
+    validator: Optional[ScheduleValidator] = None,
+) -> RewireDifferentialReport:
+    """The full ``--rewire`` battery: cases + fleet + randwired sweep."""
+    from repro.cnn.workloads import load_workload
+
+    config = config or PimConfig(num_pes=16)
+    report = RewireDifferentialReport()
+    try:
+        cases = [
+            ("cat", "randwired-er", "drain"),
+            ("randwired-er", "randwired-ba", "reroute"),
+            ("flower", "randwired-ws", "drain"),
+        ]
+        for old_name, new_name, cut_point in cases:
+            report.cases.append(
+                rewire_case(
+                    load_workload(old_name),
+                    load_workload(new_name),
+                    config,
+                    cut_point=cut_point,
+                    iterations=iterations,
+                    validator=validator,
+                )
+            )
+        _fleet_check(report, load_workload("randwired-er"))
+        report.randwired = randwired_property_battery(
+            config, seeds=seeds, validator=validator
+        )
+    except Exception as exc:  # noqa: BLE001 — differential must report, not crash
+        report.error = f"{type(exc).__name__}: {exc}"
+    return report

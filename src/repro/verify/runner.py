@@ -15,10 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.cnn.workloads import load_workload
 from repro.core.allocation import ALLOCATORS, AllocationProblem
 from repro.core.paraconv import ParaConv, ParaConvResult
 from repro.core.retiming import analyze_edges
-from repro.graph.generators import BENCHMARK_SIZES, synthetic_benchmark
+from repro.graph.generators import BENCHMARK_SIZES
 from repro.graph.taskgraph import TaskGraph
 from repro.pim.config import PimConfig
 from repro.verify.differential_failover import (
@@ -300,7 +301,13 @@ def run_verification_sweep(
     with_search: bool = False,
     search_budgets: Optional[List[int]] = None,
 ) -> SweepOutcome:
-    """Verify benchmarks x allocators on one machine configuration."""
+    """Verify benchmarks x allocators on one machine configuration.
+
+    ``benchmarks`` accepts any name in the workload registry — the 12
+    paper benchmarks (the default sweep), the CNN-derived partitions and
+    the ``randwired-*`` irregular-graph stress set all go through the
+    identical battery.
+    """
     config = config or PimConfig()
     names = benchmarks if benchmarks is not None else list(BENCHMARK_SIZES)
     allocator_names = (
@@ -308,7 +315,7 @@ def run_verification_sweep(
     )
     outcome = SweepOutcome(config=config, allocators=allocator_names)
     for name in names:
-        graph = synthetic_benchmark(name)
+        graph = load_workload(name)
         outcome.workloads.append(
             verify_workload(
                 graph,

@@ -1,0 +1,58 @@
+"""Typed unknown-workload rejection across the registry and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.workloads import (
+    RANDWIRED_BENCHMARKS,
+    WORKLOADS,
+    UnknownWorkloadError,
+    load_workload,
+)
+from repro.graph.taskgraph import GraphValidationError
+
+
+class TestUnknownWorkloadError:
+    def test_typed_error_raised(self):
+        with pytest.raises(UnknownWorkloadError):
+            load_workload("catz")
+
+    def test_is_a_graph_validation_error(self):
+        # Backward compatibility: callers catching the old type keep working.
+        with pytest.raises(GraphValidationError, match="unknown workload"):
+            load_workload("catz")
+
+    def test_message_enumerates_registry(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            load_workload("catz")
+        message = str(excinfo.value)
+        for name in ("cat", "protein", "randwired-er"):
+            assert name in message
+
+    def test_carries_structured_fields(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            load_workload("catz")
+        assert excinfo.value.name == "catz"
+        assert excinfo.value.choices == sorted(WORKLOADS)
+
+    def test_randwired_names_are_loadable(self):
+        for name in RANDWIRED_BENCHMARKS:
+            assert load_workload(name).num_vertices > 2
+
+
+class TestMainCli:
+    def test_unknown_workload_exits_nonzero(self, capsys):
+        from repro.__main__ import main
+
+        exit_code = main(["catz"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+        assert "cat" in err  # the registry is enumerated for the user
+
+    def test_randwired_workload_accepted(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["randwired-er", "--pes", "8"]) == 0
+        assert "randwired-er" in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""Fleet-wide live rewiring: affinity remap, zero loss, warm repeats.
+
+The fleet adds one obligation on top of the single-server rewire: plan
+affinity moves with the graph. After a swap the workload hashes on the
+new graph's plan digest — possibly a different shard — and every queued
+request either drains on the old plan or re-routes with its fleet
+identity intact, so ``accounting()['lost']`` stays zero throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetRewireResult
+from repro.graph.generators import synthetic_benchmark
+
+from .conftest import build_fleet, drive
+
+
+def v2_graph():
+    """A replacement graph with a different fingerprint than 'cat'."""
+    return synthetic_benchmark("car").relabelled("cat-v2")
+
+
+def warm(router, workload="cat", count=8):
+    """Serve a few requests so live sessions exist and plans are warm."""
+    return drive(router, [workload], count)
+
+
+def test_affinity_remaps_to_new_digest(store):
+    router = build_fleet(store)
+    warm(router)
+    old_key = router.affinity_key("cat")
+    result = router.rewire("cat", v2_graph())
+    assert isinstance(result, FleetRewireResult)
+    assert router.affinity_key("cat") != old_key
+    # The remap is consistent: the new owner is recomputed, not cached.
+    assert router.worker_for("cat").worker_id == result.new_worker
+
+
+def test_drain_serves_on_old_plan_with_zero_loss(store):
+    router = build_fleet(store)
+    warm(router)
+    for index in range(6):
+        router.advance_to(100 + index)
+        router.submit("cat")
+    result = router.rewire("cat", v2_graph(), cut_point="drain")
+    assert result.cut_point == "drain"
+    assert len(result.drained) == 6
+    assert result.rerouted == 0
+    accounting = router.accounting()
+    assert accounting["lost"] == 0
+    assert accounting["queued"] == 0
+
+
+def test_reroute_preserves_fleet_identity(store):
+    router = build_fleet(store)
+    warm(router)
+    for index in range(5):
+        router.advance_to(200 + index)
+        router.submit("cat")
+    result = router.rewire("cat", v2_graph(), cut_point="reroute")
+    assert result.rerouted == 5
+    assert len(result.drained) == 0
+    served = router.drain()
+    mine = [r for r in served if r.workload == "cat"]
+    assert len(mine) == 5
+    # Fleet identity survived the reroute: each request kept its original
+    # arrival time, so latency keeps charging the full queueing delay.
+    assert sorted(r.arrival_units for r in mine) == [200, 201, 202, 203, 204]
+    assert len({r.fleet_id for r in mine}) == 5
+    assert router.accounting()["lost"] == 0
+
+
+def test_rerouted_requests_land_on_new_owner(store):
+    router = build_fleet(store)
+    warm(router)
+    for index in range(4):
+        router.advance_to(300 + index)
+        router.submit("cat")
+    result = router.rewire("cat", v2_graph(), cut_point="reroute")
+    served = router.drain()
+    mine = [r for r in served if r.workload == "cat"]
+    assert {r.worker_id for r in mine} == {result.new_worker}
+
+
+def test_sessions_swapped_and_overrides_installed(store):
+    router = build_fleet(store)
+    warm(router)
+    live_before = sum(
+        1 for worker in router.workers.values()
+        if "cat" in worker.server.sessions()
+    )
+    result = router.rewire("cat", v2_graph())
+    assert result.sessions_swapped == live_before >= 1
+    # Shards that never served it got the override: any first session
+    # they create must compile the new graph.
+    v2_print = v2_graph().fingerprint()
+    for worker in router.workers.values():
+        session = worker.server.sessions().get("cat")
+        if session is not None:
+            assert session.plan.graph.fingerprint() == v2_print
+
+
+def test_repeat_rewire_warm_through_shared_store(store):
+    router = build_fleet(store)
+    warm(router)
+    v2 = v2_graph()
+    first = router.rewire("cat", v2)
+    assert first.recompiled
+    # Bounce back and to v2 again: both plans sit in the shared store,
+    # so neither swap compiles anywhere in the fleet — even if affinity
+    # moved the workload to a shard that never compiled it locally.
+    back = router.rewire("cat", synthetic_benchmark("cat"))
+    again = router.rewire("cat", v2)
+    assert not back.recompiled
+    assert not again.recompiled
+
+
+def test_bad_cut_point_rejected(store):
+    router = build_fleet(store)
+    with pytest.raises(ValueError, match="cut_point"):
+        router.rewire("cat", v2_graph(), cut_point="never")
+
+
+def test_rewire_with_bystander_traffic_closes_books(store):
+    router = build_fleet(store)
+    warm(router, "cat")
+    warm(router, "flower")
+    for index in range(9):
+        router.advance_to(400 + index)
+        router.submit(("cat", "flower")[index % 2])
+    router.rewire("cat", v2_graph(), cut_point="reroute")
+    router.drain()
+    accounting = router.accounting()
+    assert accounting["lost"] == 0
+    assert accounting["queued"] == 0
+    assert accounting["served"] == accounting["admitted"]

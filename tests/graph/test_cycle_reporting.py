@@ -1,0 +1,69 @@
+"""Cycle diagnostics: the error must name a concrete cycle.
+
+A bare "contains a cycle" forces the user to bisect the graph by hand;
+:meth:`TaskGraph.topological_order` now walks the leftover subgraph and
+reports an actual cycle (bounded, deterministic member list).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.taskgraph import (
+    CYCLE_REPORT_LIMIT,
+    GraphValidationError,
+    TaskGraph,
+)
+
+
+def _cycle_graph(members):
+    graph = TaskGraph(name="cyclic")
+    for op_id in members:
+        graph.add_op(op_id)
+    for a, b in zip(members, members[1:] + members[:1]):
+        graph.connect(a, b)
+    return graph
+
+
+class TestCycleReporting:
+    def test_two_cycle_named(self):
+        graph = _cycle_graph([0, 1])
+        with pytest.raises(GraphValidationError, match=r"0 -> 1 -> 0"):
+            graph.topological_order()
+
+    def test_three_cycle_named_in_order(self):
+        graph = _cycle_graph([1, 2, 3])
+        with pytest.raises(GraphValidationError) as excinfo:
+            graph.topological_order()
+        message = str(excinfo.value)
+        assert "contains a cycle" in message  # backward-compatible prefix
+        assert "1 -> 2 -> 3 -> 1" in message
+
+    def test_cycle_behind_acyclic_prefix(self):
+        # Vertices 0..2 are a legal chain feeding the cycle 3<->4; the
+        # report must name the cycle, not the reachable prefix.
+        graph = TaskGraph(name="prefixed")
+        for op_id in range(5):
+            graph.add_op(op_id)
+        graph.connect(0, 1)
+        graph.connect(1, 2)
+        graph.connect(2, 3)
+        graph.connect(3, 4)
+        graph.connect(4, 3)
+        with pytest.raises(GraphValidationError, match=r"3 -> 4 -> 3"):
+            graph.topological_order()
+
+    def test_long_cycle_truncated(self):
+        members = list(range(CYCLE_REPORT_LIMIT + 8))
+        graph = _cycle_graph(members)
+        with pytest.raises(GraphValidationError) as excinfo:
+            graph.topological_order()
+        message = str(excinfo.value)
+        assert "8 more" in message
+        # Bounded output: at most CYCLE_REPORT_LIMIT members are listed.
+        assert message.count("->") <= CYCLE_REPORT_LIMIT + 2
+
+    def test_validate_carries_the_cycle(self):
+        graph = _cycle_graph([5, 9])
+        with pytest.raises(GraphValidationError, match="5 -> 9 -> 5"):
+            graph.validate()

@@ -1,0 +1,191 @@
+"""Tests for the randomly-wired ER/WS/BA graph generators.
+
+The generators' contract: every emitted graph is a legal workload (any
+validator violation is a bug by definition) and a *pure function* of its
+spec — byte-identical fingerprints across calls, processes and
+``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.paraconv import ParaConv
+from repro.graph.randwired import (
+    RANDWIRED_KINDS,
+    RANDWIRED_SPECS,
+    RandwiredSpec,
+    all_randwired_benchmarks,
+    barabasi_albert_dag,
+    erdos_renyi_dag,
+    randwired_benchmark,
+    randwired_graph,
+    reseeded,
+    watts_strogatz_dag,
+)
+from repro.graph.taskgraph import GraphValidationError
+from repro.pim.config import PimConfig
+from repro.verify.validator import ScheduleValidator
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(GraphValidationError, match="unknown randwired"):
+            RandwiredSpec(kind="smallworld", num_vertices=8)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(GraphValidationError):
+            RandwiredSpec(kind="er", num_vertices=1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(GraphValidationError):
+            RandwiredSpec(kind="er", num_vertices=8, p=1.5)
+
+    def test_ws_k_must_be_even(self):
+        with pytest.raises(GraphValidationError, match="even"):
+            RandwiredSpec(kind="ws", num_vertices=8, k=3)
+
+    def test_ws_k_must_fit(self):
+        with pytest.raises(GraphValidationError):
+            RandwiredSpec(kind="ws", num_vertices=4, k=4)
+
+    def test_ba_m_bounds(self):
+        with pytest.raises(GraphValidationError):
+            RandwiredSpec(kind="ba", num_vertices=4, m=4)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("kind", RANDWIRED_KINDS)
+    def test_single_source_single_sink(self, kind):
+        graph = randwired_graph(RandwiredSpec(kind=kind, num_vertices=12))
+        sources = [
+            op.op_id for op in graph.operations()
+            if graph.in_degree(op.op_id) == 0
+        ]
+        sinks = [
+            op.op_id for op in graph.operations()
+            if graph.out_degree(op.op_id) == 0
+        ]
+        assert sources == [12]  # the stem
+        assert sinks == [13]  # the head
+
+    @pytest.mark.parametrize("kind", RANDWIRED_KINDS)
+    def test_is_a_dag(self, kind):
+        graph = randwired_graph(RandwiredSpec(kind=kind, num_vertices=12))
+        order = graph.topological_order()
+        assert len(order) == graph.num_vertices
+
+    def test_ba_hubs_stress_fan_in(self):
+        graph = barabasi_albert_dag(32, m=3, seed=2)
+        max_fan_in = max(
+            graph.in_degree(op.op_id) for op in graph.operations()
+        )
+        # Preferential attachment plus head stitching must exceed any
+        # layered benchmark's bounded fan-in.
+        assert max_fan_in >= 6
+
+    def test_empty_er_still_connected(self):
+        # p=0 draws no core edges: every core vertex is stem->v->head.
+        graph = erdos_renyi_dag(6, p=0.0, seed=1)
+        assert graph.num_vertices == 8
+        assert all(
+            graph.in_degree(op.op_id) >= 1
+            for op in graph.operations()
+            if op.op_id != 6  # the stem
+        )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", RANDWIRED_KINDS)
+    def test_same_spec_same_fingerprint(self, kind):
+        spec = RandwiredSpec(kind=kind, num_vertices=16, seed=7)
+        assert (
+            randwired_graph(spec).fingerprint()
+            == randwired_graph(spec).fingerprint()
+        )
+
+    @pytest.mark.parametrize("kind", RANDWIRED_KINDS)
+    def test_different_seed_different_graph(self, kind):
+        spec = RandwiredSpec(kind=kind, num_vertices=16, seed=0)
+        assert (
+            randwired_graph(spec).fingerprint()
+            != randwired_graph(reseeded(spec, 1)).fingerprint()
+        )
+
+    def test_cross_process_hashseed_independence(self):
+        """Fingerprints match across processes with differing PYTHONHASHSEED."""
+        script = (
+            "from repro.graph.randwired import randwired_benchmark\n"
+            "print('|'.join(randwired_benchmark(n).fingerprint()"
+            " for n in ('randwired-er', 'randwired-ws', 'randwired-ba')))\n"
+        )
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        digests = set()
+        for hashseed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src, env.get("PYTHONPATH", "")) if p
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+
+
+class TestRegistry:
+    def test_named_benchmarks_build(self):
+        graphs = all_randwired_benchmarks()
+        assert [g.name for g in graphs] == list(RANDWIRED_SPECS)
+
+    def test_unknown_name_enumerates_registry(self):
+        with pytest.raises(GraphValidationError, match="randwired-er"):
+            randwired_benchmark("randwired-nope")
+
+    def test_workload_registry_integration(self):
+        from repro.cnn.workloads import WORKLOADS, load_workload
+
+        for name in RANDWIRED_SPECS:
+            assert name in WORKLOADS
+            assert load_workload(name).name == name
+
+    def test_convenience_wrappers(self):
+        assert watts_strogatz_dag(8, k=2, seed=3).num_vertices == 10
+        assert erdos_renyi_dag(8, p=0.5, seed=3).num_vertices == 10
+        assert barabasi_albert_dag(8, m=2, seed=3).num_vertices == 10
+
+
+class TestPropertyBattery:
+    """Seed x size x density sweep through the full validator.
+
+    Every generated graph must compile and pass all ten checks with
+    zero errors — the generators only emit legal workloads.
+    """
+
+    SWEEP = [
+        RandwiredSpec(kind="er", num_vertices=n, p=p, seed=seed)
+        for n in (8, 14) for p in (0.15, 0.5) for seed in (0, 3)
+    ] + [
+        RandwiredSpec(kind="ws", num_vertices=n, k=4, p=p, seed=seed)
+        for n in (10, 14) for p in (0.1, 0.6) for seed in (0, 3)
+    ] + [
+        RandwiredSpec(kind="ba", num_vertices=n, m=m, seed=seed)
+        for n in (10, 14) for m in (2, 4) for seed in (0, 3)
+    ]
+
+    @pytest.mark.parametrize(
+        "spec", SWEEP,
+        ids=lambda s: f"{s.kind}-n{s.num_vertices}-s{s.seed}",
+    )
+    def test_validator_clean(self, spec):
+        config = PimConfig(num_pes=8, iterations=50)
+        plan = ParaConv(config, validate=False).run(randwired_graph(spec))
+        report = ScheduleValidator().validate(plan)
+        assert report.errors() == []

@@ -1,0 +1,242 @@
+"""Live rewiring at the session and server tiers.
+
+The contract under test: a graph swap is the failover recompile path
+with a non-fault trigger — queued requests are served on the old plan
+(``drain``) or atomically carried onto the new one (``reroute``),
+nothing is dropped, repeat swaps are warm cache lookups, and an illegal
+replacement graph leaves the old plan serving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import synthetic_benchmark
+from repro.graph.taskgraph import GraphValidationError, TaskGraph
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.server import REWIRE_CUT_POINTS, BatchingServer
+from repro.runtime.session import InferenceSession
+
+from .conftest import tiny_graph
+
+
+def _cyclic_graph() -> TaskGraph:
+    graph = TaskGraph(name="bad")
+    graph.add_op(0)
+    graph.add_op(1)
+    graph.connect(0, 1)
+    graph.connect(1, 0)
+    return graph
+
+
+class TestSessionSwapGraph:
+    def test_swap_compiles_the_new_graph(self, config, graph, other_graph):
+        session = InferenceSession(graph, config)
+        session.run(4)
+        plan = session.swap_graph(other_graph)
+        assert session.graph is other_graph
+        assert plan is session.plan
+        assert plan.graph.fingerprint() == other_graph.fingerprint()
+
+    def test_swap_counters(self, config, graph, other_graph):
+        session = InferenceSession(graph, config)
+        session.run(4)
+        session.swap_graph(other_graph)
+        assert session.graph_swaps == 1
+        assert session.swap_recompiles == 1  # cold: a real compile
+
+    def test_repeat_swap_is_warm(self, config, graph, other_graph):
+        session = InferenceSession(graph, config, cache=PlanCache())
+        session.run(4)
+        session.swap_graph(other_graph)
+        compilations = session.compilations
+        # Bounce back and forth: both plans are now cached.
+        session.swap_graph(graph)
+        session.swap_graph(other_graph)
+        assert session.graph_swaps == 3
+        assert session.swap_recompiles == 1
+        assert session.compilations == compilations
+
+    def test_invalid_graph_leaves_old_plan_serving(self, config, graph):
+        session = InferenceSession(graph, config)
+        session.run(4)
+        old_plan = session.plan
+        with pytest.raises(GraphValidationError):
+            session.swap_graph(_cyclic_graph())
+        # Validation failed before teardown: still serving the old plan.
+        assert session.graph is graph
+        assert session.is_compiled
+        assert session.plan is old_plan
+        assert session.graph_swaps == 0
+        session.run(2)  # and it still runs
+
+
+class TestServerRewire:
+    def test_bad_cut_point_rejected(self, config):
+        server = BatchingServer(config, graph_loader=synthetic_benchmark)
+        with pytest.raises(ValueError, match="cut_point"):
+            server.rewire("cat", tiny_graph(), cut_point="big-bang")
+        assert REWIRE_CUT_POINTS == ("drain", "reroute")
+
+    def test_drain_serves_queued_on_old_plan(self, config):
+        server = BatchingServer(
+            config, graph_loader=synthetic_benchmark, batch_window=4
+        )
+        server.submit("cat")
+        server.drain()  # warm the old plan
+        old_plan = server.sessions()["cat"].plan
+        for _ in range(6):
+            server.submit("cat")
+        result = server.rewire("cat", tiny_graph("cat-v2"))
+        assert result.cut_point == "drain"
+        assert result.drained_requests == 6
+        assert result.rerouted == 0
+        assert result.old_period == old_plan.period
+        # Drained batches ran on the old plan: batch_window=4 splits the
+        # six requests 4+2, and each request's simulated latency is the
+        # old plan's completion prefix at its position in the batch.
+        assert [r.sim_latency for r in result.drained] == [
+            old_plan.total_time(k) for k in (1, 2, 3, 4, 1, 2)
+        ]
+        assert server.queue_depth == 0
+
+    def test_reroute_carries_queue_onto_new_plan(self, config):
+        server = BatchingServer(config, graph_loader=synthetic_benchmark)
+        server.submit("cat")
+        server.drain()
+        for _ in range(5):
+            server.submit("cat")
+        result = server.rewire("cat", tiny_graph("cat-v2"), cut_point="reroute")
+        assert result.drained_requests == 0
+        assert result.rerouted == 5
+        assert server.queue_depth == 5
+        new_plan = server.sessions()["cat"].plan
+        assert new_plan.period == result.new_period
+        served = server.drain()
+        assert len(served) == 5
+        # Served on the new plan after the swap: simulated latencies are
+        # the new plan's completion prefix (one batch of five).
+        assert [r.sim_latency for r in served] == [
+            new_plan.total_time(k) for k in (1, 2, 3, 4, 5)
+        ]
+
+    def test_other_workloads_undisturbed(self, config):
+        server = BatchingServer(config, graph_loader=synthetic_benchmark)
+        server.submit("car")
+        server.submit("cat")
+        server.submit("car")
+        result = server.rewire("cat", tiny_graph("cat-v2"))
+        assert result.drained_requests == 1
+        bystanders = server.queued_requests()
+        assert [r.workload for r in bystanders] == ["car", "car"]
+        # FIFO order among bystanders survived the targeted drain sweep.
+        assert [r.request_id for r in bystanders] == sorted(
+            r.request_id for r in bystanders
+        )
+
+    def test_repeat_rewire_is_warm(self, config):
+        server = BatchingServer(config, graph_loader=synthetic_benchmark)
+        server.submit("cat")
+        server.drain()
+        v2 = tiny_graph("cat-v2")
+        first = server.rewire("cat", v2)
+        assert first.recompiled
+        back = server.rewire("cat", synthetic_benchmark("cat"))
+        again = server.rewire("cat", v2)
+        assert not back.recompiled
+        assert not again.recompiled
+
+    def test_override_applies_to_future_sessions(self, config):
+        cache = PlanCache()
+        server = BatchingServer(
+            config, cache=cache, graph_loader=synthetic_benchmark
+        )
+        server.submit("cat")
+        server.drain()
+        v2 = tiny_graph("cat-v2")
+        server.rewire("cat", v2)
+        # A "restarted" server sharing the cache and override map: its
+        # first session for the name must compile (warm-hit) the new graph.
+        restarted = BatchingServer(
+            config, cache=cache, graph_loader=synthetic_benchmark
+        )
+        restarted.set_graph_override("cat", v2)
+        restarted.submit("cat")
+        restarted.drain()
+        session = restarted.sessions()["cat"]
+        assert session.plan.graph.fingerprint() == v2.fingerprint()
+        assert session.compilations == 0  # warm from the shared cache
+
+    def test_invalid_graph_never_installs_override(self, config):
+        server = BatchingServer(config, graph_loader=synthetic_benchmark)
+        server.submit("cat")
+        server.drain()
+        with pytest.raises(GraphValidationError):
+            server.rewire("cat", _cyclic_graph())
+        with pytest.raises(GraphValidationError):
+            server.set_graph_override("cat", _cyclic_graph())
+        # Old plan still serving, loader state untouched.
+        server.submit("cat")
+        assert len(server.drain()) == 1
+
+    def test_accounting_closes_across_rewire(self, config):
+        server = BatchingServer(config, graph_loader=synthetic_benchmark)
+        for _ in range(7):
+            server.submit("cat")
+        server.submit("car")
+        result = server.rewire("cat", tiny_graph("cat-v2"), cut_point="reroute")
+        served = len(server.drain())
+        snap = server.metrics.snapshot()["counters"]
+        assert snap["requests_accepted"] == 8
+        assert snap["requests_served"] == 8
+        assert result.rerouted == 7
+        assert server.queue_depth == 0
+
+
+class TestRewireShedRace:
+    """A deadline shed (``remove_queued``) racing a rewire on one queue.
+
+    Whatever interleaving wins, the books must close exactly:
+    accepted == served + shed + queued, and the rewire only sees the
+    requests the shed left behind.
+    """
+
+    def test_shed_then_rewire_accounts_exactly(self, config):
+        server = BatchingServer(config, graph_loader=synthetic_benchmark)
+        requests = [server.submit("cat") for _ in range(8)]
+        shed_ids = {r.request_id for r in requests[:3]}
+        shed = server.remove_queued(
+            lambda request: request.request_id in shed_ids
+        )
+        assert len(shed) == 3
+        result = server.rewire("cat", tiny_graph("cat-v2"), cut_point="reroute")
+        assert result.rerouted == 5  # the shed requests are gone
+        served = server.drain()
+        assert len(served) == 5
+        snap = server.metrics.snapshot()["counters"]
+        assert snap["requests_accepted"] == len(served) + len(shed)
+        assert {r.request.request_id for r in served}.isdisjoint(shed_ids)
+
+    def test_rewire_drain_then_shed_finds_nothing(self, config):
+        server = BatchingServer(config, graph_loader=synthetic_benchmark)
+        for _ in range(4):
+            server.submit("cat")
+        result = server.rewire("cat", tiny_graph("cat-v2"))  # drain
+        shed = server.remove_queued(lambda request: request.workload == "cat")
+        assert result.drained_requests == 4
+        assert shed == []
+        assert server.queue_depth == 0
+
+    def test_shed_after_reroute_still_exact(self, config):
+        server = BatchingServer(config, graph_loader=synthetic_benchmark)
+        for _ in range(6):
+            server.submit("cat")
+        server.rewire("cat", tiny_graph("cat-v2"), cut_point="reroute")
+        shed = server.remove_queued()  # shed everything still queued
+        assert len(shed) == 6
+        assert server.queue_depth == 0
+        # Per-workload accounting went back to zero: a fresh submit and
+        # drain serves exactly one request on the new plan.
+        server.submit("cat")
+        served = server.drain()
+        assert len(served) == 1

@@ -1,0 +1,158 @@
+"""The live-rewire differential battery and its report verdicts.
+
+Two layers under test: the report dataclasses' ``ok`` logic (a failure
+in any dimension — mismatch, lost request, cold repeat swap, validator
+error — must fail the battery) and the battery itself run end-to-end on
+small graphs (it must come back green against the full-unroll oracle).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.graph.generators import synthetic_benchmark
+from repro.graph.randwired import RandwiredSpec
+from repro.pim.config import PimConfig
+from repro.verify.differential_rewire import (
+    RandwiredPropertyReport,
+    RewireCaseReport,
+    RewireDifferentialReport,
+    RewireMismatch,
+    randwired_property_battery,
+    rewire_case,
+    rewire_differential,
+)
+
+
+def small_config() -> PimConfig:
+    return PimConfig(num_pes=8, iterations=50)
+
+
+class TestReportVerdicts:
+    def clean_case(self) -> RewireCaseReport:
+        return RewireCaseReport(
+            workload="cat", new_graph="cat-v2", cut_point="drain",
+            iterations=10, lost=0, repeat_recompiles=0,
+        )
+
+    def test_clean_case_is_ok(self):
+        assert self.clean_case().ok
+
+    def test_mismatch_fails(self):
+        report = self.clean_case()
+        report.mismatches.append(
+            RewireMismatch(field="makespan", post_swap_value=9, cold_value=8)
+        )
+        assert not report.ok
+        assert "makespan" in report.describe()
+
+    def test_lost_request_fails(self):
+        report = self.clean_case()
+        report.lost = 1
+        assert not report.ok
+
+    def test_cold_repeat_swap_fails(self):
+        report = self.clean_case()
+        report.repeat_recompiles = 2
+        assert not report.ok
+
+    def test_validator_error_fails(self):
+        report = self.clean_case()
+        report.validator_errors = 1
+        assert not report.ok
+
+    def test_error_fails(self):
+        report = self.clean_case()
+        report.error = "boom"
+        assert not report.ok
+        assert "boom" in report.describe()
+
+    def test_empty_randwired_battery_is_not_ok(self):
+        assert not RandwiredPropertyReport().ok
+        assert RandwiredPropertyReport(cases=4).ok
+        assert not RandwiredPropertyReport(cases=4, failures=["f"]).ok
+
+    def test_overall_report_aggregates(self):
+        report = RewireDifferentialReport(
+            cases=[self.clean_case()],
+            randwired=RandwiredPropertyReport(cases=1),
+            fleet_lost=0,
+            fleet_repeat_warm=True,
+        )
+        assert report.ok
+        assert "overall rewire: ok" in report.describe()
+        report.fleet_lost = 3
+        assert not report.ok
+        report.fleet_lost = 0
+        report.fleet_repeat_warm = False
+        assert not report.ok
+        report.fleet_repeat_warm = True
+        report.cases.append(
+            RewireCaseReport(
+                workload="x", new_graph="y", cut_point="drain",
+                iterations=1, error="exploded",
+            )
+        )
+        assert "overall rewire: FAIL" in report.describe()
+
+    def test_as_dict_is_json_serializable(self):
+        report = RewireDifferentialReport(
+            cases=[self.clean_case()],
+            randwired=RandwiredPropertyReport(cases=2),
+            fleet_lost=0,
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["ok"] is True
+        assert payload["cases"][0]["workload"] == "cat"
+
+
+class TestRewireCase:
+    @pytest.mark.parametrize("cut_point", ("drain", "reroute"))
+    def test_small_case_green(self, cut_point):
+        report = rewire_case(
+            synthetic_benchmark("cat"),
+            synthetic_benchmark("car"),
+            small_config(),
+            cut_point=cut_point,
+            iterations=8,
+            queued=3,
+        )
+        assert report.error is None
+        assert report.mismatches == []
+        assert report.lost == 0
+        assert report.repeat_recompiles == 0
+        if cut_point == "drain":
+            assert report.drained == 3
+        else:
+            assert report.rerouted == 3
+        assert report.ok
+
+
+class TestRandwiredBattery:
+    def test_small_sweep_green(self):
+        report = randwired_property_battery(
+            config=small_config(),
+            specs=[
+                RandwiredSpec(kind="er", num_vertices=10, p=0.3, seed=0),
+                RandwiredSpec(kind="ba", num_vertices=10, m=2, seed=0),
+            ],
+            seeds=1,
+        )
+        assert report.failures == []
+        assert report.cases == 2
+        assert report.ok
+
+
+class TestFullBattery:
+    def test_rewire_differential_green(self):
+        report = rewire_differential(
+            config=small_config(), iterations=8, seeds=1
+        )
+        assert report.error is None
+        assert [case.ok for case in report.cases] == [True] * len(report.cases)
+        assert report.fleet_lost == 0
+        assert report.fleet_repeat_warm is True
+        assert report.ok
+        assert "overall rewire: ok" in report.describe()
